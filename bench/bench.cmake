@@ -1,0 +1,39 @@
+# Bench harnesses: one binary per paper table/figure plus ablations and a
+# google-benchmark microbenchmark suite. Included from the top-level
+# CMakeLists so the binaries land alone in ${CMAKE_BINARY_DIR}/bench.
+
+add_library(zc_bench STATIC
+  bench/common.cpp
+)
+target_link_libraries(zc_bench PUBLIC
+  zc_driver zc_programs zc_sim zc_runtime zc_comm zc_parser zc_zir
+  zc_machine zc_ironman zc_support)
+
+function(zc_bench_binary name)
+  add_executable(${name} bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE zc_bench)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+zc_bench_binary(bench_fig05_bindings)
+zc_bench_binary(bench_fig06_overhead)
+zc_bench_binary(bench_fig07_programs)
+zc_bench_binary(bench_fig08_counts)
+zc_bench_binary(bench_fig10a_pvm)
+zc_bench_binary(bench_fig10b_shmem)
+zc_bench_binary(bench_fig11_heuristics)
+zc_bench_binary(bench_fig12_heuristic_times)
+zc_bench_binary(bench_table1_tomcatv)
+zc_bench_binary(bench_table2_swm)
+zc_bench_binary(bench_table3_simple)
+zc_bench_binary(bench_table4_sp)
+zc_bench_binary(bench_abl_knee)
+zc_bench_binary(bench_abl_hybrid)
+zc_bench_binary(bench_abl_interblock)
+zc_bench_binary(bench_paragon_suite)
+
+add_executable(bench_micro_passes bench/bench_micro_passes.cpp)
+target_link_libraries(bench_micro_passes PRIVATE zc_bench benchmark::benchmark)
+set_target_properties(bench_micro_passes PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

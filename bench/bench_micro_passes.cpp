@@ -1,0 +1,78 @@
+// google-benchmark microbenchmarks of the compiler itself: parsing,
+// communication planning (per pass), geometry primitives, and a small
+// end-to-end simulation step. These measure OUR infrastructure's speed,
+// not the paper's machines.
+#include <benchmark/benchmark.h>
+
+#include "src/comm/optimizer.h"
+#include "src/parser/parser.h"
+#include "src/programs/programs.h"
+#include "src/runtime/layout.h"
+#include "src/sim/engine.h"
+
+namespace {
+
+using namespace zc;
+
+void BM_ParseTomcatv(benchmark::State& state) {
+  const auto& src = programs::benchmark("tomcatv").source;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser::parse_program(src));
+  }
+}
+BENCHMARK(BM_ParseTomcatv);
+
+void BM_ParseSp(benchmark::State& state) {
+  const auto& src = programs::benchmark("sp").source;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser::parse_program(src));
+  }
+}
+BENCHMARK(BM_ParseSp);
+
+void BM_PlanCommunication(benchmark::State& state) {
+  const zir::Program p = parser::parse_program(programs::benchmark("simple").source);
+  const auto level = static_cast<comm::OptLevel>(state.range(0));
+  const comm::OptOptions opts = comm::OptOptions::for_level(level);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm::plan_communication(p, opts));
+  }
+}
+BENCHMARK(BM_PlanCommunication)->DenseRange(0, 3);  // baseline..pl
+
+void BM_GenerateTransfers(benchmark::State& state) {
+  const zir::Program p = parser::parse_program(programs::benchmark("simple").source);
+  const auto blocks = comm::find_blocks(p);
+  for (auto _ : state) {
+    for (const comm::Block& b : blocks) {
+      benchmark::DoNotOptimize(comm::generate_transfers(p, b));
+    }
+  }
+}
+BENCHMARK(BM_GenerateTransfers);
+
+void BM_BoxSubtract(benchmark::State& state) {
+  const rt::Box a = rt::Box::make(2, {0, 0, 0}, {63, 63, 0});
+  const rt::Box b = rt::Box::make(2, {1, 1, 0}, {64, 64, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.subtract(a));
+  }
+}
+BENCHMARK(BM_BoxSubtract);
+
+void BM_EngineJacobiStep(benchmark::State& state) {
+  const zir::Program p = parser::parse_program(programs::kernel_source("jacobi"));
+  const comm::CommPlan plan =
+      comm::plan_communication(p, comm::OptOptions::for_level(comm::OptLevel::kPL));
+  for (auto _ : state) {
+    sim::RunConfig cfg;
+    cfg.procs = static_cast<int>(state.range(0));
+    cfg.config_overrides = {{"n", 64}, {"iters", 2}};
+    benchmark::DoNotOptimize(sim::run_program(p, plan, cfg));
+  }
+}
+BENCHMARK(BM_EngineJacobiStep)->Arg(1)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,15 @@
+// Reproduces Appendix Table 1: results for 128x128 tomcatv on 64 processors.
+#include "bench/table_common.h"
+
+int main(int argc, char** argv) {
+  using zc::bench::PaperRow;
+  const std::vector<PaperRow> paper = {
+      {"baseline", 46, 40400, 2.491051},
+      {"rr", 22, 39200, 2.327301},
+      {"cc", 10, 13200, 1.901393},
+      {"pl", 10, 13200, 1.875820},
+      {"pl with shmem", 10, 13200, 2.029861},
+      {"pl with max latency", 22, 39200, 2.148066},
+  };
+  return zc::bench::run_appendix_table(argc, argv, "Table 1", "tomcatv", paper);
+}

@@ -1,0 +1,15 @@
+// Reproduces Appendix Table 2: results for 512x512 swm on 64 processors.
+#include "bench/table_common.h"
+
+int main(int argc, char** argv) {
+  using zc::bench::PaperRow;
+  const std::vector<PaperRow> paper = {
+      {"baseline", 29, 8602, 6.809007},
+      {"rr", 22, 7202, 6.323369},
+      {"cc", 16, 6002, 6.191816},
+      {"pl", 16, 6002, 5.922135},
+      {"pl with shmem", 16, 6002, 5.454957},
+      {"pl with max latency", 16, 6002, 5.477305},
+  };
+  return zc::bench::run_appendix_table(argc, argv, "Table 2", "swm", paper);
+}

@@ -1,0 +1,15 @@
+// Reproduces Appendix Table 3: results for 256x256 simple on 64 processors.
+#include "bench/table_common.h"
+
+int main(int argc, char** argv) {
+  using zc::bench::PaperRow;
+  const std::vector<PaperRow> paper = {
+      {"baseline", 266, 28188, 66.749756},
+      {"rr", 103, 21433, 61.193568},
+      {"cc", 79, 10993, 53.962579},
+      {"pl", 79, 10993, 48.077192},
+      {"pl with shmem", 79, 10993, 33.720775},
+      {"pl with max latency", 84, 16143, 43.637907},
+  };
+  return zc::bench::run_appendix_table(argc, argv, "Table 3", "simple", paper);
+}

@@ -1,0 +1,65 @@
+// Shared infrastructure for the bench harnesses that regenerate the paper's
+// tables and figures.
+//
+// Every harness accepts:
+//   --paper        run at the paper's full problem scale (slower; the
+//                  default uses the same spatial sizes with fewer
+//                  iterations — counts scale linearly, shapes identical)
+//   --procs=N      processor count (default 64, the paper's partitions)
+//   --csv=PATH     also dump machine-readable results
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/driver/driver.h"
+#include "src/programs/programs.h"
+#include "src/support/csv.h"
+
+namespace zc::bench {
+
+struct Options {
+  bool paper_scale = false;
+  int procs = 64;
+  std::optional<std::string> csv_path;
+};
+
+/// Parses the common flags; exits with a usage message on unknown flags.
+Options parse_options(int argc, char** argv);
+
+/// The problem configuration a harness should run: paper scale or the
+/// bench default (paper sizes, reduced iteration counts).
+std::map<std::string, long long> scale_for(const programs::BenchmarkInfo& info,
+                                           const Options& options);
+
+/// A short human-readable label like "128x128, 30 iterations".
+std::string scale_label(const programs::BenchmarkInfo& info, const Options& options);
+
+/// One benchmark x experiment result row.
+struct Row {
+  std::string benchmark;
+  std::string experiment;
+  int static_count = 0;
+  long long dynamic_count = 0;
+  double execution_time = 0.0;
+};
+
+/// Runs the named paper experiments (Figure 9 keys) for one benchmark.
+/// Results are cached per (benchmark, experiment) within the process.
+std::vector<Row> run_experiments(const programs::BenchmarkInfo& info,
+                                 const std::vector<std::string>& experiment_names,
+                                 const Options& options);
+
+/// Prints the standard harness header: what this binary reproduces.
+void print_header(const std::string& figure, const std::string& caption,
+                  const Options& options);
+
+/// Writes rows as CSV if --csv was given.
+void maybe_write_csv(const std::vector<Row>& rows, const Options& options);
+
+/// value / baseline as a fraction; NaN if baseline is missing or zero.
+double scaled(const std::vector<Row>& rows, const std::string& experiment, double Row::*field);
+
+}  // namespace zc::bench

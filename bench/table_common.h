@@ -1,0 +1,62 @@
+// Shared implementation for the appendix-table harnesses (Tables 1-4):
+// each prints static count, dynamic count, and execution time for all six
+// Figure 9 experiments on one benchmark, next to the paper's values.
+#pragma once
+
+#include <iostream>
+
+#include "bench/common.h"
+#include "src/support/table.h"
+
+namespace zc::bench {
+
+struct PaperRow {
+  const char* experiment;
+  long long static_count;
+  long long dynamic_count;
+  double execution_time;  ///< < 0 means the paper could not run the cell
+};
+
+inline int run_appendix_table(int argc, char** argv, const std::string& table_name,
+                              const std::string& benchmark,
+                              const std::vector<PaperRow>& paper_rows) {
+  const Options options = parse_options(argc, argv);
+  const auto& info = programs::benchmark(benchmark);
+  print_header(table_name,
+               "results for " + info.size_label + " " + benchmark + " (" +
+                   scale_label(info, options) + ")",
+               options);
+
+  const std::vector<std::string> names = {"baseline",      "rr", "cc", "pl",
+                                          "pl with shmem", "pl with max latency"};
+  const auto rows = run_experiments(info, names, options);
+
+  Table t({"experiment", "static", "dynamic", "time (s)", "scaled time", "paper static",
+           "paper dynamic", "paper time (s)", "paper scaled"});
+  const double base_time = rows[0].execution_time;
+  const double paper_base_time = paper_rows[0].execution_time;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    RowBuilder rb;
+    rb.cell(rows[i].experiment)
+        .cell(static_cast<long long>(rows[i].static_count))
+        .cell(rows[i].dynamic_count)
+        .cell(rows[i].execution_time, 6)
+        .percent_cell(rows[i].execution_time, base_time)
+        .cell(paper_rows[i].static_count)
+        .cell(paper_rows[i].dynamic_count);
+    if (paper_rows[i].execution_time >= 0) {
+      rb.cell(paper_rows[i].execution_time, 6)
+          .percent_cell(paper_rows[i].execution_time, paper_base_time);
+    } else {
+      rb.cell("n/a (paper bug)").cell("n/a");
+    }
+    t.add_row(std::move(rb).build());
+  }
+  std::cout << t.to_string() << "\n";
+  std::cout << "Absolute values are not comparable (simulated machine, different\n"
+               "iteration counts); compare the scaled-time columns and count ratios.\n";
+  maybe_write_csv(rows, options);
+  return 0;
+}
+
+}  // namespace zc::bench

@@ -1,0 +1,71 @@
+// Communication explorer: shows what the optimizer actually does to a
+// program, in the style of the paper's Figure 1 — the annotated SPMD
+// listing with DR/SR/DN/SV calls, at every optimization level and under
+// every combining heuristic.
+//
+// Build & run:  cmake --build build && ./build/examples/comm_explorer
+#include <iostream>
+
+#include "src/comm/optimizer.h"
+#include "src/parser/parser.h"
+
+namespace {
+
+// The paper's Figure 1 program, plus a window structure that distinguishes
+// the combining heuristics (Figure 2).
+constexpr std::string_view kSource = R"zpl(
+program figure1;
+
+config n : integer = 8;
+
+region R = [1..n, 1..n];
+
+direction east = [0, 1];
+
+var A, B, C, D, E, U : [R] double;
+
+procedure main() {
+  [R] B := Index1 * 0.5;     -- B is modified here ...
+  [R] A := B@east;           -- ... so B's slice is communicated here
+  [R] C := B@east;           -- redundant: B unchanged since the last transfer
+  [R] D := E@east;           -- combinable with B's communication
+  [R] U := A + D;
+  [R] C := U@east + E@east;  -- E redundant; U nests differently
+}
+)zpl";
+
+void show(const zc::zir::Program& program, const std::string& title,
+          const zc::comm::OptOptions& opts) {
+  const zc::comm::CommPlan plan = zc::comm::plan_communication(program, opts);
+  std::cout << "== " << title << " (" << plan.static_count() << " communications) ==\n";
+  std::cout << zc::comm::to_string(plan, program) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace zc;
+  const zir::Program program = parser::parse_program(kSource);
+
+  show(program, "baseline: message vectorization only (Figure 1a)",
+       comm::OptOptions::for_level(comm::OptLevel::kBaseline));
+  show(program, "rr: + redundant communication removal (Figure 1b)",
+       comm::OptOptions::for_level(comm::OptLevel::kRR));
+  show(program, "cc: + communication combination (Figure 1c)",
+       comm::OptOptions::for_level(comm::OptLevel::kCC));
+  show(program, "pl: + communication pipelining (Figure 1d)",
+       comm::OptOptions::for_level(comm::OptLevel::kPL));
+
+  comm::OptOptions maxlat = comm::OptOptions::for_level(comm::OptLevel::kPL);
+  maxlat.heuristic = comm::CombineHeuristic::kMaxLatency;
+  show(program, "pl, combining for maximum latency hiding (Figure 2c)", maxlat);
+
+  comm::OptOptions hybrid = comm::OptOptions::for_level(comm::OptLevel::kPL);
+  hybrid.heuristic = comm::CombineHeuristic::kHybrid;
+  show(program, "pl, hybrid heuristic (the paper's future-work suggestion)", hybrid);
+
+  std::cout << "Reading the listings: SR lines that moved up relative to their DN show\n"
+               "pipelining; multiple arrays in one call show combining; '-- redundant'\n"
+               "annotations mark transfers removed by rr.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Domain example: 3-D heat diffusion with a moving hot spot, built with the
+// ProgramBuilder C++ API instead of mini-ZPL text. Demonstrates:
+//   - rank-3 arrays (dim 2 is processor-local: k-shifts cost nothing)
+//   - loop-indexed regions (a hot plane swept through the domain)
+//   - comparing machines and libraries on one program
+//
+// Build & run:  cmake --build build && ./build/examples/heat_equation
+#include <iostream>
+
+#include "src/comm/optimizer.h"
+#include "src/sim/engine.h"
+#include "src/support/str.h"
+#include "src/support/table.h"
+#include "src/zir/builder.h"
+#include "src/zir/printer.h"
+
+int main() {
+  using namespace zc;
+  using zir::Ix;
+
+  zir::ProgramBuilder b("heat3d_spot");
+  const Ix n = b.config("n", 24);
+  const Ix iters = b.config("iters", 8);
+  const zir::RegionId R = b.region("R", {{0, n + 1}, {0, n + 1}, {0, n + 1}});
+  const zir::RegionId I = b.region("I", {{1, n}, {1, n}, {1, n}});
+  const zir::DirectionId ip = b.direction("ip", {1, 0, 0});
+  const zir::DirectionId im = b.direction("im", {-1, 0, 0});
+  const zir::DirectionId jp = b.direction("jp", {0, 1, 0});
+  const zir::DirectionId jm = b.direction("jm", {0, -1, 0});
+  const zir::DirectionId kp = b.direction("kp", {0, 0, 1});  // no comm: local dim
+  const zir::DirectionId km = b.direction("km", {0, 0, -1});
+  const zir::ArrayId T = b.array("T", R);
+  const zir::ArrayId TN = b.array("TN", R);
+  const zir::ScalarId peak = b.scalar("peak");
+
+  b.proc("main", [&] {
+    b.assign(R, T, b.lit(0.0));
+    b.assign(R, TN, b.lit(0.0));
+    b.for_("step", 1, iters, [&] {
+      // The hot plane moves with the loop index: a loop-dependent region.
+      const Ix s = b.loop_ix();
+      b.assign(zir::ProgramBuilder::spec({{s, s}, {1, n}, {1, n}}), T,
+               b.ref(T) + 2.0 * (1.0 + 0.1 * b.loop_ex()));
+      // Explicit 7-point diffusion; the k-direction shifts generate no
+      // communication under the 2-D block distribution.
+      b.assign(I, TN,
+               b.ref(T) + 0.08 * (b.at(T, ip) + b.at(T, im) + b.at(T, jp) + b.at(T, jm) +
+                                  b.at(T, kp) + b.at(T, km) - 6.0 * b.ref(T)));
+      b.assign(I, T, b.ref(TN));
+      b.sassign_over(b.spec_of(I), peak, b.reduce(zir::ReduceOp::kMax, b.ref(T)));
+    });
+  });
+  const zir::Program program = std::move(b).finish();
+
+  std::cout << "Generated program:\n" << zir::to_source(program) << "\n";
+
+  Table table({"machine / library", "level", "static", "dynamic", "time (s)"});
+  table.set_align(1, Align::kLeft);
+  struct Setup {
+    const char* label;
+    machine::MachineModel machine;
+    ironman::CommLibrary library;
+  };
+  const Setup setups[] = {
+      {"t3d / pvm", machine::t3d_model(), ironman::CommLibrary::kPVM},
+      {"t3d / shmem", machine::t3d_model(), ironman::CommLibrary::kSHMEM},
+      {"paragon / csend-crecv", machine::paragon_model(), ironman::CommLibrary::kNXSync},
+      {"paragon / isend-irecv", machine::paragon_model(), ironman::CommLibrary::kNXAsync},
+  };
+  for (const Setup& s : setups) {
+    for (const auto level : {comm::OptLevel::kBaseline, comm::OptLevel::kPL}) {
+      const comm::CommPlan plan =
+          comm::plan_communication(program, comm::OptOptions::for_level(level));
+      sim::RunConfig cfg;
+      cfg.machine = s.machine;
+      cfg.library = s.library;
+      cfg.procs = 16;
+      const sim::RunResult r = sim::run_program(program, plan, cfg);
+      RowBuilder rb;
+      rb.cell(s.label)
+          .cell(comm::to_string(level))
+          .cell(static_cast<long long>(plan.static_count()))
+          .cell(r.dynamic_count)
+          .cell(r.elapsed_seconds, 6);
+      table.add_row(std::move(rb).build());
+      if (level == comm::OptLevel::kPL) {
+        std::cout << "  peak temperature (" << s.label << "): " << r.scalars.at("peak") << "\n";
+      }
+    }
+    table.add_separator();
+  }
+  std::cout << "\n" << table.to_string();
+  std::cout << "\nNote the identical peak temperatures: optimization and transport choice\n"
+               "never change the numerics, only the clock.\n";
+  return 0;
+}

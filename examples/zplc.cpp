@@ -1,0 +1,160 @@
+// zplc — the command-line driver: compile a mini-ZPL file, optionally dump
+// the communication plan, and run it on a simulated machine.
+//
+// Usage:
+//   zplc FILE.zpl [options]
+//   zplc --builtin NAME [options]     (tomcatv | swm | simple | sp |
+//                                      jacobi | life | heat3d)
+// Options:
+//   --level=baseline|rr|cc|pl     optimization level (default pl)
+//   --heuristic=maxcomb|maxlat|nested|hybrid
+//   --machine=t3d|paragon         (default t3d)
+//   --library=pvm|shmem|nx|nx-async|nx-callback
+//   --procs=N                     (default 64)
+//   --set NAME=VALUE              config override (repeatable)
+//   --interblock                  enable cross-block redundancy removal
+//   --dump-plan                   print the annotated SPMD listing and exit
+//   --dump-ir                     print the parsed program and exit
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/comm/optimizer.h"
+#include "src/parser/parser.h"
+#include "src/programs/programs.h"
+#include "src/sim/engine.h"
+#include "src/support/str.h"
+#include "src/zir/printer.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " FILE.zpl | --builtin NAME [options]\n"
+            << "  --level=baseline|rr|cc|pl   --heuristic=maxcomb|maxlat|nested|hybrid\n"
+            << "  --machine=t3d|paragon       --library=pvm|shmem|nx|nx-async|nx-callback\n"
+            << "  --procs=N                   --set NAME=VALUE\n"
+            << "  --dump-plan                 --dump-ir\n";
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw zc::Error("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zc;
+  std::string source;
+  std::string source_name;
+  comm::OptOptions opts = comm::OptOptions::for_level(comm::OptLevel::kPL);
+  sim::RunConfig cfg;
+  bool dump_plan = false;
+  bool dump_ir = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--builtin") {
+        if (++i >= argc) usage(argv[0]);
+        source_name = argv[i];
+        try {
+          source = std::string(programs::benchmark(source_name).source);
+        } catch (const Error&) {
+          source = std::string(programs::kernel_source(source_name));
+        }
+      } else if (str::starts_with(arg, "--level=")) {
+        const std::string v = arg.substr(8);
+        if (v == "baseline") opts = comm::OptOptions::for_level(comm::OptLevel::kBaseline);
+        else if (v == "rr") opts = comm::OptOptions::for_level(comm::OptLevel::kRR);
+        else if (v == "cc") opts = comm::OptOptions::for_level(comm::OptLevel::kCC);
+        else if (v == "pl") opts = comm::OptOptions::for_level(comm::OptLevel::kPL);
+        else usage(argv[0]);
+      } else if (str::starts_with(arg, "--heuristic=")) {
+        const std::string v = arg.substr(12);
+        if (v == "maxcomb") opts.heuristic = comm::CombineHeuristic::kMaxCombining;
+        else if (v == "maxlat") opts.heuristic = comm::CombineHeuristic::kMaxLatency;
+        else if (v == "nested") opts.heuristic = comm::CombineHeuristic::kNested;
+        else if (v == "hybrid") opts.heuristic = comm::CombineHeuristic::kHybrid;
+        else usage(argv[0]);
+      } else if (str::starts_with(arg, "--machine=")) {
+        const std::string v = arg.substr(10);
+        if (v == "t3d") cfg.machine = machine::t3d_model();
+        else if (v == "paragon") cfg.machine = machine::paragon_model();
+        else usage(argv[0]);
+      } else if (str::starts_with(arg, "--library=")) {
+        const std::string v = arg.substr(10);
+        if (v == "pvm") cfg.library = ironman::CommLibrary::kPVM;
+        else if (v == "shmem") cfg.library = ironman::CommLibrary::kSHMEM;
+        else if (v == "nx") cfg.library = ironman::CommLibrary::kNXSync;
+        else if (v == "nx-async") cfg.library = ironman::CommLibrary::kNXAsync;
+        else if (v == "nx-callback") cfg.library = ironman::CommLibrary::kNXCallback;
+        else usage(argv[0]);
+      } else if (str::starts_with(arg, "--procs=")) {
+        cfg.procs = std::atoi(arg.c_str() + 8);
+      } else if (arg == "--set") {
+        if (++i >= argc) usage(argv[0]);
+        const auto parts = str::split(argv[i], '=');
+        if (parts.size() != 2) usage(argv[0]);
+        cfg.config_overrides[parts[0]] = std::atoll(parts[1].c_str());
+      } else if (arg == "--interblock") {
+        opts.inter_block = true;
+      } else if (arg == "--dump-plan") {
+        dump_plan = true;
+      } else if (arg == "--dump-ir") {
+        dump_ir = true;
+      } else if (!arg.empty() && arg[0] != '-') {
+        source_name = arg;
+        source = read_file(arg);
+      } else {
+        usage(argv[0]);
+      }
+    }
+    if (source.empty()) usage(argv[0]);
+
+    // Default to a machine consistent with the chosen library.
+    if (!machine::library_available(cfg.machine.kind, cfg.library)) {
+      cfg.machine = cfg.library == ironman::CommLibrary::kPVM ||
+                            cfg.library == ironman::CommLibrary::kSHMEM
+                        ? machine::t3d_model()
+                        : machine::paragon_model();
+    }
+
+    const zir::Program program = parser::parse_program(source);
+    if (dump_ir) {
+      std::cout << zir::to_source(program);
+      return 0;
+    }
+    const comm::CommPlan plan = comm::plan_communication(program, opts);
+    if (dump_plan) {
+      std::cout << comm::to_string(plan, program);
+      std::cout << "\nstatic communication count: " << plan.static_count() << "\n";
+      return 0;
+    }
+
+    const sim::RunResult r = sim::run_program(program, plan, cfg);
+    std::cout << "program:        " << program.name() << " (" << source_name << ")\n";
+    std::cout << "machine:        " << cfg.machine.name << ", " << cfg.procs
+              << " procs (mesh " << r.mesh.rows << "x" << r.mesh.cols << "), "
+              << ironman::to_string(cfg.library) << "\n";
+    std::cout << "heuristic:      " << comm::to_string(opts.heuristic) << "\n";
+    std::cout << "static count:   " << plan.static_count() << "\n";
+    std::cout << "dynamic count:  " << r.dynamic_count << "\n";
+    std::cout << "messages/bytes: " << r.total_messages << " / "
+              << str::with_commas(r.total_bytes) << "\n";
+    std::cout << "reductions:     " << r.reduction_count << "\n";
+    std::cout << "execution time: " << str::format_f(r.elapsed_seconds, 6) << " s (simulated)\n";
+    std::cout << "scalars:\n";
+    for (const auto& [name, value] : r.scalars) {
+      std::cout << "  " << str::pad_right(name, 10) << " = " << value << "\n";
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "zplc: error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,77 @@
+#include "src/comm/blocks.h"
+
+#include <unordered_set>
+
+#include "src/support/check.h"
+
+namespace zc::comm {
+
+namespace {
+
+class BlockFinder {
+ public:
+  explicit BlockFinder(const zir::Program& program) : p_(program) {}
+
+  std::vector<Block> run() {
+    visit_proc(p_.entry());
+    return std::move(blocks_);
+  }
+
+ private:
+  void visit_proc(zir::ProcId id) {
+    if (!id.valid() || visited_.count(id.value) != 0) return;
+    visited_.insert(id.value);
+    visit_body(id, p_.proc(id).body);
+  }
+
+  void visit_body(zir::ProcId proc, const std::vector<zir::StmtId>& body) {
+    Block current{proc, {}};
+    auto flush = [&] {
+      if (!current.stmts.empty()) {
+        blocks_.push_back(std::move(current));
+        current = Block{proc, {}};
+      }
+    };
+
+    std::vector<zir::ProcId> callees;
+    std::vector<const std::vector<zir::StmtId>*> nested;
+    for (zir::StmtId sid : body) {
+      const zir::Stmt& s = p_.stmt(sid);
+      switch (s.kind) {
+        case zir::Stmt::Kind::kArrayAssign:
+        case zir::Stmt::Kind::kScalarAssign:
+          current.stmts.push_back(sid);
+          break;
+        case zir::Stmt::Kind::kFor:
+          flush();
+          nested.push_back(&s.body);
+          break;
+        case zir::Stmt::Kind::kIf:
+          flush();
+          nested.push_back(&s.body);
+          if (!s.else_body.empty()) nested.push_back(&s.else_body);
+          break;
+        case zir::Stmt::Kind::kCall:
+          flush();
+          callees.push_back(s.callee);
+          break;
+      }
+    }
+    flush();
+
+    // Outer blocks of this body first, then nested bodies, then callees —
+    // purely a deterministic reporting order.
+    for (const auto* b : nested) visit_body(proc, *b);
+    for (zir::ProcId callee : callees) visit_proc(callee);
+  }
+
+  const zir::Program& p_;
+  std::unordered_set<int32_t> visited_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace
+
+std::vector<Block> find_blocks(const zir::Program& program) { return BlockFinder(program).run(); }
+
+}  // namespace zc::comm

@@ -1,0 +1,23 @@
+// Basic-block discovery: walks every procedure reachable from the entry and
+// returns the source-level basic blocks — maximal runs of array/scalar
+// assignment statements not interrupted by control flow (for/if/call).
+#pragma once
+
+#include <vector>
+
+#include "src/zir/program.h"
+
+namespace zc::comm {
+
+struct Block {
+  zir::ProcId proc;
+  std::vector<zir::StmtId> stmts;
+};
+
+/// Blocks are returned in a deterministic order: procedures in reachability
+/// (DFS) order from the entry, blocks in body order, outer-before-inner.
+/// Each reachable procedure is visited exactly once (a procedure called from
+/// two sites contributes its blocks once, matching a static count).
+std::vector<Block> find_blocks(const zir::Program& program);
+
+}  // namespace zc::comm

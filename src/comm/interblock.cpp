@@ -1,0 +1,209 @@
+#include "src/comm/interblock.h"
+
+#include <map>
+#include <unordered_set>
+
+#include "src/support/check.h"
+
+namespace zc::comm {
+
+namespace {
+
+void mod_set_impl(const zir::Program& p, zir::ProcId proc, std::set<zir::ArrayId>& out,
+                  std::unordered_set<int32_t>& visited, const std::vector<zir::StmtId>& body) {
+  for (zir::StmtId sid : body) {
+    const zir::Stmt& s = p.stmt(sid);
+    switch (s.kind) {
+      case zir::Stmt::Kind::kArrayAssign:
+        out.insert(s.lhs_array);
+        break;
+      case zir::Stmt::Kind::kScalarAssign:
+        break;
+      case zir::Stmt::Kind::kFor:
+        mod_set_impl(p, proc, out, visited, s.body);
+        break;
+      case zir::Stmt::Kind::kIf:
+        mod_set_impl(p, proc, out, visited, s.body);
+        mod_set_impl(p, proc, out, visited, s.else_body);
+        break;
+      case zir::Stmt::Kind::kCall:
+        if (visited.insert(s.callee.value).second) {
+          mod_set_impl(p, proc, out, visited, p.proc(s.callee).body);
+        }
+        break;
+    }
+  }
+}
+
+/// The dataflow state: cached (array, direction) slices with their regions.
+using Cache = std::map<std::pair<int32_t, int32_t>, std::vector<const zir::RegionSpec*>>;
+
+/// Region-coverage check shared with the intra-block pass (duplicated here
+/// deliberately: the intra pass is a paper-faithful standalone unit).
+bool covers(const zir::Program& p, const zir::RegionSpec& cached, const zir::RegionSpec& use) {
+  auto equal = [](const zir::RegionSpec& a, const zir::RegionSpec& b) {
+    if (a.rank() != b.rank()) return false;
+    for (int d = 0; d < a.rank(); ++d) {
+      if (!a.dims[d].lo.equals(b.dims[d].lo) || !a.dims[d].hi.equals(b.dims[d].hi)) return false;
+    }
+    return true;
+  };
+  if (equal(cached, use)) return true;
+  if (!cached.is_static() || !use.is_static() || cached.rank() != use.rank()) return false;
+  const zir::IntEnv env = p.default_env();
+  for (int d = 0; d < cached.rank(); ++d) {
+    if (use.dims[d].lo.eval(env) < cached.dims[d].lo.eval(env) ||
+        use.dims[d].hi.eval(env) > cached.dims[d].hi.eval(env)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class InterBlockAnalysis {
+ public:
+  InterBlockAnalysis(const zir::Program& p, CommPlan& plan) : p_(p), plan_(plan) {
+    count_call_sites(p_.proc(p_.entry()).body);
+  }
+
+  void run() { visit_proc(p_.entry()); }
+
+ private:
+  void count_call_sites(const std::vector<zir::StmtId>& body) {
+    for (zir::StmtId sid : body) {
+      const zir::Stmt& s = p_.stmt(sid);
+      switch (s.kind) {
+        case zir::Stmt::Kind::kFor:
+          count_call_sites(s.body);
+          break;
+        case zir::Stmt::Kind::kIf:
+          count_call_sites(s.body);
+          count_call_sites(s.else_body);
+          break;
+        case zir::Stmt::Kind::kCall: {
+          const bool first = call_sites_.count(s.callee.value) == 0;
+          ++call_sites_[s.callee.value];
+          if (first) count_call_sites(p_.proc(s.callee).body);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  void visit_proc(zir::ProcId proc) {
+    if (!proc.valid() || analyzed_.count(proc.value) != 0) return;
+    analyzed_.insert(proc.value);
+    // Marks in a multiply-called procedure must hold for every call site:
+    // empty entry state. (Single-call-site procedures are analyzed inline
+    // at their call, context-sensitively — see visit_body.)
+    Cache cache;
+    visit_body(p_.proc(proc).body, cache);
+  }
+
+  void invalidate(Cache& cache, zir::ArrayId array) {
+    for (auto& [key, specs] : cache) {
+      if (key.first == array.value) specs.clear();
+    }
+  }
+
+  void visit_body(const std::vector<zir::StmtId>& body, Cache& cache) {
+    std::size_t i = 0;
+    while (i < body.size()) {
+      const zir::Stmt& s = p_.stmt(body[i]);
+      switch (s.kind) {
+        case zir::Stmt::Kind::kArrayAssign:
+        case zir::Stmt::Kind::kScalarAssign: {
+          // An assign-run: flow through the block's transfers, marking
+          // those covered by slices cached in EARLIER blocks.
+          BlockPlan* bp = find_block_mutable(body[i]);
+          ZC_ASSERT(bp != nullptr);
+          flow_block(*bp, cache);
+          i += bp->stmts.size();
+          continue;
+        }
+        case zir::Stmt::Kind::kFor: {
+          // Conservative: the body may modify anything on a back edge.
+          cache.clear();
+          visit_body(s.body, cache);
+          cache.clear();
+          break;
+        }
+        case zir::Stmt::Kind::kIf: {
+          Cache then_cache = cache;
+          visit_body(s.body, then_cache);
+          Cache else_cache = cache;
+          visit_body(s.else_body, else_cache);
+          cache.clear();  // conservative join
+          break;
+        }
+        case zir::Stmt::Kind::kCall: {
+          if (call_sites_.at(s.callee.value) == 1 && analyzed_.count(s.callee.value) == 0) {
+            // Context-sensitive: a procedure with a single call site flows
+            // the caller's state through (and its writes/transfers update
+            // the caller's state in turn).
+            analyzed_.insert(s.callee.value);
+            visit_body(p_.proc(s.callee).body, cache);
+          } else {
+            visit_proc(s.callee);
+            for (zir::ArrayId a : mod_set(p_, s.callee)) invalidate(cache, a);
+          }
+          break;
+        }
+      }
+      ++i;
+    }
+  }
+
+  void flow_block(BlockPlan& bp, Cache& cache) {
+    std::size_t next = 0;
+    for (int s = 0; s < static_cast<int>(bp.stmts.size()); ++s) {
+      const zir::Stmt& stmt = p_.stmt(bp.stmts[s]);
+      for (; next < bp.transfers.size() && bp.transfers[next].use_stmt == s; ++next) {
+        Transfer& t = bp.transfers[next];
+        const auto key = std::make_pair(t.array.value, t.direction.value);
+        ZC_ASSERT(stmt.region.has_value());
+        if (!t.redundant) {
+          bool covered = false;
+          for (const zir::RegionSpec* prior : cache[key]) {
+            covered = covered || covers(p_, *prior, *stmt.region);
+          }
+          if (covered) {
+            t.redundant = true;
+          } else {
+            cache[key].push_back(&*stmt.region);
+          }
+        }
+        // Intra-block-redundant transfers ride on an earlier cached slice;
+        // the cache entry for that slice is already present.
+      }
+      if (stmt.kind == zir::Stmt::Kind::kArrayAssign) invalidate(cache, stmt.lhs_array);
+    }
+  }
+
+  BlockPlan* find_block_mutable(zir::StmtId first) {
+    const BlockPlan* bp = plan_.find_block(first);
+    return const_cast<BlockPlan*>(bp);
+  }
+
+  const zir::Program& p_;
+  CommPlan& plan_;
+  std::unordered_set<int32_t> analyzed_;
+  std::map<int32_t, int> call_sites_;
+};
+
+}  // namespace
+
+std::set<zir::ArrayId> mod_set(const zir::Program& program, zir::ProcId proc) {
+  std::set<zir::ArrayId> out;
+  std::unordered_set<int32_t> visited{proc.value};
+  mod_set_impl(program, proc, out, visited, program.proc(proc).body);
+  return out;
+}
+
+void apply_inter_block_removal(const zir::Program& program, CommPlan& plan) {
+  InterBlockAnalysis(program, plan).run();
+}
+
+}  // namespace zc::comm

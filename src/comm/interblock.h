@@ -1,0 +1,35 @@
+// Extension: communication optimization across basic-block boundaries —
+// the paper's first future-work item ("we may want to employ a standard
+// data flow analysis algorithm to apply optimizations across basic block
+// boundaries", §4).
+//
+// A forward dataflow walk over the program's execution structure carries
+// the cached-slices state across block boundaries: a transfer is redundant
+// if ANY path-dominating earlier transfer communicated a covering slice of
+// the same (array, direction) and no write intervened. The analysis is
+// conservative at control flow:
+//   - loop entry/exit clear the cache (the body may write anything);
+//     within one body iteration the state flows block to block;
+//   - both branches of an `if` start from the pre-branch state; the cache
+//     is cleared at the join;
+//   - a procedure call invalidates every array in the callee's transitive
+//     mod-set; callee bodies are analyzed once with an empty entry state
+//     (their marks must hold for every call site).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "src/comm/plan.h"
+
+namespace zc::comm {
+
+/// Arrays written (transitively, through calls) by `proc`'s body.
+std::set<zir::ArrayId> mod_set(const zir::Program& program, zir::ProcId proc);
+
+/// Marks additional transfers redundant across block boundaries. Must run
+/// after per-block generation and intra-block removal, before grouping;
+/// `plan.rebuild_index()` must have been called.
+void apply_inter_block_removal(const zir::Program& program, CommPlan& plan);
+
+}  // namespace zc::comm

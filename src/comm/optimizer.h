@@ -1,0 +1,57 @@
+// The machine-independent communication optimizer — the paper's core
+// contribution. `plan_communication` runs the full pipeline; the individual
+// passes are exported for unit testing.
+//
+// Pipeline (per source-level basic block):
+//   1. generate_transfers      — naive generation with message vectorization:
+//                                one transfer per shifted reference per
+//                                statement (paper Figure 1(a); vectorization
+//                                is inherent to the array IR, §2).
+//   2. apply_redundant_removal — drop transfers whose (array, direction)
+//                                slice is already cached and unmodified.
+//   3. form_groups             — communication combination under the chosen
+//                                heuristic (max-combining / max-latency /
+//                                hybrid); without combining, one group per
+//                                live transfer.
+//   4. place_groups            — final DR/SR/DN/SV placement; pipelining
+//                                pushes SR (and DR) up to the earliest legal
+//                                point and leaves DN at the latest.
+#pragma once
+
+#include "src/comm/blocks.h"
+#include "src/comm/options.h"
+#include "src/comm/plan.h"
+
+namespace zc::comm {
+
+/// True if a shift by `direction` requires inter-processor communication
+/// under the 2-D block distribution (dims 0 and 1 distributed, dim 2 of
+/// rank-3 arrays processor-local).
+bool needs_comm(const zir::DirectionDecl& direction);
+
+/// Pass 1: transfers in statement order with feasible send intervals.
+std::vector<Transfer> generate_transfers(const zir::Program& program, const Block& block);
+
+/// Pass 2: marks redundant transfers (in place).
+void apply_redundant_removal(const zir::Program& program, const Block& block,
+                             std::vector<Transfer>& transfers);
+
+/// Pass 3: groups live transfers into communications.
+std::vector<CommGroup> form_groups(const zir::Program& program, const Block& block,
+                                   const std::vector<Transfer>& transfers,
+                                   const OptOptions& options);
+
+/// Pass 4: assigns DR/SR/DN/SV positions (in place).
+void place_groups(const zir::Program& program, const Block& block,
+                  std::vector<CommGroup>& groups, bool pipeline);
+
+/// Full pipeline over every reachable basic block.
+CommPlan plan_communication(const zir::Program& program, const OptOptions& options);
+
+/// Static per-processor element estimate for one member slice of a
+/// communication in `direction` over a use region `spec` (used by the hybrid
+/// heuristic and by reporting; loop-dependent extents estimate as 1).
+long long estimate_slice_elems(const zir::Program& program, const zir::RegionSpec& spec,
+                               const zir::DirectionDecl& direction, int mesh_rows, int mesh_cols);
+
+}  // namespace zc::comm

@@ -1,0 +1,69 @@
+// Optimizer configuration: the experiment key of the paper's Figure 9.
+#pragma once
+
+#include <string>
+
+namespace zc::comm {
+
+/// Cumulative optimization levels exactly as in the paper (Figure 9):
+/// each level includes everything before it.
+enum class OptLevel {
+  kBaseline,  ///< message vectorization only (naive generation)
+  kRR,        ///< + redundant communication removal
+  kCC,        ///< + communication combination
+  kPL,        ///< + communication pipelining
+};
+
+/// How aggressively to combine communications (paper §2, Figure 2; the
+/// hybrid is the paper's suggested future work, implemented as an extension).
+enum class CombineHeuristic {
+  kMaxCombining,  ///< combine whenever legal (paper's default)
+  kMaxLatency,    ///< combine only when no member's latency-hiding window
+                  ///< shrinks — the feasible send intervals must coincide.
+                  ///< (This is the reading of the paper's "completely
+                  ///< nested" rule that reproduces its Figure 11 counts:
+                  ///< TOMCATV combines nothing under max-latency.)
+  kNested,        ///< ablation: the looser literal reading — combine when
+                  ///< one feasible interval nests inside the other, so the
+                  ///< set's minimum window is preserved but an individual
+                  ///< member's window may shrink
+  kHybrid,        ///< extension: combine while the combined message stays
+                  ///< under a machine-derived size cap and the window does
+                  ///< not collapse below a fraction of the largest member's
+};
+
+struct OptOptions {
+  bool remove_redundant = false;
+  bool combine = false;
+  bool pipeline = false;
+  CombineHeuristic heuristic = CombineHeuristic::kMaxCombining;
+
+  /// Extension (paper future work §4): redundant-communication removal
+  /// across basic-block boundaries via a forward dataflow analysis.
+  /// Requires remove_redundant.
+  bool inter_block = false;
+
+  // Hybrid-heuristic knobs (ignored by the other heuristics):
+  /// Per-processor element cap for a combined message (512 doubles = the
+  /// 4 KB knee measured in §3.2).
+  long long hybrid_max_elems = 512;
+  /// Refuse a merge that would shrink the group's latency-hiding window
+  /// below this fraction of the largest member window.
+  double hybrid_min_window_fraction = 0.5;
+  /// Nominal processor-grid edge used for static size estimates.
+  int est_mesh_rows = 8;
+  int est_mesh_cols = 8;
+
+  [[nodiscard]] static OptOptions for_level(OptLevel level) {
+    OptOptions o;
+    o.remove_redundant = level >= OptLevel::kRR;
+    o.combine = level >= OptLevel::kCC;
+    o.pipeline = level >= OptLevel::kPL;
+    return o;
+  }
+};
+
+[[nodiscard]] std::string to_string(OptLevel level);
+[[nodiscard]] std::string to_string(CombineHeuristic heuristic);
+
+}  // namespace zc::comm

@@ -1,0 +1,96 @@
+// The communication plan: the optimizer's output, consumed by the SPMD
+// lowering in src/runtime and by the static-count reporting.
+//
+// Terminology follows the paper: a *transfer* is the need for one array's
+// non-local slice at one use site; a *communication* (CommGroup here) is the
+// set of IRONMAN calls performing one data transfer, possibly carrying
+// several combined transfers.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/zir/program.h"
+
+namespace zc::comm {
+
+/// One (array, direction) requirement at a use statement, with the feasible
+/// send interval derived from def/use analysis within the basic block.
+struct Transfer {
+  zir::ArrayId array;
+  zir::DirectionId direction;
+  int use_stmt = 0;       ///< block-relative index of the first use
+  int earliest_send = 0;  ///< block-relative insertion point (0 = block top)
+  bool redundant = false; ///< removed by redundant-communication removal
+
+  /// The latest legal receive point (an insertion point, = use_stmt).
+  [[nodiscard]] int latest_recv() const { return use_stmt; }
+};
+
+/// One member of a communication: which array slice it carries and the
+/// statement whose region defines that slice.
+struct Member {
+  zir::ArrayId array;
+  int use_stmt = 0;  ///< block-relative index of the defining use
+};
+
+/// One actual communication: DR/SR/DN/SV call positions plus the member
+/// arrays it carries. Positions are block-relative insertion points: value
+/// `p` means "immediately before the block's p-th statement" (p == size
+/// means end of block).
+struct CommGroup {
+  int id = 0;  ///< program-unique, for tracing and tests
+  zir::DirectionId direction;
+  std::vector<Member> members;
+  int dr_pos = 0;
+  int sr_pos = 0;
+  int dn_pos = 0;
+  int sv_pos = 0;
+  int first_use = 0;      ///< min over members of use_stmt
+  int earliest_send = 0;  ///< max over members of Transfer::earliest_send
+
+  /// Latency-hiding window in statements (0 when not pipelined).
+  [[nodiscard]] int window() const { return dn_pos - sr_pos; }
+
+  [[nodiscard]] bool has_member(zir::ArrayId array) const;
+};
+
+/// The plan for one source-level basic block: a run of array/scalar
+/// assignment statements uninterrupted by control flow (paper §3.1).
+struct BlockPlan {
+  zir::ProcId proc;                 ///< procedure containing the block
+  std::vector<zir::StmtId> stmts;   ///< the block's statements, in order
+  std::vector<Transfer> transfers;  ///< after generation (+ rr marking)
+  std::vector<CommGroup> groups;    ///< final communications
+
+  [[nodiscard]] int live_transfer_count() const;
+};
+
+/// The whole-program plan.
+struct CommPlan {
+  std::vector<BlockPlan> blocks;
+
+  /// The paper's "static count": communications in the program text.
+  [[nodiscard]] int static_count() const;
+
+  /// Transfers before any removal (the baseline static count equals this
+  /// when no optimization is enabled).
+  [[nodiscard]] int total_transfer_count() const;
+
+  /// Looks up the plan for the block starting at `first_stmt`; nullptr if
+  /// that statement does not start a planned block.
+  [[nodiscard]] const BlockPlan* find_block(zir::StmtId first_stmt) const;
+
+  /// Index from first-statement id, built once after planning.
+  void rebuild_index();
+
+ private:
+  std::map<zir::StmtId, std::size_t> index_;
+};
+
+/// Renders the plan as annotated pseudo-SPMD source, in the style of the
+/// paper's Figure 1 (send/receive lines interleaved with statements).
+std::string to_string(const CommPlan& plan, const zir::Program& program);
+
+}  // namespace zc::comm

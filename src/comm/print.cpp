@@ -1,0 +1,69 @@
+#include <sstream>
+
+#include "src/comm/plan.h"
+#include "src/support/str.h"
+#include "src/zir/printer.h"
+
+namespace zc::comm {
+
+namespace {
+
+/// Comma-separated member list, e.g. "B, E".
+std::string member_list(const zir::Program& p, const CommGroup& g) {
+  std::vector<std::string> names;
+  names.reserve(g.members.size());
+  for (const Member& m : g.members) names.push_back(p.array(m.array).name);
+  return str::join(names, ", ");
+}
+
+}  // namespace
+
+std::string to_string(const CommPlan& plan, const zir::Program& program) {
+  std::ostringstream os;
+  for (std::size_t bi = 0; bi < plan.blocks.size(); ++bi) {
+    const BlockPlan& b = plan.blocks[bi];
+    os << "-- block " << bi << " in " << program.proc(b.proc).name << " ("
+       << b.transfers.size() << " transfers, " << b.groups.size() << " communications)\n";
+
+    const int n = static_cast<int>(b.stmts.size());
+    for (int pos = 0; pos <= n; ++pos) {
+      // IRONMAN calls at this insertion point: receives-side setup and sends
+      // first, then completions, deterministically by group id.
+      for (const CommGroup& g : b.groups) {
+        if (g.dr_pos == pos) {
+          os << "  DR(" << member_list(program, g) << ", "
+             << program.direction(g.direction).name << ")   -- comm " << g.id << "\n";
+        }
+        if (g.sr_pos == pos) {
+          os << "  SR(" << member_list(program, g) << ", "
+             << program.direction(g.direction).name << ")   -- comm " << g.id << "\n";
+        }
+      }
+      for (const CommGroup& g : b.groups) {
+        if (g.dn_pos == pos) {
+          os << "  DN(" << member_list(program, g) << ", "
+             << program.direction(g.direction).name << ")   -- comm " << g.id << "\n";
+        }
+        if (g.sv_pos == pos) {
+          os << "  SV(" << member_list(program, g) << ", "
+             << program.direction(g.direction).name << ")   -- comm " << g.id << "\n";
+        }
+      }
+      if (pos < n) {
+        std::string text = zir::stmt_to_string(program, b.stmts[pos], 1);
+        // Annotate removed-redundant uses on the statement line.
+        for (const Transfer& t : b.transfers) {
+          if (t.redundant && t.use_stmt == pos) {
+            text.insert(text.size() - 1, "  -- redundant: " + program.array(t.array).name + "@" +
+                                             program.direction(t.direction).name);
+            break;
+          }
+        }
+        os << text;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace zc::comm

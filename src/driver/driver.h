@@ -1,0 +1,71 @@
+// One-call façade tying the pipeline together: parse mini-ZPL, plan
+// communication at an optimization level, run on a simulated machine, and
+// report the paper's metrics (static count, dynamic count, execution time).
+//
+// The Experiment type reproduces the paper's Figure 9 key:
+//   baseline             message vectorization
+//   rr                   + redundant communication removal
+//   cc                   + communication combination
+//   pl                   + communication pipelining
+//   pl with shmem        pl using shmem_put
+//   pl with max latency  pl with shmem, combining for maximum latency hiding
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/comm/optimizer.h"
+#include "src/sim/engine.h"
+#include "src/zir/program.h"
+
+namespace zc::driver {
+
+struct Experiment {
+  std::string name;
+  comm::OptOptions opts;
+  ironman::CommLibrary library = ironman::CommLibrary::kPVM;
+};
+
+/// The six experiments of the paper's Figure 9 / appendix tables, on the T3D.
+std::vector<Experiment> paper_experiments();
+
+/// Looks up a paper experiment by name ("baseline", "rr", "cc", "pl",
+/// "pl with shmem", "pl with max latency").
+std::optional<Experiment> find_experiment(std::string_view name);
+
+/// A compiled program: the IR plus its communication plan.
+struct Compiled {
+  zir::Program program;
+  comm::CommPlan plan;
+
+  [[nodiscard]] int static_count() const { return plan.static_count(); }
+};
+
+/// Parses (throwing on errors), plans communication. `source` is mini-ZPL.
+Compiled compile(std::string_view source, const comm::OptOptions& opts);
+
+/// Plans communication for an already-built program.
+Compiled compile(zir::Program program, const comm::OptOptions& opts);
+
+/// The paper's three reported metrics for one run.
+struct Metrics {
+  int static_count = 0;
+  long long dynamic_count = 0;
+  double execution_time = 0.0;  ///< simulated seconds
+  sim::RunResult run;           ///< full detail
+};
+
+/// Compiles `program` under `experiment` and runs it on the T3D (or the
+/// machine in `config`, which must carry a library consistent with it —
+/// the experiment's library overrides config.library).
+Metrics run_experiment(const zir::Program& program, const Experiment& experiment,
+                       sim::RunConfig config);
+
+/// Convenience used by golden tests: run `source` at an optimization level
+/// on `procs` processors and return metrics.
+Metrics run_source(std::string_view source, const Experiment& experiment, int procs,
+                   const std::map<std::string, long long>& config_overrides = {});
+
+}  // namespace zc::driver

@@ -1,0 +1,121 @@
+#include "src/ironman/ironman.h"
+
+#include "src/support/check.h"
+
+namespace zc::ironman {
+
+Primitive binding(CommLibrary library, IronmanCall call) {
+  // Paper Figure 5: IRONMAN bindings on the Paragon and T3D.
+  switch (library) {
+    case CommLibrary::kNXSync:
+      switch (call) {
+        case IronmanCall::kDR: return Primitive::kNoOp;
+        case IronmanCall::kSR: return Primitive::kCsend;
+        case IronmanCall::kDN: return Primitive::kCrecv;
+        case IronmanCall::kSV: return Primitive::kNoOp;
+      }
+      break;
+    case CommLibrary::kNXAsync:
+      switch (call) {
+        case IronmanCall::kDR: return Primitive::kIrecv;
+        case IronmanCall::kSR: return Primitive::kIsend;
+        case IronmanCall::kDN: return Primitive::kMsgwaitRecv;
+        case IronmanCall::kSV: return Primitive::kMsgwaitSend;
+      }
+      break;
+    case CommLibrary::kNXCallback:
+      switch (call) {
+        case IronmanCall::kDR: return Primitive::kHprobe;
+        case IronmanCall::kSR: return Primitive::kHsend;
+        case IronmanCall::kDN: return Primitive::kHrecv;
+        case IronmanCall::kSV: return Primitive::kMsgwaitSend;
+      }
+      break;
+    case CommLibrary::kPVM:
+      switch (call) {
+        case IronmanCall::kDR: return Primitive::kNoOp;
+        case IronmanCall::kSR: return Primitive::kPvmSend;
+        case IronmanCall::kDN: return Primitive::kPvmRecv;
+        case IronmanCall::kSV: return Primitive::kNoOp;
+      }
+      break;
+    case CommLibrary::kSHMEM:
+      switch (call) {
+        case IronmanCall::kDR: return Primitive::kSynchPost;
+        case IronmanCall::kSR: return Primitive::kShmemPut;
+        case IronmanCall::kDN: return Primitive::kSynchWait;
+        case IronmanCall::kSV: return Primitive::kNoOp;
+      }
+      break;
+  }
+  ZC_ASSERT(false);
+  return Primitive::kNoOp;
+}
+
+Endpoint endpoint_of(Primitive primitive) {
+  switch (primitive) {
+    case Primitive::kNoOp:
+      return Endpoint::kNone;
+    case Primitive::kCsend:
+    case Primitive::kIsend:
+    case Primitive::kMsgwaitSend:
+    case Primitive::kHsend:
+    case Primitive::kPvmSend:
+    case Primitive::kShmemPut:
+      return Endpoint::kSource;
+    case Primitive::kCrecv:
+    case Primitive::kIrecv:
+    case Primitive::kMsgwaitRecv:
+    case Primitive::kHrecv:
+    case Primitive::kHprobe:
+    case Primitive::kPvmRecv:
+    case Primitive::kSynchPost:
+    case Primitive::kSynchWait:
+      return Endpoint::kDestination;
+  }
+  return Endpoint::kNone;
+}
+
+std::string to_string(CommLibrary library) {
+  switch (library) {
+    case CommLibrary::kNXSync: return "nx-csend/crecv";
+    case CommLibrary::kNXAsync: return "nx-isend/irecv";
+    case CommLibrary::kNXCallback: return "nx-hsend/hrecv";
+    case CommLibrary::kPVM: return "pvm";
+    case CommLibrary::kSHMEM: return "shmem";
+  }
+  return "?";
+}
+
+std::string to_string(IronmanCall call) {
+  switch (call) {
+    case IronmanCall::kDR: return "DR";
+    case IronmanCall::kSR: return "SR";
+    case IronmanCall::kDN: return "DN";
+    case IronmanCall::kSV: return "SV";
+  }
+  return "?";
+}
+
+std::string to_string(Primitive primitive) {
+  switch (primitive) {
+    case Primitive::kNoOp: return "no-op";
+    case Primitive::kCsend: return "csend";
+    case Primitive::kCrecv: return "crecv";
+    case Primitive::kIsend: return "isend";
+    case Primitive::kIrecv: return "irecv";
+    case Primitive::kMsgwaitSend: return "msgwait";
+    case Primitive::kMsgwaitRecv: return "msgwait";
+    case Primitive::kHsend: return "hsend";
+    case Primitive::kHrecv: return "hrecv";
+    case Primitive::kHprobe: return "hprobe";
+    case Primitive::kPvmSend: return "pvm_send";
+    case Primitive::kPvmRecv: return "pvm_recv";
+    case Primitive::kShmemPut: return "shmem_put";
+    case Primitive::kSynchPost: return "synch";
+    case Primitive::kSynchWait: return "synch";
+  }
+  return "?";
+}
+
+}  // namespace zc::ironman

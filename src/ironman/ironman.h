@@ -1,0 +1,55 @@
+// The IRONMAN architecture-independent communication interface
+// (Chamberlain, Choi & Snyder 1996), as used by the paper.
+//
+// A single data transfer is four calls demarcating regions where the
+// transfer may occur, named for the program state at each endpoint:
+//   DR — destination ready to receive the transmission
+//   SR — source ready for transmission
+//   DN — transmitted data needed at the destination
+//   SV — transmission must be completed at the source (data may become
+//        volatile)
+// At link time each call maps to a communication primitive or a no-op,
+// per library (paper Figure 5). The simulator implements the primitives'
+// timing and data-movement semantics in src/sim.
+#pragma once
+
+#include <string>
+
+namespace zc::ironman {
+
+enum class IronmanCall { kDR, kSR, kDN, kSV };
+
+/// The communication libraries evaluated by the paper.
+enum class CommLibrary {
+  kNXSync,      ///< Paragon NX csend/crecv (basic message passing)
+  kNXAsync,     ///< Paragon NX isend/irecv + msgwait (co-processor)
+  kNXCallback,  ///< Paragon NX hsend/hrecv (callbacks)
+  kPVM,         ///< T3D vendor-optimized PVM (message passing)
+  kSHMEM,       ///< T3D SHMEM one-way communication (shmem_put)
+};
+
+/// The primitives the bindings map to. kSynchPost / kSynchWait are the two
+/// halves of the prototype SHMEM synchronization the paper calls
+/// "unnecessarily heavy-weight".
+enum class Primitive {
+  kNoOp,
+  kCsend, kCrecv,
+  kIsend, kIrecv, kMsgwaitSend, kMsgwaitRecv,
+  kHsend, kHrecv, kHprobe,
+  kPvmSend, kPvmRecv,
+  kShmemPut, kSynchPost, kSynchWait,
+};
+
+/// The binding table of the paper's Figure 5.
+Primitive binding(CommLibrary library, IronmanCall call);
+
+/// Whether the primitive acts on the inbound channel (this processor as
+/// destination) or the outbound channel (this processor as source).
+enum class Endpoint { kNone, kSource, kDestination };
+Endpoint endpoint_of(Primitive primitive);
+
+std::string to_string(CommLibrary library);
+std::string to_string(IronmanCall call);
+std::string to_string(Primitive primitive);
+
+}  // namespace zc::ironman

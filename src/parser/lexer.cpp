@@ -1,0 +1,278 @@
+#include "src/parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace zc::parser {
+
+std::string token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kFloatLit: return "floating-point literal";
+    case TokenKind::kProgram: return "'program'";
+    case TokenKind::kConfig: return "'config'";
+    case TokenKind::kRegion: return "'region'";
+    case TokenKind::kDirection: return "'direction'";
+    case TokenKind::kVar: return "'var'";
+    case TokenKind::kInteger: return "'integer'";
+    case TokenKind::kDouble: return "'double'";
+    case TokenKind::kProcedure: return "'procedure'";
+    case TokenKind::kFor: return "'for'";
+    case TokenKind::kIn: return "'in'";
+    case TokenKind::kBy: return "'by'";
+    case TokenKind::kRepeat: return "'repeat'";
+    case TokenKind::kIf: return "'if'";
+    case TokenKind::kElse: return "'else'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kAssign: return "':='";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kShiftL: return "'<<'";
+    case TokenKind::kEq: return "'='";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokenKind> kw = {
+      {"program", TokenKind::kProgram},   {"config", TokenKind::kConfig},
+      {"region", TokenKind::kRegion},     {"direction", TokenKind::kDirection},
+      {"var", TokenKind::kVar},           {"integer", TokenKind::kInteger},
+      {"double", TokenKind::kDouble},     {"procedure", TokenKind::kProcedure},
+      {"for", TokenKind::kFor},           {"in", TokenKind::kIn},
+      {"by", TokenKind::kBy},             {"repeat", TokenKind::kRepeat},
+      {"if", TokenKind::kIf},             {"else", TokenKind::kElse},
+  };
+  return kw;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags) : src_(source), diags_(diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      skip_space_and_comments();
+      Token t = next();
+      tokens.push_back(t);
+      if (t.kind == TokenKind::kEof) break;
+    }
+    return tokens;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] SourceLoc here() const { return SourceLoc{line_, column_}; }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (!at_end() && std::isspace(static_cast<unsigned char>(peek()))) advance();
+      const bool dash_comment = peek() == '-' && peek(1) == '-';
+      const bool slash_comment = peek() == '/' && peek(1) == '/';
+      if (!dash_comment && !slash_comment) return;
+      while (!at_end() && peek() != '\n') advance();
+    }
+  }
+
+  Token make(TokenKind kind, SourceLoc loc) {
+    Token t;
+    t.kind = kind;
+    t.loc = loc;
+    return t;
+  }
+
+  Token next() {
+    const SourceLoc loc = here();
+    if (at_end()) return make(TokenKind::kEof, loc);
+
+    const char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return lex_ident(loc);
+    if (std::isdigit(static_cast<unsigned char>(c))) return lex_number(loc);
+
+    advance();
+    switch (c) {
+      case ';': return make(TokenKind::kSemi, loc);
+      case ',': return make(TokenKind::kComma, loc);
+      case '[': return make(TokenKind::kLBracket, loc);
+      case ']': return make(TokenKind::kRBracket, loc);
+      case '(': return make(TokenKind::kLParen, loc);
+      case ')': return make(TokenKind::kRParen, loc);
+      case '{': return make(TokenKind::kLBrace, loc);
+      case '}': return make(TokenKind::kRBrace, loc);
+      case '@': return make(TokenKind::kAt, loc);
+      case '+': return make(TokenKind::kPlus, loc);
+      case '-': return make(TokenKind::kMinus, loc);
+      case '*': return make(TokenKind::kStar, loc);
+      case '/': return make(TokenKind::kSlash, loc);
+      case '=':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kEqEq, loc);
+        }
+        return make(TokenKind::kEq, loc);
+      case ':':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kAssign, loc);
+        }
+        return make(TokenKind::kColon, loc);
+      case '.':
+        if (peek() == '.') {
+          advance();
+          return make(TokenKind::kDotDot, loc);
+        }
+        diags_.error(loc, "unexpected '.'");
+        return next();
+      case '<':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kLe, loc);
+        }
+        if (peek() == '<') {
+          advance();
+          return make(TokenKind::kShiftL, loc);
+        }
+        return make(TokenKind::kLt, loc);
+      case '>':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kGe, loc);
+        }
+        return make(TokenKind::kGt, loc);
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kNe, loc);
+        }
+        return make(TokenKind::kBang, loc);
+      case '&':
+        if (peek() == '&') {
+          advance();
+          return make(TokenKind::kAndAnd, loc);
+        }
+        diags_.error(loc, "unexpected '&' (did you mean '&&'?)");
+        return next();
+      case '|':
+        if (peek() == '|') {
+          advance();
+          return make(TokenKind::kOrOr, loc);
+        }
+        diags_.error(loc, "unexpected '|' (did you mean '||'?)");
+        return next();
+      default:
+        diags_.error(loc, std::string("unexpected character '") + c + "'");
+        return next();
+    }
+  }
+
+  Token lex_ident(SourceLoc loc) {
+    std::string text;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+      text += advance();
+    }
+    Token t;
+    t.loc = loc;
+    const auto it = keywords().find(text);
+    if (it != keywords().end()) {
+      t.kind = it->second;
+    } else {
+      t.kind = TokenKind::kIdent;
+    }
+    t.text = std::move(text);
+    return t;
+  }
+
+  Token lex_number(SourceLoc loc) {
+    std::string text;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+
+    bool is_float = false;
+    // A '.' begins a fraction only if NOT followed by another '.' (so that
+    // "1..n" lexes as 1, '..', n).
+    if (peek() == '.' && peek(1) != '.') {
+      is_float = true;
+      text += advance();
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      const char sign = peek(1);
+      const std::size_t digit_at = (sign == '+' || sign == '-') ? 2 : 1;
+      if (std::isdigit(static_cast<unsigned char>(peek(digit_at)))) {
+        is_float = true;
+        text += advance();  // e
+        if (sign == '+' || sign == '-') text += advance();
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) text += advance();
+      }
+    }
+
+    Token t;
+    t.loc = loc;
+    t.text = text;
+    if (is_float) {
+      t.kind = TokenKind::kFloatLit;
+      t.float_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      t.kind = TokenKind::kIntLit;
+      t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      t.float_value = static_cast<double>(t.int_value);
+    }
+    return t;
+  }
+
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags) {
+  return Lexer(source, diags).run();
+}
+
+}  // namespace zc::parser

@@ -1,0 +1,17 @@
+// Hand-written lexer for mini-ZPL. Comments are `--` or `//` to end of line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/parser/token.h"
+#include "src/support/diag.h"
+
+namespace zc::parser {
+
+/// Tokenizes a whole buffer. Lexical errors are recorded in `diags`
+/// (the offending character is skipped so lexing can continue).
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace zc::parser

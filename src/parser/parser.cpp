@@ -1,0 +1,760 @@
+#include "src/parser/parser.h"
+
+#include <unordered_map>
+
+#include "src/parser/lexer.h"
+#include "src/support/check.h"
+
+namespace zc::parser {
+
+namespace {
+
+using zir::ArrayId;
+using zir::BinOp;
+using zir::DirectionId;
+using zir::ElemType;
+using zir::Expr;
+using zir::ExprId;
+using zir::IntExpr;
+using zir::LoopVarId;
+using zir::ProcId;
+using zir::Program;
+using zir::RangeSpec;
+using zir::RegionId;
+using zir::RegionSpec;
+using zir::ScalarId;
+using zir::Stmt;
+using zir::StmtId;
+using zir::UnOp;
+
+/// Thrown internally to unwind to a recovery point after a parse error has
+/// been recorded; never escapes parse_program.
+struct ParseBailout {};
+
+class Parser {
+ public:
+  Parser(std::string_view source, DiagnosticEngine& diags)
+      : diags_(diags), tokens_(lex(source, diags)) {}
+
+  Program run() {
+    try {
+      parse_program_header();
+      while (!at(TokenKind::kEof)) {
+        try {
+          parse_top_level();
+        } catch (const ParseBailout&) {
+          recover_to_top_level();
+        }
+      }
+    } catch (const ParseBailout&) {
+      // Unrecoverable (e.g. bad header); diagnostics already recorded.
+    }
+    ProcId entry = program_.find_proc("main");
+    if (!entry.valid() && program_.proc_count() > 0) {
+      entry = ProcId(static_cast<int32_t>(program_.proc_count() - 1));
+    }
+    if (!entry.valid()) diags_.error({}, "program has no procedures");
+    program_.set_entry(entry);
+    return std::move(program_);
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------------
+  [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+  [[nodiscard]] const Token& lookahead(std::size_t n = 1) const {
+    const std::size_t i = std::min(pos_ + n, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  [[nodiscard]] bool at(TokenKind kind) const { return cur().kind == kind; }
+
+  Token take() { return tokens_[pos_ == tokens_.size() - 1 ? pos_ : pos_++]; }
+
+  bool accept(TokenKind kind) {
+    if (!at(kind)) return false;
+    take();
+    return true;
+  }
+
+  Token expect(TokenKind kind, const std::string& context) {
+    if (!at(kind)) {
+      diags_.error(cur().loc, "expected " + token_kind_name(kind) + " " + context + ", found " +
+                                  token_kind_name(cur().kind));
+      throw ParseBailout{};
+    }
+    return take();
+  }
+
+  void recover_to_top_level() {
+    // Skip to the next plausible top-level keyword or EOF.
+    while (!at(TokenKind::kEof) && !at(TokenKind::kConfig) && !at(TokenKind::kRegion) &&
+           !at(TokenKind::kDirection) && !at(TokenKind::kVar) && !at(TokenKind::kProcedure)) {
+      take();
+    }
+  }
+
+  // --- name resolution ------------------------------------------------------
+  [[nodiscard]] LoopVarId find_loop_var(std::string_view name) const {
+    for (auto it = loop_scope_.rbegin(); it != loop_scope_.rend(); ++it) {
+      if (it->first == name) return it->second;
+    }
+    return LoopVarId{};
+  }
+
+  void check_fresh_name(const Token& name_tok) {
+    const std::string& n = name_tok.text;
+    if (program_.find_config(n).valid() || program_.find_region(n).valid() ||
+        program_.find_direction(n).valid() || program_.find_array(n).valid() ||
+        program_.find_scalar(n).valid() || program_.find_proc(n).valid()) {
+      diags_.error(name_tok.loc, "redeclaration of '" + n + "'");
+    }
+  }
+
+  // --- header & declarations ------------------------------------------------
+  void parse_program_header() {
+    expect(TokenKind::kProgram, "at start of file");
+    const Token name = expect(TokenKind::kIdent, "after 'program'");
+    program_.set_name(name.text);
+    expect(TokenKind::kSemi, "after program name");
+  }
+
+  void parse_top_level() {
+    if (at(TokenKind::kConfig)) {
+      parse_config();
+    } else if (at(TokenKind::kRegion)) {
+      parse_region();
+    } else if (at(TokenKind::kDirection)) {
+      parse_direction();
+    } else if (at(TokenKind::kVar)) {
+      parse_var();
+    } else if (at(TokenKind::kProcedure)) {
+      parse_procedure();
+    } else {
+      diags_.error(cur().loc,
+                   "expected a declaration or procedure, found " + token_kind_name(cur().kind));
+      throw ParseBailout{};
+    }
+  }
+
+  void parse_config() {
+    expect(TokenKind::kConfig, "");
+    const Token name = expect(TokenKind::kIdent, "after 'config'");
+    check_fresh_name(name);
+    expect(TokenKind::kColon, "after config name");
+    expect(TokenKind::kInteger, "as config type");
+    expect(TokenKind::kEq, "before config value");
+    const IntExpr value = parse_int_expr();
+    expect(TokenKind::kSemi, "after config declaration");
+    if (!value.is_static()) {
+      diags_.error(name.loc, "config value must not use loop variables");
+      return;
+    }
+    const zir::IntEnv env = program_.default_env();
+    program_.add_config({name.text, value.eval(env)});
+  }
+
+  void parse_region() {
+    expect(TokenKind::kRegion, "");
+    const Token name = expect(TokenKind::kIdent, "after 'region'");
+    check_fresh_name(name);
+    expect(TokenKind::kEq, "after region name");
+    const RegionSpec spec = parse_region_literal();
+    expect(TokenKind::kSemi, "after region declaration");
+    if (!spec.is_static()) {
+      diags_.error(name.loc, "named region bounds must not use loop variables");
+      return;
+    }
+    program_.add_region({name.text, spec});
+  }
+
+  RegionSpec parse_region_literal() {
+    expect(TokenKind::kLBracket, "to open region");
+    RegionSpec spec;
+    do {
+      spec.dims.push_back(parse_range());
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kRBracket, "to close region");
+    return spec;
+  }
+
+  RangeSpec parse_range() {
+    IntExpr lo = parse_int_expr();
+    if (accept(TokenKind::kDotDot)) {
+      IntExpr hi = parse_int_expr();
+      return {std::move(lo), std::move(hi)};
+    }
+    return {lo, lo};  // single index i means i..i
+  }
+
+  void parse_direction() {
+    expect(TokenKind::kDirection, "");
+    do {
+      const Token name = expect(TokenKind::kIdent, "after 'direction'");
+      check_fresh_name(name);
+      expect(TokenKind::kEq, "after direction name");
+      expect(TokenKind::kLBracket, "to open direction offsets");
+      std::vector<int> offsets;
+      do {
+        bool negative = accept(TokenKind::kMinus);
+        const Token lit = expect(TokenKind::kIntLit, "as direction offset");
+        offsets.push_back(static_cast<int>(negative ? -lit.int_value : lit.int_value));
+      } while (accept(TokenKind::kComma));
+      expect(TokenKind::kRBracket, "to close direction offsets");
+      program_.add_direction({name.text, std::move(offsets)});
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kSemi, "after direction declaration");
+  }
+
+  void parse_var() {
+    expect(TokenKind::kVar, "");
+    std::vector<Token> names;
+    do {
+      names.push_back(expect(TokenKind::kIdent, "in variable declaration"));
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kColon, "after variable names");
+
+    if (accept(TokenKind::kLBracket)) {
+      // Distributed arrays over a named region.
+      const Token region_name = expect(TokenKind::kIdent, "as array region");
+      expect(TokenKind::kRBracket, "after array region");
+      const TokenKind type_kind = cur().kind;
+      if (!accept(TokenKind::kDouble) && !accept(TokenKind::kInteger)) {
+        diags_.error(cur().loc, "expected array element type 'double' or 'integer'");
+        throw ParseBailout{};
+      }
+      expect(TokenKind::kSemi, "after array declaration");
+      const RegionId region = program_.find_region(region_name.text);
+      if (!region.valid()) {
+        diags_.error(region_name.loc, "unknown region '" + region_name.text + "'");
+        return;
+      }
+      for (const Token& n : names) {
+        check_fresh_name(n);
+        program_.add_array(
+            {n.text, region,
+             type_kind == TokenKind::kDouble ? ElemType::kF64 : ElemType::kI64});
+      }
+    } else {
+      const TokenKind type_kind = cur().kind;
+      if (!accept(TokenKind::kDouble) && !accept(TokenKind::kInteger)) {
+        diags_.error(cur().loc, "expected scalar type 'double' or 'integer'");
+        throw ParseBailout{};
+      }
+      expect(TokenKind::kSemi, "after scalar declaration");
+      for (const Token& n : names) {
+        check_fresh_name(n);
+        program_.add_scalar(
+            {n.text, type_kind == TokenKind::kDouble ? ElemType::kF64 : ElemType::kI64});
+      }
+    }
+  }
+
+  // --- procedures & statements ----------------------------------------------
+  void parse_procedure() {
+    expect(TokenKind::kProcedure, "");
+    const Token name = expect(TokenKind::kIdent, "after 'procedure'");
+    check_fresh_name(name);
+    expect(TokenKind::kLParen, "after procedure name");
+    expect(TokenKind::kRParen, "(procedures take no arguments)");
+    std::vector<StmtId> body = parse_block();
+    program_.add_proc({name.text, std::move(body)});
+  }
+
+  std::vector<StmtId> parse_block() {
+    expect(TokenKind::kLBrace, "to open block");
+    std::vector<StmtId> body;
+    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof)) {
+      try {
+        body.push_back(parse_stmt());
+      } catch (const ParseBailout&) {
+        // Skip to the next ';' or '}' and continue parsing the block.
+        while (!at(TokenKind::kSemi) && !at(TokenKind::kRBrace) && !at(TokenKind::kEof)) take();
+        accept(TokenKind::kSemi);
+      }
+    }
+    expect(TokenKind::kRBrace, "to close block");
+    return body;
+  }
+
+  StmtId parse_stmt() {
+    if (at(TokenKind::kFor)) return parse_for();
+    if (at(TokenKind::kRepeat)) return parse_repeat();
+    if (at(TokenKind::kIf)) return parse_if();
+    if (at(TokenKind::kLBracket)) return parse_region_scoped_assign();
+    // IDENT := expr ;  or  IDENT ( ) ;
+    const Token name = expect(TokenKind::kIdent, "at start of statement");
+    if (at(TokenKind::kLParen)) {
+      take();
+      expect(TokenKind::kRParen, "in call");
+      expect(TokenKind::kSemi, "after call");
+      const ProcId callee = program_.find_proc(name.text);
+      if (!callee.valid()) {
+        diags_.error(name.loc, "call of undeclared procedure '" + name.text + "'");
+        throw ParseBailout{};
+      }
+      Stmt s;
+      s.kind = Stmt::Kind::kCall;
+      s.callee = callee;
+      s.loc = name.loc;
+      return program_.add_stmt(std::move(s));
+    }
+    return finish_assign(name, /*region=*/std::nullopt);
+  }
+
+  StmtId parse_region_scoped_assign() {
+    RegionSpec spec = parse_region_scope();
+    const Token name = expect(TokenKind::kIdent, "after region scope");
+    return finish_assign(name, std::move(spec));
+  }
+
+  /// Parses "[R]" or an inline "[lo..hi, ...]" scope.
+  RegionSpec parse_region_scope() {
+    const Token open = expect(TokenKind::kLBracket, "to open region scope");
+    // A lone identifier that names a region refers to it; otherwise the
+    // content is an inline region literal (which may itself start with an
+    // identifier, e.g. a config or loop variable).
+    if (at(TokenKind::kIdent) && lookahead().kind == TokenKind::kRBracket) {
+      const RegionId named = program_.find_region(cur().text);
+      if (named.valid()) {
+        take();
+        expect(TokenKind::kRBracket, "after region name");
+        return program_.region(named).spec;
+      }
+    }
+    RegionSpec spec;
+    do {
+      spec.dims.push_back(parse_range());
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kRBracket, "to close region scope");
+    (void)open;
+    return spec;
+  }
+
+  StmtId finish_assign(const Token& name, std::optional<RegionSpec> region) {
+    expect(TokenKind::kAssign, "in assignment");
+    const ExprId rhs = parse_expr();
+    expect(TokenKind::kSemi, "after assignment");
+
+    const ArrayId arr = program_.find_array(name.text);
+    if (arr.valid()) {
+      if (!region.has_value()) {
+        diags_.error(name.loc, "assignment to array '" + name.text + "' requires a region scope");
+        throw ParseBailout{};
+      }
+      Stmt s;
+      s.kind = Stmt::Kind::kArrayAssign;
+      s.region = std::move(region);
+      s.lhs_array = arr;
+      s.rhs = rhs;
+      s.loc = name.loc;
+      return program_.add_stmt(std::move(s));
+    }
+    const ScalarId sc = program_.find_scalar(name.text);
+    if (sc.valid()) {
+      Stmt s;
+      s.kind = Stmt::Kind::kScalarAssign;
+      s.region = std::move(region);
+      s.lhs_scalar = sc;
+      s.rhs = rhs;
+      s.loc = name.loc;
+      return program_.add_stmt(std::move(s));
+    }
+    diags_.error(name.loc, "assignment to undeclared variable '" + name.text + "'");
+    throw ParseBailout{};
+  }
+
+  StmtId parse_for() {
+    const Token kw = expect(TokenKind::kFor, "");
+    const Token var = expect(TokenKind::kIdent, "as loop variable");
+    expect(TokenKind::kIn, "after loop variable");
+    IntExpr lo = parse_int_expr();
+    expect(TokenKind::kDotDot, "in loop range");
+    IntExpr hi = parse_int_expr();
+    long long step = 1;
+    if (accept(TokenKind::kBy)) {
+      const bool negative = accept(TokenKind::kMinus);
+      const Token lit = expect(TokenKind::kIntLit, "as loop step");
+      step = negative ? -lit.int_value : lit.int_value;
+      if (step == 0) diags_.error(lit.loc, "loop step must be nonzero");
+    }
+    const LoopVarId v = program_.add_loop_var({var.text});
+    loop_scope_.emplace_back(var.text, v);
+    std::vector<StmtId> body = parse_block();
+    loop_scope_.pop_back();
+
+    Stmt s;
+    s.kind = Stmt::Kind::kFor;
+    s.loop_var = v;
+    s.lo = std::move(lo);
+    s.hi = std::move(hi);
+    s.step = step == 0 ? 1 : step;
+    s.body = std::move(body);
+    s.loc = kw.loc;
+    return program_.add_stmt(std::move(s));
+  }
+
+  StmtId parse_repeat() {
+    const Token kw = expect(TokenKind::kRepeat, "");
+    IntExpr count = parse_int_expr();
+    const LoopVarId v = program_.add_loop_var({"_rep"});
+    std::vector<StmtId> body = parse_block();
+
+    Stmt s;
+    s.kind = Stmt::Kind::kFor;
+    s.loop_var = v;
+    s.lo = IntExpr::constant(1);
+    s.hi = std::move(count);
+    s.step = 1;
+    s.body = std::move(body);
+    s.loc = kw.loc;
+    return program_.add_stmt(std::move(s));
+  }
+
+  StmtId parse_if() {
+    const Token kw = expect(TokenKind::kIf, "");
+    const ExprId cond = parse_expr();
+    std::vector<StmtId> then_body = parse_block();
+    std::vector<StmtId> else_body;
+    if (accept(TokenKind::kElse)) {
+      if (at(TokenKind::kIf)) {
+        else_body.push_back(parse_if());
+      } else {
+        else_body = parse_block();
+      }
+    }
+    Stmt s;
+    s.kind = Stmt::Kind::kIf;
+    s.cond = cond;
+    s.body = std::move(then_body);
+    s.else_body = std::move(else_body);
+    s.loc = kw.loc;
+    return program_.add_stmt(std::move(s));
+  }
+
+  // --- integer expressions ---------------------------------------------------
+  IntExpr parse_int_expr() { return parse_int_add(); }
+
+  IntExpr parse_int_add() {
+    IntExpr lhs = parse_int_mul();
+    for (;;) {
+      if (accept(TokenKind::kPlus)) {
+        lhs = IntExpr::add(std::move(lhs), parse_int_mul());
+      } else if (accept(TokenKind::kMinus)) {
+        lhs = IntExpr::sub(std::move(lhs), parse_int_mul());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  IntExpr parse_int_mul() {
+    IntExpr lhs = parse_int_unary();
+    for (;;) {
+      if (accept(TokenKind::kStar)) {
+        lhs = IntExpr::mul(std::move(lhs), parse_int_unary());
+      } else if (accept(TokenKind::kSlash)) {
+        lhs = IntExpr::div(std::move(lhs), parse_int_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  IntExpr parse_int_unary() {
+    if (accept(TokenKind::kMinus)) return IntExpr::neg(parse_int_unary());
+    return parse_int_primary();
+  }
+
+  IntExpr parse_int_primary() {
+    if (at(TokenKind::kIntLit)) return IntExpr::constant(take().int_value);
+    if (accept(TokenKind::kLParen)) {
+      IntExpr e = parse_int_expr();
+      expect(TokenKind::kRParen, "in integer expression");
+      return e;
+    }
+    if (at(TokenKind::kIdent)) {
+      const Token name = take();
+      const LoopVarId lv = find_loop_var(name.text);
+      if (lv.valid()) return IntExpr::loop_var(lv);
+      const zir::ConfigId cfg = program_.find_config(name.text);
+      if (cfg.valid()) return IntExpr::config(cfg);
+      diags_.error(name.loc, "'" + name.text + "' is not an integer constant or loop variable");
+      throw ParseBailout{};
+    }
+    diags_.error(cur().loc,
+                 "expected an integer expression, found " + token_kind_name(cur().kind));
+    throw ParseBailout{};
+  }
+
+  // --- value expressions ------------------------------------------------------
+  ExprId add_expr(Expr e) { return program_.add_expr(std::move(e)); }
+
+  ExprId make_binary(BinOp op, ExprId a, ExprId b, SourceLoc loc) {
+    Expr e;
+    e.kind = Expr::Kind::kBinary;
+    e.bin_op = op;
+    e.lhs = a;
+    e.rhs = b;
+    e.loc = loc;
+    return add_expr(std::move(e));
+  }
+
+  ExprId parse_expr() { return parse_or(); }
+
+  ExprId parse_or() {
+    ExprId lhs = parse_and();
+    while (at(TokenKind::kOrOr)) {
+      const SourceLoc loc = take().loc;
+      lhs = make_binary(BinOp::kOr, lhs, parse_and(), loc);
+    }
+    return lhs;
+  }
+
+  ExprId parse_and() {
+    ExprId lhs = parse_cmp();
+    while (at(TokenKind::kAndAnd)) {
+      const SourceLoc loc = take().loc;
+      lhs = make_binary(BinOp::kAnd, lhs, parse_cmp(), loc);
+    }
+    return lhs;
+  }
+
+  ExprId parse_cmp() {
+    ExprId lhs = parse_add();
+    for (;;) {
+      BinOp op;
+      if (at(TokenKind::kLt)) op = BinOp::kLt;
+      else if (at(TokenKind::kLe)) op = BinOp::kLe;
+      else if (at(TokenKind::kGt)) op = BinOp::kGt;
+      else if (at(TokenKind::kGe)) op = BinOp::kGe;
+      else if (at(TokenKind::kEqEq)) op = BinOp::kEq;
+      else if (at(TokenKind::kNe)) op = BinOp::kNe;
+      else return lhs;
+      const SourceLoc loc = take().loc;
+      lhs = make_binary(op, lhs, parse_add(), loc);
+    }
+  }
+
+  ExprId parse_add() {
+    ExprId lhs = parse_mul();
+    for (;;) {
+      if (at(TokenKind::kPlus) && lookahead().kind != TokenKind::kShiftL) {
+        const SourceLoc loc = take().loc;
+        lhs = make_binary(BinOp::kAdd, lhs, parse_mul(), loc);
+      } else if (at(TokenKind::kMinus)) {
+        const SourceLoc loc = take().loc;
+        lhs = make_binary(BinOp::kSub, lhs, parse_mul(), loc);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprId parse_mul() {
+    ExprId lhs = parse_unary();
+    for (;;) {
+      if (at(TokenKind::kStar)) {
+        const SourceLoc loc = take().loc;
+        lhs = make_binary(BinOp::kMul, lhs, parse_unary(), loc);
+      } else if (at(TokenKind::kSlash)) {
+        const SourceLoc loc = take().loc;
+        lhs = make_binary(BinOp::kDiv, lhs, parse_unary(), loc);
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprId parse_unary() {
+    if (at(TokenKind::kMinus)) {
+      const SourceLoc loc = take().loc;
+      Expr e;
+      e.kind = Expr::Kind::kUnary;
+      e.un_op = UnOp::kNeg;
+      e.lhs = parse_unary();
+      e.loc = loc;
+      return add_expr(std::move(e));
+    }
+    if (at(TokenKind::kBang)) {
+      const SourceLoc loc = take().loc;
+      Expr e;
+      e.kind = Expr::Kind::kUnary;
+      e.un_op = UnOp::kNot;
+      e.lhs = parse_unary();
+      e.loc = loc;
+      return add_expr(std::move(e));
+    }
+    // Reductions: "+<< expr", "max<< expr", "min<< expr".
+    if (at(TokenKind::kPlus) && lookahead().kind == TokenKind::kShiftL) {
+      return parse_reduce(zir::ReduceOp::kSum);
+    }
+    if (at(TokenKind::kIdent) && (cur().text == "max" || cur().text == "min") &&
+        lookahead().kind == TokenKind::kShiftL) {
+      return parse_reduce(cur().text == "max" ? zir::ReduceOp::kMax : zir::ReduceOp::kMin);
+    }
+    return parse_primary();
+  }
+
+  ExprId parse_reduce(zir::ReduceOp op) {
+    const SourceLoc loc = take().loc;  // '+' or 'max'/'min'
+    expect(TokenKind::kShiftL, "in reduction operator");
+    Expr e;
+    e.kind = Expr::Kind::kReduce;
+    e.reduce_op = op;
+    e.lhs = parse_unary();
+    e.loc = loc;
+    return add_expr(std::move(e));
+  }
+
+  ExprId parse_primary() {
+    if (at(TokenKind::kFloatLit) || at(TokenKind::kIntLit)) {
+      const Token lit = take();
+      Expr e;
+      e.kind = Expr::Kind::kConst;
+      e.const_value = lit.float_value;
+      e.loc = lit.loc;
+      return add_expr(std::move(e));
+    }
+    if (accept(TokenKind::kLParen)) {
+      const ExprId inner = parse_expr();
+      expect(TokenKind::kRParen, "in expression");
+      return inner;
+    }
+    if (at(TokenKind::kIdent)) return parse_ident_expr();
+    diags_.error(cur().loc, "expected an expression, found " + token_kind_name(cur().kind));
+    throw ParseBailout{};
+  }
+
+  ExprId parse_ident_expr() {
+    const Token name = take();
+
+    // Builtin function calls.
+    if (at(TokenKind::kLParen)) return parse_builtin_call(name);
+
+    // Indexk pseudo-arrays.
+    if (name.text == "Index1" || name.text == "Index2" || name.text == "Index3") {
+      Expr e;
+      e.kind = Expr::Kind::kIndex;
+      e.index_dim = name.text[5] - '0';
+      e.loc = name.loc;
+      return add_expr(std::move(e));
+    }
+
+    const ArrayId arr = program_.find_array(name.text);
+    if (arr.valid()) {
+      if (accept(TokenKind::kAt)) {
+        const Token dir = expect(TokenKind::kIdent, "after '@'");
+        const DirectionId d = program_.find_direction(dir.text);
+        if (!d.valid()) {
+          diags_.error(dir.loc, "unknown direction '" + dir.text + "'");
+          throw ParseBailout{};
+        }
+        Expr e;
+        e.kind = Expr::Kind::kShift;
+        e.array = arr;
+        e.direction = d;
+        e.loc = name.loc;
+        return add_expr(std::move(e));
+      }
+      Expr e;
+      e.kind = Expr::Kind::kArrayRef;
+      e.array = arr;
+      e.loc = name.loc;
+      return add_expr(std::move(e));
+    }
+
+    const ScalarId sc = program_.find_scalar(name.text);
+    if (sc.valid()) {
+      Expr e;
+      e.kind = Expr::Kind::kScalarRef;
+      e.scalar = sc;
+      e.loc = name.loc;
+      return add_expr(std::move(e));
+    }
+
+    const LoopVarId lv = find_loop_var(name.text);
+    if (lv.valid()) {
+      Expr e;
+      e.kind = Expr::Kind::kLoopVarRef;
+      e.loop_var = lv;
+      e.loc = name.loc;
+      return add_expr(std::move(e));
+    }
+
+    const zir::ConfigId cfg = program_.find_config(name.text);
+    if (cfg.valid()) {
+      Expr e;
+      e.kind = Expr::Kind::kConfigRef;
+      e.config = cfg;
+      e.loc = name.loc;
+      return add_expr(std::move(e));
+    }
+
+    diags_.error(name.loc, "unknown name '" + name.text + "'");
+    throw ParseBailout{};
+  }
+
+  ExprId parse_builtin_call(const Token& name) {
+    expect(TokenKind::kLParen, "in call");
+    std::vector<ExprId> args;
+    if (!at(TokenKind::kRParen)) {
+      do {
+        args.push_back(parse_expr());
+      } while (accept(TokenKind::kComma));
+    }
+    expect(TokenKind::kRParen, "in call");
+
+    auto binary_builtin = [&](BinOp op) {
+      if (args.size() != 2) {
+        diags_.error(name.loc, "'" + name.text + "' takes exactly 2 arguments");
+        throw ParseBailout{};
+      }
+      return make_binary(op, args[0], args[1], name.loc);
+    };
+    auto unary_builtin = [&](UnOp op) {
+      if (args.size() != 1) {
+        diags_.error(name.loc, "'" + name.text + "' takes exactly 1 argument");
+        throw ParseBailout{};
+      }
+      Expr e;
+      e.kind = Expr::Kind::kUnary;
+      e.un_op = op;
+      e.lhs = args[0];
+      e.loc = name.loc;
+      return add_expr(std::move(e));
+    };
+
+    if (name.text == "min") return binary_builtin(BinOp::kMin);
+    if (name.text == "max") return binary_builtin(BinOp::kMax);
+    if (name.text == "pow") return binary_builtin(BinOp::kPow);
+    if (name.text == "abs") return unary_builtin(UnOp::kAbs);
+    if (name.text == "sqrt") return unary_builtin(UnOp::kSqrt);
+    if (name.text == "exp") return unary_builtin(UnOp::kExp);
+    if (name.text == "log") return unary_builtin(UnOp::kLog);
+    if (name.text == "sin") return unary_builtin(UnOp::kSin);
+    if (name.text == "cos") return unary_builtin(UnOp::kCos);
+    diags_.error(name.loc, "unknown function '" + name.text + "'");
+    throw ParseBailout{};
+  }
+
+  DiagnosticEngine& diags_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Program program_;
+  std::vector<std::pair<std::string, LoopVarId>> loop_scope_;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view source, DiagnosticEngine& diags) {
+  return Parser(source, diags).run();
+}
+
+Program parse_program(std::string_view source) {
+  DiagnosticEngine diags;
+  Program p = parse_program(source, diags);
+  diags.throw_if_errors("mini-ZPL parse failed");
+  p.validate();
+  return p;
+}
+
+}  // namespace zc::parser

@@ -1,0 +1,43 @@
+// Recursive-descent parser for mini-ZPL: builds a validated zir::Program.
+//
+// Grammar sketch (see tests/parser_test.cpp for worked examples):
+//
+//   program    := "program" IDENT ";" decl* proc+
+//   decl       := "config" IDENT ":" "integer" "=" iexpr ";"
+//              | "region" IDENT "=" regionlit ";"
+//              | "direction" dirdef ("," dirdef)* ";"
+//              | "var" IDENT ("," IDENT)* ":" "[" IDENT "]" "double" ";"
+//              | "var" IDENT ("," IDENT)* ":" ("double" | "integer") ";"
+//   dirdef     := IDENT "=" "[" int ("," int)* "]"
+//   regionlit  := "[" range ("," range)* "]"
+//   range      := iexpr [".." iexpr]        -- single index i means i..i
+//   proc       := "procedure" IDENT "(" ")" block
+//   block      := "{" stmt* "}"
+//   stmt       := "[" regionref "]" IDENT ":=" expr ";"
+//              | IDENT ":=" expr ";"
+//              | "for" IDENT "in" iexpr ".." iexpr ["by" ["-"] int] block
+//              | "repeat" iexpr block
+//              | "if" expr block ["else" block]
+//              | IDENT "(" ")" ";"
+//   regionref  := IDENT | range ("," range)*
+//   expr       := full arithmetic / comparison / logical expression with
+//                 A@dir shifts, Index1..Index3, builtins (min max pow abs
+//                 sqrt exp log sin cos), and reductions (+<<, max<<, min<<)
+//   iexpr      := integer arithmetic over literals, configs, loop variables
+#pragma once
+
+#include <string_view>
+
+#include "src/support/diag.h"
+#include "src/zir/program.h"
+
+namespace zc::parser {
+
+/// Parses and validates; throws zc::Error with all diagnostics on failure.
+zir::Program parse_program(std::string_view source);
+
+/// As above but records problems in `diags` and returns a possibly-partial
+/// program (without validating) — used by tests that assert on diagnostics.
+zir::Program parse_program(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace zc::parser

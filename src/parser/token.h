@@ -1,0 +1,42 @@
+// Token definitions for the mini-ZPL lexer.
+#pragma once
+
+#include <string>
+
+#include "src/support/diag.h"
+
+namespace zc::parser {
+
+enum class TokenKind {
+  kEof,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+
+  // keywords
+  kProgram, kConfig, kRegion, kDirection, kVar, kInteger, kDouble,
+  kProcedure, kFor, kIn, kBy, kRepeat, kIf, kElse,
+
+  // punctuation / operators
+  kSemi, kColon, kComma, kDotDot, kAssign,  // ; : , .. :=
+  kLBracket, kRBracket, kLParen, kRParen, kLBrace, kRBrace,
+  kAt,                                       // @
+  kPlus, kMinus, kStar, kSlash,
+  kLt, kLe, kGt, kGe, kEqEq, kNe,
+  kAndAnd, kOrOr, kBang,
+  kShiftL,                                   // << (reductions: +<<, max<<)
+  kEq,                                       // = (declarations)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;       // identifier spelling / literal spelling
+  long long int_value = 0;
+  double float_value = 0.0;
+  SourceLoc loc{};
+};
+
+/// Human-readable token name for diagnostics, e.g. "';'" or "identifier".
+std::string token_kind_name(TokenKind kind);
+
+}  // namespace zc::parser

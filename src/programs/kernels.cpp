@@ -1,0 +1,88 @@
+// Small kernels used by tests and examples (not part of the paper's suite).
+#include "src/programs/sources.h"
+
+namespace zc::programs {
+
+const std::string_view kJacobiSource = R"zpl(
+program jacobi;
+
+config n     : integer = 64;
+config iters : integer = 10;
+
+region R = [0..n+1, 0..n+1];
+region I = [1..n, 1..n];
+
+direction east = [0, 1], west = [0, -1], north = [-1, 0], south = [1, 0];
+
+var A, B : [R] double;
+var err  : double;
+
+procedure main() {
+  [R] A := 0.0;
+  [R] B := 0.0;
+  [0..n+1, 0] A := 1.0;          -- hot west border
+  [0, 0..n+1] A := 1.0;          -- hot north border
+  for it in 1..iters {
+    [I] B := 0.25 * (A@east + A@west + A@north + A@south);
+    [I] err := max<< abs(B - A);
+    [I] A := B;
+  }
+}
+)zpl";
+
+const std::string_view kLifeSource = R"zpl(
+program life;
+
+config n     : integer = 32;
+config gens  : integer = 8;
+
+region R = [0..n+1, 0..n+1];
+region I = [1..n, 1..n];
+
+direction east = [0, 1],  west = [0, -1], north = [-1, 0], south = [1, 0],
+          ne   = [-1, 1], nw   = [-1, -1], se = [1, 1],    sw   = [1, -1];
+
+var W, NN : [R] double;  -- world and neighbor counts (0.0 / 1.0 cells)
+var alive : double;
+
+procedure main() {
+  [R] W := 0.0;
+  -- A pseudo-random soup: cell alive iff a hash-ish trig expression is
+  -- positive; deterministic and partition-independent.
+  [I] W := (sin(12.9898 * Index1 + 78.233 * Index2) > 0.3) * 1.0;
+  for g in 1..gens {
+    [I] NN := W@east + W@west + W@north + W@south + W@ne + W@nw + W@se + W@sw;
+    [I] W := max(0.0, min(1.0, (NN == 3.0) + W * (NN == 2.0)));
+    [I] alive := +<< W;
+  }
+}
+)zpl";
+
+const std::string_view kHeat3dSource = R"zpl(
+program heat3d;
+
+config n     : integer = 12;
+config iters : integer = 6;
+
+region R = [0..n+1, 0..n+1, 0..n+1];
+region I = [1..n, 1..n, 1..n];
+
+direction ip = [1, 0, 0], im = [-1, 0, 0],
+          jp = [0, 1, 0], jm = [0, -1, 0],
+          kp = [0, 0, 1], km = [0, 0, -1];
+
+var T, TN : [R] double;
+var tmax  : double;
+
+procedure main() {
+  [R] T := 0.0;
+  [I] T := sin(0.5 * Index1) * sin(0.4 * Index2) * sin(0.3 * Index3);
+  for it in 1..iters {
+    [I] TN := T + 0.1 * (T@ip + T@im + T@jp + T@jm + T@kp + T@km - 6.0 * T);
+    [I] T := TN;
+    [I] tmax := max<< abs(T);
+  }
+}
+)zpl";
+
+}  // namespace zc::programs

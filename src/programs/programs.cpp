@@ -1,0 +1,60 @@
+#include "src/programs/programs.h"
+
+#include "src/programs/sources.h"
+#include "src/support/diag.h"
+
+namespace zc::programs {
+
+const std::vector<BenchmarkInfo>& benchmark_suite() {
+  static const std::vector<BenchmarkInfo> suite = {
+      {
+          "tomcatv",
+          "Thompson solver and grid generation (SPEC)",
+          kTomcatvSource,
+          "128x128",
+          {{"n", 128}, {"iters", 100}},
+          {{"n", 40}, {"iters", 4}},
+      },
+      {
+          "swm",
+          "Weather prediction (shallow water model)",
+          kSwmSource,
+          "512x512",
+          {{"n", 512}, {"iters", 40}},
+          {{"n", 48}, {"iters", 4}},
+      },
+      {
+          "simple",
+          "Hydrodynamics simulation (Livermore Labs)",
+          kSimpleSource,
+          "256x256",
+          {{"n", 256}, {"iters", 25}},
+          {{"n", 40}, {"iters", 3}},
+      },
+      {
+          "sp",
+          "CFD computation (NAS Application Benchmarks)",
+          kSpSource,
+          "16x16x16",
+          {{"n", 16}, {"iters", 50}},
+          {{"n", 12}, {"iters", 3}},
+      },
+  };
+  return suite;
+}
+
+const BenchmarkInfo& benchmark(std::string_view name) {
+  for (const BenchmarkInfo& b : benchmark_suite()) {
+    if (b.name == name) return b;
+  }
+  throw Error("unknown benchmark '" + std::string(name) + "'");
+}
+
+std::string_view kernel_source(std::string_view name) {
+  if (name == "jacobi") return kJacobiSource;
+  if (name == "life") return kLifeSource;
+  if (name == "heat3d") return kHeat3dSource;
+  throw Error("unknown kernel '" + std::string(name) + "'");
+}
+
+}  // namespace zc::programs

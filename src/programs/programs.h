@@ -1,0 +1,50 @@
+// The benchmark suite of the paper's Figure 7, ported to mini-ZPL, plus
+// small kernels used by tests and examples. Sources are embedded so every
+// binary is self-contained.
+//
+// Port fidelity notes (full discussion in DESIGN.md):
+//  - TOMCATV: the main stencil block is the paper's Figure 4 verbatim; the
+//    Thompson tri-diagonal solver is expressed as row sweeps over
+//    loop-indexed regions, giving the cross-loop dependences and short
+//    code sequences that the paper says limit pipelining.
+//  - SWM: the shallow-water main loop (fluxes/vorticity, time update, time
+//    shift, boundary rows) with the standard 13 arrays.
+//  - SIMPLE: a 2-D staggered-mesh Lagrangian hydrodynamics cycle
+//    (predict/correct, EOS, artificial viscosity, heat conduction) — many
+//    statements, all communication in the main body.
+//  - SP: a 3-D ADI kernel in the NAS-SP mold: RHS stencils plus x/y/z line
+//    sweeps; the z sweep needs no communication (dim 2 is processor-local).
+// Update coefficients are chosen contractive so every benchmark is
+// numerically stable for arbitrary iteration counts (checksums stay finite;
+// the communication structure is what the experiments measure).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zc::programs {
+
+struct BenchmarkInfo {
+  std::string name;
+  std::string description;         ///< the paper's Figure 7 description
+  std::string_view source;         ///< mini-ZPL text
+  std::string size_label;          ///< e.g. "128x128" (paper's table headers)
+  /// Paper-scale problem settings (the appendix tables' configurations).
+  std::map<std::string, long long> paper_configs;
+  /// Reduced settings for fast test runs (same structure, smaller/fewer).
+  std::map<std::string, long long> test_configs;
+};
+
+/// The four programs of Figure 7, in paper order.
+const std::vector<BenchmarkInfo>& benchmark_suite();
+
+/// Benchmark by name ("tomcatv", "swm", "simple", "sp"); throws zc::Error
+/// if unknown.
+const BenchmarkInfo& benchmark(std::string_view name);
+
+/// Small kernel sources for tests/examples: "jacobi", "life", "heat3d".
+std::string_view kernel_source(std::string_view name);
+
+}  // namespace zc::programs

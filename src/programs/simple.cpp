@@ -1,0 +1,220 @@
+// SIMPLE: the Livermore Lagrangian hydrodynamics benchmark. The cycle runs
+// as a sequence of phase procedures — artificial viscosity, deviatoric
+// stress, zone-to-node forces, motion, geometry, density/EOS, PdV energy
+// work, directional heat conduction, corner conduction, boundaries — with
+// every communication in the main body. Each phase leads with local
+// (shift-free) statements so its stencil communications have room to
+// pipeline: this is why the paper sees SIMPLE gain the most from
+// pipelining and from SHMEM's lower per-transfer blocking. Several phases
+// deliberately re-read slices cached earlier in the same block (redundant
+// communication), and paired same-direction reads (e.g. KAPPA with TEMP)
+// combine.
+#include "src/programs/sources.h"
+
+namespace zc::programs {
+
+const std::string_view kSimpleSource = R"zpl(
+program simple;
+
+config n     : integer = 256;
+config iters : integer = 25;
+
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+
+direction east  = [0, 1],  west  = [0, -1],
+          north = [-1, 0], south = [1, 0],
+          ne    = [-1, 1], nw    = [-1, -1],
+          se    = [1, 1],  sw    = [1, -1];
+
+var XN, YN       : [R] double;  -- node coordinates
+var UN, VN       : [R] double;  -- node velocities
+var UA, VA       : [R] double;  -- time-averaged velocities
+var RHO, MASS    : [R] double;  -- zone density / (fixed) mass
+var PRES, EN     : [R] double;  -- zone pressure / specific energy
+var Q, QC        : [R] double;  -- linear / corner artificial viscosity
+var DIV, CURL    : [R] double;  -- velocity divergence and curl
+var SXX, SYY, SXY : [R] double; -- deviatoric stress components
+var AREA         : [R] double;  -- zone area
+var TEMP, KAPPA  : [R] double;  -- temperature / conductivity
+var HFX, HFY     : [R] double;  -- heat fluxes
+var W1, W2, W3   : [R] double;  -- work arrays
+var FX, FY       : [R] double;  -- node forces
+var dtc, echeck  : double;
+
+procedure init() {
+  [R] XN := Index2 + 0.03 * sin(0.06 * Index1);
+  [R] YN := Index1 + 0.03 * sin(0.05 * Index2);
+  [R] UN := 0.1 * sin(0.04 * Index1) * cos(0.07 * Index2);
+  [R] VN := 0.1 * cos(0.06 * Index1) * sin(0.05 * Index2);
+  [R] UA := UN;
+  [R] VA := VN;
+  [R] MASS := 1.0 + 0.2 * sin(0.03 * Index1 * Index2);
+  [R] RHO := MASS;
+  [R] EN := 1.0 + 0.1 * cos(0.05 * Index1);
+  [R] PRES := 0.4 * RHO * EN;
+  [R] TEMP := EN;
+  [R] KAPPA := 0.01 + 0.002 * TEMP;
+  [R] Q := 0.0;
+  [R] QC := 0.0;
+  [R] DIV := 0.0;
+  [R] CURL := 0.0;
+  [R] SXX := 0.0;
+  [R] SYY := 0.0;
+  [R] SXY := 0.0;
+  [R] AREA := 1.0;
+  [R] HFX := 0.0;
+  [R] HFY := 0.0;
+  [R] W1 := 0.0;
+  [R] W2 := 0.0;
+  [R] W3 := 0.0;
+  [R] FX := 0.0;
+  [R] FY := 0.0;
+}
+
+-- Artificial viscosity: local terms from last cycle's divergence lead,
+-- then the divergence/curl stencils and the corner (hourglass) viscosity.
+-- The corner statement re-reads the face slices (redundant) and adds the
+-- four diagonal slices.
+procedure viscosity() {
+  [I] Q := 0.3 * RHO * abs(DIV) * (abs(DIV) - DIV);
+  [I] W1 := PRES + Q;
+  -- Shock region in the upper half of the mesh: expensive viscosity
+  -- limiting on the top processor rows only. The velocity slices the
+  -- stencils below need can be sent from the top of the block, before this
+  -- work begins — with pipelining, the lower half's receives do not wait
+  -- for it (and the release-wave work in the energy phase is the
+  -- complementary lower-half load, so without pipelining the two
+  -- imbalances serialize at the seam).
+  [2..n/2, 2..n-1] W2 := sqrt(abs(Q * Q + 0.5 * RHO)) * (1.0 + 0.1 * abs(DIV))
+                       + sqrt(abs(PRES + 0.2 * EN)) * (1.0 - 0.05 * abs(CURL))
+                       + sqrt(abs(RHO * EN + 0.25 * PRES)) * (1.0 + 0.02 * abs(SXY))
+                       + sqrt(abs(0.5 * EN + Q)) * sqrt(abs(1.0 + 0.1 * RHO * RHO))
+                       + sqrt(abs(PRES * RHO + 0.125)) * (1.0 - 0.01 * abs(SXX));
+  [I] DIV := (UN@east - UN@west) + (VN@south - VN@north);
+  [I] CURL := (VN@east - VN@west) - (UN@south - UN@north);
+  [I] QC := 0.05 * RHO * abs((UN@ne - UN@sw) - (UN@nw - UN@se)
+            + (VN@ne - VN@sw) + (VN@nw - VN@se));
+  [I] W2 := 0.25 * abs(UN@east - UN@west) + 0.25 * abs(VN@south - VN@north);
+}
+
+-- Deviatoric stress: the velocity-gradient slices were cached by the
+-- viscosity phase in a DIFFERENT block, so these are fresh transfers;
+-- within this block the second pair of statements re-reads them.
+procedure stress() {
+  [I] SXX := 0.9 * SXX + 0.01 * (UN@east - UN@west);
+  [I] SYY := 0.9 * SYY + 0.01 * (VN@south - VN@north);
+  [I] SXY := 0.9 * SXY + 0.005 * ((UN@south - UN@north) + (VN@east - VN@west));
+  [I] W3 := 0.5 * abs(UN@east - UN@west) + 0.5 * abs(VN@south - VN@north);
+}
+
+-- Zone stresses -> node forces, with the total stress assembled locally
+-- first. FX and FY re-read the same corner slices of W1, and the limiter
+-- statements re-read everything once more (redundant communication).
+procedure forces() {
+  [I] W1 := PRES + Q + QC - SXX - SYY;
+  [I] W2 := SXY * 2.0;
+  [I] FX := W1@west - W1@east + 0.5 * (W1@nw - W1@ne + W1@sw - W1@se)
+            + 0.25 * (W2@south - W2@north);
+  [I] FY := W1@north - W1@south + 0.5 * (W1@nw + W1@ne - W1@sw - W1@se)
+            + 0.25 * (W2@east - W2@west);
+  [I] FX := FX + 0.05 * (W1@ne + W1@nw - W1@se - W1@sw) * (W1@east - W1@west);
+  [I] FY := FY + 0.05 * (W1@se + W1@ne - W1@sw - W1@nw) * (W1@north - W1@south);
+}
+
+-- Predictor: advance velocities and node positions (all local).
+procedure motion() {
+  [I] UA := UN;
+  [I] VA := VN;
+  [I] UN := 0.99 * UN + 0.002 * FX;
+  [I] VN := 0.99 * VN + 0.002 * FY;
+  [I] XN := XN + 0.005 * (UN + UA);
+  [I] YN := YN + 0.005 * (VN + VA);
+}
+
+-- Zone geometry from the coordinates as of cycle start: area from the
+-- cell diagonals, a skewness measure from the corner coordinates, and a
+-- re-read pair (redundant).
+procedure geometry() {
+  [I] W2 := 0.01 * (abs(FX) + abs(FY));
+  [I] RHO := MASS / max(AREA, 0.25);
+  [I] AREA := 1.0 + 0.25 * ((XN@east - XN@west) * (YN@south - YN@north)
+              - (XN@south - XN@north) * (YN@east - YN@west));
+  [I] W1 := 0.0625 * abs((XN@ne - XN@sw) * (YN@nw - YN@se)
+              - (XN@nw - XN@se) * (YN@ne - YN@sw));
+  [I] W3 := 0.125 * abs((XN@east - XN@west) + (YN@south - YN@north));
+}
+
+-- EOS and PdV energy work with face-averaged pressures; the second
+-- statement re-reads all four pressure faces (redundant).
+procedure energy() {
+  [I] EN := 0.98 * EN - 0.004 * (PRES + Q) * DIV + 0.02;
+  -- Release wave in the lower half: the complementary expensive local work
+  -- (see the shock region in viscosity()). The pressure-face slices below
+  -- hoist above it under pipelining.
+  [n/2+1..n-1, 2..n-1] W3 := sqrt(abs(EN * EN + 0.3 * PRES)) * (1.0 + 0.1 * abs(DIV))
+                           + sqrt(abs(RHO + 0.1 * EN)) * (1.0 - 0.04 * abs(Q))
+                           + sqrt(abs(PRES * EN + 0.2 * RHO)) * (1.0 + 0.03 * abs(SYY))
+                           + sqrt(abs(0.4 * RHO + PRES)) * sqrt(abs(1.0 + 0.05 * EN * EN))
+                           + sqrt(abs(EN * RHO + 0.25)) * (1.0 - 0.02 * abs(SXY));
+  [I] W2 := 0.125 * (PRES@east + PRES@west + PRES@north + PRES@south) + 0.5 * PRES;
+  [I] W3 := 0.0625 * abs(PRES@east - PRES@west) + 0.0625 * abs(PRES@north - PRES@south);
+  [I] EN := EN - 0.002 * W2 * DIV;
+  [I] PRES := 0.4 * RHO * EN;
+  [I] dtc := min<< (0.2 + abs(DIV));
+}
+
+-- Heat conduction, east-west pass: face conductivities pair KAPPA with
+-- TEMP per direction (combinable, identical feasible intervals).
+procedure conduct_x() {
+  [I] W2 := 0.05 * EN;
+  [I] HFX := 0.5 * (KAPPA + KAPPA@east) * (TEMP@east - TEMP)
+           + 0.5 * (KAPPA + KAPPA@west) * (TEMP@west - TEMP);
+  [I] W1 := 0.25 * (abs(TEMP@east - TEMP) + abs(TEMP@west - TEMP));
+}
+
+-- Heat conduction, north-south pass.
+procedure conduct_y() {
+  [I] W3 := 0.1 + 0.25 * RHO;
+  [I] HFY := 0.5 * (KAPPA + KAPPA@north) * (TEMP@north - TEMP)
+           + 0.5 * (KAPPA + KAPPA@south) * (TEMP@south - TEMP);
+  [I] W2 := 0.25 * (abs(TEMP@north - TEMP) + abs(TEMP@south - TEMP));
+}
+
+-- Corner conduction correction and the temperature/energy update.
+procedure conduct_corner() {
+  [I] W3 := 1.0 / (1.0 + W1 + W2);
+  [I] HFX := HFX + 0.125 * (TEMP@ne + TEMP@nw + TEMP@se + TEMP@sw - 4.0 * TEMP) * KAPPA;
+  [I] TEMP := TEMP + 0.1 * (HFX + HFY) * W3;
+  [I] EN := EN + 0.05 * (TEMP - EN);
+  [I] KAPPA := 0.01 + 0.002 * TEMP;
+}
+
+procedure boundaries() {
+  [1, 1..n]  UN := UN@south;
+  [n, 1..n]  UN := 0.0 - UN@north;
+  [1..n, 1]  VN := VN@east;
+  [1..n, n]  VN := 0.0 - VN@west;
+  [1, 1..n]  TEMP := TEMP@south;
+  [n, 1..n]  TEMP := TEMP@north;
+}
+
+procedure main() {
+  init();
+  for it in 1..iters {
+    viscosity();
+    stress();
+    forces();
+    motion();
+    geometry();
+    energy();
+    conduct_x();
+    conduct_y();
+    conduct_corner();
+    boundaries();
+  }
+  [I] echeck := +<< (EN + RHO);
+}
+)zpl";
+
+}  // namespace zc::programs

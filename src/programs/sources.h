@@ -1,0 +1,16 @@
+// Internal: the embedded mini-ZPL sources, one per translation unit.
+#pragma once
+
+#include <string_view>
+
+namespace zc::programs {
+
+extern const std::string_view kTomcatvSource;
+extern const std::string_view kSwmSource;
+extern const std::string_view kSimpleSource;
+extern const std::string_view kSpSource;
+extern const std::string_view kJacobiSource;
+extern const std::string_view kLifeSource;
+extern const std::string_view kHeat3dSource;
+
+}  // namespace zc::programs

@@ -1,0 +1,237 @@
+// SP: a 3-D ADI (approximate-factorization) CFD kernel in the mold of the
+// NAS SP application benchmark: five solution components, directional flux
+// phases, fourth-order artificial dissipation (radius-2 stencils), a 3-D
+// stencil RHS, then line solves swept along each dimension. The x and y
+// sweeps serialize across processor rows/columns (the paper's "inherently
+// sequential" phases that make the heavyweight SHMEM prototype lose); the
+// z sweep and every k-direction shift are communication-free because the
+// third dimension is processor-local under the 2-D block distribution.
+#include "src/programs/sources.h"
+
+namespace zc::programs {
+
+const std::string_view kSpSource = R"zpl(
+program sp;
+
+config n     : integer = 16;
+config iters : integer = 50;
+
+region R3 = [1..n, 1..n, 1..n];
+region I3 = [2..n-1, 2..n-1, 2..n-1];
+region D3 = [3..n-2, 3..n-2, 3..n-2];  -- dissipation interior (radius 2)
+
+direction ip  = [1, 0, 0],  im  = [-1, 0, 0],
+          jp  = [0, 1, 0],  jm  = [0, -1, 0],
+          kp  = [0, 0, 1],  km  = [0, 0, -1],
+          ip2 = [2, 0, 0],  im2 = [-2, 0, 0],
+          jp2 = [0, 2, 0],  jm2 = [0, -2, 0],
+          kp2 = [0, 0, 2],  km2 = [0, 0, -2];
+
+var U1, U2, U3, U4, U5  : [R3] double;  -- density, 3 momenta, energy
+var R1, R2, R3V, R4, R5 : [R3] double;  -- right-hand sides
+var G1, G2, G3, G4, G5  : [R3] double;  -- directional fluxes
+var T1, T2, T3, T4, T5  : [R3] double;  -- sweep workspace
+var PF                  : [R3] double;  -- elimination factor
+var SPD                 : [R3] double;  -- speed-of-sound-ish field
+var rnorm               : double;
+
+procedure init() {
+  [R3] U1 := 1.0 + 0.1 * sin(0.3 * Index1) * cos(0.2 * Index2) * sin(0.25 * Index3);
+  [R3] U2 := 0.1 * cos(0.2 * Index1) * sin(0.3 * Index3);
+  [R3] U3 := 0.1 * sin(0.25 * Index2) * cos(0.2 * Index3);
+  [R3] U4 := 0.1 * cos(0.3 * Index1) * sin(0.2 * Index2);
+  [R3] U5 := 2.0 + 0.1 * cos(0.15 * Index1 * Index2);
+  [R3] R1 := 0.0;
+  [R3] R2 := 0.0;
+  [R3] R3V := 0.0;
+  [R3] R4 := 0.0;
+  [R3] R5 := 0.0;
+  [R3] G1 := 0.0;
+  [R3] G2 := 0.0;
+  [R3] G3 := 0.0;
+  [R3] G4 := 0.0;
+  [R3] G5 := 0.0;
+  [R3] T1 := 0.0;
+  [R3] T2 := 0.0;
+  [R3] T3 := 0.0;
+  [R3] T4 := 0.0;
+  [R3] T5 := 0.0;
+  [R3] PF := 0.3;
+  [R3] SPD := 1.0;
+}
+
+-- xi-direction fluxes: central differences of each component, with
+-- pressure/velocity coupling through U1 and SPD.
+procedure flux_x() {
+  [I3] SPD := sqrt(abs(U5 / U1)) + 0.1;
+  [I3] G1 := 0.05 * (U2@ip - U2@im);
+  [I3] G2 := 0.05 * (U2@ip * U2@ip - U2@im * U2@im) + 0.01 * (U1@ip - U1@im) * SPD;
+  [I3] G3 := 0.05 * (U3@ip - U3@im) * U2;
+  [I3] G4 := 0.05 * (U4@ip - U4@im) * U2;
+  [I3] G5 := 0.05 * (U5@ip - U5@im) * U2 + 0.01 * (U2@ip - U2@im) * SPD;
+}
+
+-- eta-direction fluxes accumulate into the same flux arrays.
+procedure flux_y() {
+  [I3] G1 := G1 + 0.05 * (U3@jp - U3@jm);
+  [I3] G2 := G2 + 0.05 * (U2@jp - U2@jm) * U3;
+  [I3] G3 := G3 + 0.05 * (U3@jp * U3@jp - U3@jm * U3@jm) + 0.01 * (U1@jp - U1@jm) * SPD;
+  [I3] G4 := G4 + 0.05 * (U4@jp - U4@jm) * U3;
+  [I3] G5 := G5 + 0.05 * (U5@jp - U5@jm) * U3 + 0.01 * (U3@jp - U3@jm) * SPD;
+}
+
+-- zeta-direction fluxes: processor-local (no communication is generated
+-- for k-direction shifts under the 2-D distribution).
+procedure flux_z() {
+  [I3] G1 := G1 + 0.05 * (U4@kp - U4@km);
+  [I3] G2 := G2 + 0.05 * (U2@kp - U2@km) * U4;
+  [I3] G3 := G3 + 0.05 * (U3@kp - U3@km) * U4;
+  [I3] G4 := G4 + 0.05 * (U4@kp * U4@kp - U4@km * U4@km) + 0.01 * (U1@kp - U1@km) * SPD;
+  [I3] G5 := G5 + 0.05 * (U5@kp - U5@km) * U4 + 0.01 * (U4@kp - U4@km) * SPD;
+}
+
+-- Fourth-order artificial dissipation: radius-2 stencils in all three
+-- dimensions (k-direction again free).
+procedure dissipation() {
+  [D3] G1 := G1 - 0.01 * (U1@ip2 + U1@im2 + U1@jp2 + U1@jm2 + U1@kp2 + U1@km2 - 6.0 * U1);
+  [D3] G2 := G2 - 0.01 * (U2@ip2 + U2@im2 + U2@jp2 + U2@jm2 + U2@kp2 + U2@km2 - 6.0 * U2);
+  [D3] G3 := G3 - 0.01 * (U3@ip2 + U3@im2 + U3@jp2 + U3@jm2 + U3@kp2 + U3@km2 - 6.0 * U3);
+  [D3] G4 := G4 - 0.01 * (U4@ip2 + U4@im2 + U4@jp2 + U4@jm2 + U4@kp2 + U4@km2 - 6.0 * U4);
+  [D3] G5 := G5 - 0.01 * (U5@ip2 + U5@im2 + U5@jp2 + U5@jm2 + U5@kp2 + U5@km2 - 6.0 * U5);
+}
+
+-- Assemble the right-hand sides: a 3-D Laplacian of each component plus
+-- the flux divergence. The U1 face slices recur across the five
+-- statements — redundant communication food.
+procedure compute_rhs() {
+  [I3] R1 := 0.05 * (U1@ip + U1@im + U1@jp + U1@jm + U1@kp + U1@km - 6.0 * U1) - 0.1 * G1;
+  [I3] R2 := 0.05 * (U2@ip + U2@im + U2@jp + U2@jm + U2@kp + U2@km - 6.0 * U2) - 0.1 * G2
+             - 0.01 * (U1@ip - U1@im) * SPD;
+  [I3] R3V := 0.05 * (U3@ip + U3@im + U3@jp + U3@jm + U3@kp + U3@km - 6.0 * U3) - 0.1 * G3
+             - 0.01 * (U1@jp - U1@jm) * SPD;
+  [I3] R4 := 0.05 * (U4@ip + U4@im + U4@jp + U4@jm + U4@kp + U4@km - 6.0 * U4) - 0.1 * G4
+             - 0.01 * (U1@kp - U1@km) * SPD;
+  [I3] R5 := 0.05 * (U5@ip + U5@im + U5@jp + U5@jm + U5@kp + U5@km - 6.0 * U5) - 0.1 * G5
+             - 0.005 * (U2@ip - U2@im + U3@jp - U3@jm + U4@kp - U4@km);
+}
+
+-- Line solve along dimension 1: forward elimination south, then backward
+-- substitution north; serializes across processor rows.
+procedure x_solve() {
+  [2, 1..n, 1..n] PF := 0.3;
+  [2, 1..n, 1..n] T1 := 0.3 * R1;
+  [2, 1..n, 1..n] T2 := 0.3 * R2;
+  [2, 1..n, 1..n] T3 := 0.3 * R3V;
+  [2, 1..n, 1..n] T4 := 0.3 * R4;
+  [2, 1..n, 1..n] T5 := 0.3 * R5;
+  -- As in NAS SP, the momentum/energy factors are pre-scaled in place each
+  -- step before their row is eliminated: the write splits their feasible
+  -- send intervals away from PF/T1's, so most sweep communications cannot
+  -- legally combine (the paper's SP also keeps most of its sweep comms).
+  for i in 3..n-1 {
+    [i, 1..n, 1..n] PF := 1.0 / (3.4 - PF@im);
+    [i, 1..n, 1..n] T1 := (R1 + T1@im) * PF;
+    [i, 1..n, 1..n] T2 := 0.6 * T2 + 0.4 * R2;
+    [i, 1..n, 1..n] T2 := (T2 + T2@im) * PF;
+    [i, 1..n, 1..n] T3 := 0.6 * T3 + 0.4 * R3V;
+    [i, 1..n, 1..n] T3 := (T3 + T3@im) * PF;
+    [i, 1..n, 1..n] T4 := 0.6 * T4 + 0.4 * R4;
+    [i, 1..n, 1..n] T4 := (T4 + T4@im) * PF;
+    [i, 1..n, 1..n] T5 := 0.6 * T5 + 0.4 * R5;
+    [i, 1..n, 1..n] T5 := (T5 + T5@im) * PF;
+  }
+  for i in n-2..2 by -1 {
+    [i, 1..n, 1..n] T1 := T1 + PF * T1@ip;
+    [i, 1..n, 1..n] T2 := 0.9 * T2 + 0.02 * T1;
+    [i, 1..n, 1..n] T2 := T2 + PF * T2@ip;
+    [i, 1..n, 1..n] T3 := 0.9 * T3 + 0.02 * T1;
+    [i, 1..n, 1..n] T3 := T3 + PF * T3@ip;
+    [i, 1..n, 1..n] T4 := 0.9 * T4 + 0.02 * T1;
+    [i, 1..n, 1..n] T4 := T4 + PF * T4@ip;
+    [i, 1..n, 1..n] T5 := 0.9 * T5 + 0.02 * T1;
+    [i, 1..n, 1..n] T5 := T5 + PF * T5@ip;
+  }
+}
+
+-- Line solve along dimension 2: serializes across processor columns.
+procedure y_solve() {
+  [1..n, 2, 1..n] PF := 0.3;
+  [1..n, 2, 1..n] T1 := T1 + 0.3 * R1;
+  [1..n, 2, 1..n] T2 := T2 + 0.3 * R2;
+  [1..n, 2, 1..n] T3 := T3 + 0.3 * R3V;
+  [1..n, 2, 1..n] T4 := T4 + 0.3 * R4;
+  [1..n, 2, 1..n] T5 := T5 + 0.3 * R5;
+  for j in 3..n-1 {
+    [1..n, j, 1..n] PF := 1.0 / (3.4 - PF@jm);
+    [1..n, j, 1..n] T1 := (T1 + T1@jm) * PF;
+    [1..n, j, 1..n] T2 := 0.6 * T2 + 0.01 * T1;
+    [1..n, j, 1..n] T2 := (T2 + T2@jm) * PF;
+    [1..n, j, 1..n] T3 := 0.6 * T3 + 0.01 * T1;
+    [1..n, j, 1..n] T3 := (T3 + T3@jm) * PF;
+    [1..n, j, 1..n] T4 := 0.6 * T4 + 0.01 * T1;
+    [1..n, j, 1..n] T4 := (T4 + T4@jm) * PF;
+    [1..n, j, 1..n] T5 := 0.6 * T5 + 0.01 * T1;
+    [1..n, j, 1..n] T5 := (T5 + T5@jm) * PF;
+  }
+  for j in n-2..2 by -1 {
+    [1..n, j, 1..n] T1 := T1 + PF * T1@jp;
+    [1..n, j, 1..n] T2 := 0.9 * T2 + 0.02 * T1;
+    [1..n, j, 1..n] T2 := T2 + PF * T2@jp;
+    [1..n, j, 1..n] T3 := 0.9 * T3 + 0.02 * T1;
+    [1..n, j, 1..n] T3 := T3 + PF * T3@jp;
+    [1..n, j, 1..n] T4 := 0.9 * T4 + 0.02 * T1;
+    [1..n, j, 1..n] T4 := T4 + PF * T4@jp;
+    [1..n, j, 1..n] T5 := 0.9 * T5 + 0.02 * T1;
+    [1..n, j, 1..n] T5 := T5 + PF * T5@jp;
+  }
+}
+
+-- Line solve along dimension 3: the sweep runs entirely within each
+-- processor (no communication is generated for kp/km shifts).
+procedure z_solve() {
+  [1..n, 1..n, 2] PF := 0.3;
+  [1..n, 1..n, 2] T1 := T1 + 0.3 * R1;
+  [1..n, 1..n, 2] T5 := T5 + 0.3 * R5;
+  for k in 3..n-1 {
+    [1..n, 1..n, k] PF := 1.0 / (3.4 - PF@km);
+    [1..n, 1..n, k] T1 := (T1 + T1@km) * PF;
+    [1..n, 1..n, k] T2 := (T2 + T2@km) * PF;
+    [1..n, 1..n, k] T3 := (T3 + T3@km) * PF;
+    [1..n, 1..n, k] T4 := (T4 + T4@km) * PF;
+    [1..n, 1..n, k] T5 := (T5 + T5@km) * PF;
+  }
+  for k in n-2..2 by -1 {
+    [1..n, 1..n, k] T1 := T1 + PF * T1@kp;
+    [1..n, 1..n, k] T2 := T2 + PF * T2@kp;
+    [1..n, 1..n, k] T3 := T3 + PF * T3@kp;
+    [1..n, 1..n, k] T4 := T4 + PF * T4@kp;
+    [1..n, 1..n, k] T5 := T5 + PF * T5@kp;
+  }
+}
+
+procedure add_update() {
+  [I3] U1 := U1 + 0.2 * T1;
+  [I3] U2 := U2 + 0.2 * T2;
+  [I3] U3 := U3 + 0.2 * T3;
+  [I3] U4 := U4 + 0.2 * T4;
+  [I3] U5 := U5 + 0.2 * T5;
+  [I3] rnorm := max<< (abs(T1) + abs(T5));
+}
+
+procedure main() {
+  init();
+  for it in 1..iters {
+    flux_x();
+    flux_y();
+    flux_z();
+    dissipation();
+    compute_rhs();
+    x_solve();
+    y_solve();
+    z_solve();
+    add_update();
+  }
+}
+)zpl";
+
+}  // namespace zc::programs

@@ -1,0 +1,80 @@
+// SWM: shallow water model weather prediction benchmark. One flat main loop
+// (fluxes/vorticity, time update, time shift, boundary rows) — the paper
+// notes its pipelining head-room is limited, which is why the cheaper
+// SHMEM overheads help it noticeably.
+#include "src/programs/sources.h"
+
+namespace zc::programs {
+
+const std::string_view kSwmSource = R"zpl(
+program swm;
+
+config n     : integer = 512;
+config iters : integer = 40;
+
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+
+direction east  = [0, 1],  west  = [0, -1],
+          north = [-1, 0], south = [1, 0],
+          ne    = [-1, 1], sw    = [1, -1];
+
+var U, V, P          : [R] double;  -- velocities and pressure
+var UNEW, VNEW, PNEW : [R] double;
+var UOLD, VOLD, POLD : [R] double;
+var CU, CV, Z, H     : [R] double;  -- mass fluxes, vorticity, height
+var check            : double;
+
+procedure init() {
+  [R] P := 10.0 + 0.5 * sin(0.11 * Index1) * cos(0.09 * Index2);
+  [R] U := 0.5 * cos(0.07 * Index1) * sin(0.13 * Index2);
+  [R] V := 0.5 * sin(0.05 * Index1) * cos(0.08 * Index2);
+  [R] UOLD := U;
+  [R] VOLD := V;
+  [R] POLD := P;
+  [R] UNEW := 0.0;
+  [R] VNEW := 0.0;
+  [R] PNEW := 0.0;
+  [R] CU := 0.0;
+  [R] CV := 0.0;
+  [R] Z := 0.0;
+  [R] H := 0.0;
+}
+
+procedure main() {
+  init();
+  for it in 1..iters {
+    -- Mass fluxes, potential vorticity, and height field. The repeated
+    -- P@west / P@south reads in the Z statement are redundant.
+    [I] CU := 0.5 * (P + P@west) * U;
+    [I] CV := 0.5 * (P + P@south) * V;
+    [I] Z := (0.25 * (V - V@west) - 0.25 * (U - U@south))
+             / (1.0 + 0.25 * (P + P@west + P@south + P@sw));
+    [I] H := P + 0.125 * (U * U + U@east * U@east) + 0.125 * (V * V + V@north * V@north);
+
+    -- Leapfrog time update (coefficients contractive for stability).
+    [I] UNEW := 0.96 * UOLD + 0.01 * (Z + Z@north) * (CV + CV@north + CV@east + CV@ne)
+                - 0.02 * (H@east - H);
+    [I] VNEW := 0.96 * VOLD - 0.01 * (Z + Z@east) * (CU + CU@east + CU@north + CU@ne)
+                + 0.02 * (H@north - H);
+    [I] PNEW := 0.96 * POLD - 0.02 * (CU@east - CU + CV@north - CV);
+
+    -- Time shift with Robert-Asselin-style smoothing.
+    [I] UOLD := U + 0.05 * (UNEW - 2.0 * U + UOLD);
+    [I] VOLD := V + 0.05 * (VNEW - 2.0 * V + VOLD);
+    [I] POLD := P + 0.05 * (PNEW - 2.0 * P + POLD);
+    [I] U := UNEW;
+    [I] V := VNEW;
+    [I] P := PNEW;
+
+    -- Boundary rows/columns (reflective).
+    [1, 1..n]   U := U@south;
+    [n, 1..n]   V := V@north;
+    [1..n, 1]   P := P@east;
+    [1..n, n]   P := 2.0 * P@west - P;
+  }
+  [I] check := +<< (U + V + P);
+}
+)zpl";
+
+}  // namespace zc::programs

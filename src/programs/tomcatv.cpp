@@ -1,0 +1,102 @@
+// TOMCATV (SPEC): Thompson solver and grid generation. The main stencil
+// block reproduces the paper's Figure 4; the tri-diagonal solves run as
+// forward/backward row sweeps whose cross-loop dependences limit
+// pipelining, exactly the behaviour the paper reports for this benchmark.
+#include "src/programs/sources.h"
+
+namespace zc::programs {
+
+const std::string_view kTomcatvSource = R"zpl(
+program tomcatv;
+
+config n     : integer = 128;
+config iters : integer = 100;
+
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+
+direction east  = [0, 1],  west  = [0, -1],
+          north = [-1, 0], south = [1, 0],
+          ne    = [-1, 1], nw    = [-1, -1],
+          se    = [1, 1],  sw    = [1, -1];
+
+var X, Y                  : [R] double;   -- grid coordinates
+var XX, YX, XY, YY        : [R] double;   -- metric terms
+var AA, BB, CC            : [R] double;   -- coefficients
+var RX, RY                : [R] double;   -- residuals
+var PP, QX, QY            : [R] double;   -- solver workspace
+var DX, DY                : [R] double;   -- corrections
+var resid                 : double;
+
+procedure init() {
+  -- Initial algebraic grid, slightly perturbed.
+  [R] X := Index2 + 0.02 * Index1 * sin(0.05 * Index2);
+  [R] Y := Index1 + 0.02 * Index2 * sin(0.05 * Index1);
+  [R] PP := 0.0;
+  [R] QX := 0.0;
+  [R] QY := 0.0;
+  [R] DX := 0.0;
+  [R] DY := 0.0;
+  [R] XX := 0.0;
+  [R] YX := 0.0;
+  [R] XY := 0.0;
+  [R] YY := 0.0;
+  [R] AA := 0.0;
+  [R] BB := 0.0;
+  [R] CC := 0.0;
+  [R] RX := 0.0;
+  [R] RY := 0.0;
+  -- Pre-smooth the grid. The second stencil pair re-reads the same slices
+  -- without intervening writes: classic redundant set-up communication.
+  [I] XX := 0.5 * X + 0.125 * (X@east + X@west + X@north + X@south);
+  [I] YY := 0.5 * Y + 0.125 * (Y@east + Y@west + Y@north + Y@south);
+  [I] XY := X@east - X@west + Y@north - Y@south;
+  [I] YX := X@east + X@west - Y@north - Y@south;
+  [I] X := XX;
+  [I] Y := YY;
+}
+
+procedure main() {
+  init();
+  for it in 1..iters {
+    -- Main stencil block: the paper's Figure 4, verbatim.
+    [I] XX := X@east - X@west;
+    [I] YX := Y@east - Y@west;
+    [I] XY := X@south - X@north;
+    [I] YY := Y@south - Y@north;
+    [I] AA := 0.250 * (XY * XY + YY * YY);
+    [I] BB := 0.250 * (XX * XX + YX * YX);
+    [I] CC := 0.125 * (XX * XY + YX * YY);
+    [I] RX := AA * (X@east - 2.0 * X + X@west) + BB * (X@south - 2.0 * X + X@north)
+              - CC * (X@se - X@ne - X@sw + X@nw);
+    [I] RY := AA * (Y@east - 2.0 * Y + Y@west) + BB * (Y@south - 2.0 * Y + Y@north)
+              - CC * (Y@se - Y@ne - Y@sw + Y@nw);
+
+    -- Thompson tri-diagonal solves along the first dimension, for the X and
+    -- Y systems together. Forward elimination sweeps south; the row regions
+    -- serialize across processor rows.
+    [2, 2..n-1] PP := 0.25;
+    [2, 2..n-1] QX := 0.25 * RX;
+    [2, 2..n-1] QY := 0.25 * RY;
+    for i in 3..n-1 {
+      [i, 2..n-1] PP := 1.0 / (4.0 - PP@north);
+      [i, 2..n-1] QX := (RX + QX@north) * PP;
+      [i, 2..n-1] QY := (RY + QY@north) * PP;
+    }
+    -- Backward substitution sweeps north.
+    [n-1, 2..n-1] DX := QX;
+    [n-1, 2..n-1] DY := QY;
+    for i in n-2..2 by -1 {
+      [i, 2..n-1] DX := QX + PP * DX@south;
+      [i, 2..n-1] DY := QY + PP * DY@south;
+    }
+
+    -- Residual and grid update.
+    [I] resid := max<< (abs(DX) + abs(DY));
+    [I] X := X + 0.8 * DX;
+    [I] Y := Y + 0.8 * DY;
+  }
+}
+)zpl";
+
+}  // namespace zc::programs

@@ -1,0 +1,76 @@
+// Per-processor evaluation of ZIR expressions over local index boxes.
+//
+// Array-valued expressions evaluate element-wise over a target box (the
+// intersection of the statement's region with the processor's owned block),
+// reading shifted operands from fluff when they fall outside the owned
+// block. Scalar-valued expressions evaluate once; reductions are two-phase
+// (local partial here, cross-processor combine in the engine).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/runtime/darray.h"
+#include "src/runtime/layout.h"
+#include "src/zir/program.h"
+
+namespace zc::rt {
+
+/// Evaluation context for one processor.
+struct EvalContext {
+  const zir::Program* program = nullptr;
+  /// This processor's storage, indexed by ArrayId.
+  const std::vector<LocalArray>* arrays = nullptr;
+  /// Replicated scalar values, indexed by ScalarId.
+  const std::vector<double>* scalars = nullptr;
+  /// Config values and current loop-variable bindings.
+  const zir::IntEnv* env = nullptr;
+  /// Target box for array-valued evaluation.
+  Box box;
+};
+
+/// Identity element of a reduction.
+double reduce_identity(zir::ReduceOp op);
+/// Combines two partial values.
+double reduce_combine(zir::ReduceOp op, double a, double b);
+
+class Evaluator {
+ public:
+  explicit Evaluator(const zir::Program& program) : p_(program) {}
+
+  /// Evaluates an array-valued expression over ctx.box into `out`
+  /// (resized to box.count(), row-major). The expression must not contain
+  /// reductions.
+  void eval_vector(const EvalContext& ctx, zir::ExprId id, std::vector<double>& out) const;
+
+  /// Local partials for each Reduce node of a scalar-valued expression, in
+  /// first-occurrence DFS order. Partials for an empty box are the
+  /// reduction identity.
+  void eval_reduce_partials(const EvalContext& ctx, zir::ExprId id,
+                            std::vector<double>& partials) const;
+
+  /// The reduce operators in the same DFS order as the partials.
+  std::vector<zir::ReduceOp> reduce_ops(zir::ExprId id) const;
+
+  /// Evaluates a scalar-valued expression; `reduce_values` supplies the
+  /// globally-combined value for each Reduce node (DFS order).
+  double eval_scalar(const EvalContext& ctx, zir::ExprId id,
+                     std::span<const double> reduce_values) const;
+
+ private:
+  struct Value {
+    bool is_vec = false;
+    double s = 0.0;
+    std::vector<double> v;
+  };
+
+  Value eval(const EvalContext& ctx, zir::ExprId id) const;
+  double eval_scalar_rec(const EvalContext& ctx, zir::ExprId id,
+                         std::span<const double> reduce_values, std::size_t& next_reduce) const;
+  double apply_bin_scalar(zir::BinOp op, double a, double b) const;
+  double apply_un_scalar(zir::UnOp op, double a) const;
+
+  const zir::Program& p_;
+};
+
+}  // namespace zc::rt

@@ -1,0 +1,132 @@
+// The lockstep SPMD execution engine: runs a compiled (program + comm plan)
+// on a simulated multicomputer, producing real numerical results, virtual
+// execution time, and the paper's static/dynamic communication counts.
+//
+// Mini-ZPL has no processor-divergent control flow (loop bounds and branch
+// conditions are replicated scalars), so the engine holds P processor
+// states and executes each statement / IRONMAN call for every processor
+// before moving on. This is exact for this language class, single-threaded,
+// and deterministic — the substitution for the paper's 64-node T3D runs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/comm/plan.h"
+#include "src/ironman/ironman.h"
+#include "src/machine/model.h"
+#include "src/runtime/darray.h"
+#include "src/runtime/eval.h"
+#include "src/runtime/layout.h"
+#include "src/sim/transport.h"
+#include "src/zir/program.h"
+
+namespace zc::sim {
+
+struct RunConfig {
+  machine::MachineModel machine = machine::t3d_model();
+  ironman::CommLibrary library = ironman::CommLibrary::kPVM;
+  int procs = 64;
+  /// Override config constants by name (e.g. problem size / iterations).
+  std::map<std::string, long long> config_overrides;
+};
+
+/// Per-processor communication counters.
+struct CommCounters {
+  /// Communications (group executions) in which this processor actually
+  /// sent or received data (a subset of the SPMD-wide dynamic count).
+  long long communications = 0;
+  long long messages_sent = 0;
+  long long messages_received = 0;
+  long long bytes_sent = 0;
+  long long bytes_received = 0;
+};
+
+struct RunResult {
+  double elapsed_seconds = 0.0;  ///< max processor clock at completion
+
+  /// The paper's dynamic count: communications (IRONMAN call sets) executed
+  /// by the SPMD program — identical on every processor, as in the paper's
+  /// "number of communications performed ... on a single processor".
+  long long dynamic_count = 0;
+  int center_proc = 0;
+
+  long long total_messages = 0;
+  long long total_bytes = 0;
+  long long reduction_count = 0;  ///< reductions executed (reported separately)
+
+  rt::Mesh mesh;
+  std::vector<CommCounters> per_proc;
+
+  /// Final scalar values and per-array checksums (sum over the declared
+  /// region), for verifying optimized runs against the reference.
+  std::map<std::string, double> scalars;
+  std::map<std::string, double> checksums;
+};
+
+class Engine {
+ public:
+  Engine(const zir::Program& program, const comm::CommPlan& plan, RunConfig config);
+  ~Engine();  // out of line: GroupExec is incomplete here
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes the program's entry procedure once. Single-use.
+  RunResult run();
+
+ private:
+  struct GroupExec;  // one in-progress execution of a CommGroup
+
+  void exec_body(const std::vector<zir::StmtId>& body);
+  void exec_block(const comm::BlockPlan& block);
+  void exec_comm_position(const comm::BlockPlan& block, int pos);
+  void exec_stmt(zir::StmtId sid);
+  void exec_array_assign(const zir::Stmt& stmt);
+  void exec_scalar_assign(const zir::Stmt& stmt);
+
+  GroupExec build_group_exec(const comm::BlockPlan& block, const comm::CommGroup& group);
+  void comm_dr(const comm::CommGroup& group, GroupExec& exec);
+  void comm_sr(const comm::CommGroup& group, GroupExec& exec);
+  void comm_dn(const comm::CommGroup& group, GroupExec& exec);
+  void comm_sv(const comm::CommGroup& group, GroupExec& exec);
+
+  [[nodiscard]] rt::EvalContext context_for(int proc) const;
+  [[nodiscard]] double stmt_cost(const zir::Stmt& stmt, long long elems) const;
+  void allreduce_clocks(double extra_per_stage);
+
+  const zir::Program& p_;
+  const comm::CommPlan& plan_;
+  RunConfig cfg_;
+
+  rt::Mesh mesh_;
+  zir::IntEnv env_;
+  rt::BlockDist dist_;
+  Transport transport_;
+  rt::Evaluator evaluator_;
+
+  std::vector<double> clock_;                        // per proc
+  std::vector<std::vector<rt::LocalArray>> arrays_;  // [proc][array]
+  std::vector<rt::Box> declared_;                    // per array
+  std::vector<double> scalars_;                      // replicated
+  std::vector<CommCounters> counters_;               // per proc
+  long long reduction_count_ = 0;
+  long long dynamic_comm_count_ = 0;  // communications executed (SPMD-wide)
+
+  std::map<int, GroupExec> outstanding_;  // by group id
+
+  // Per-statement cost metadata cache.
+  struct StmtCost {
+    int flops = 0;
+    int arrays_touched = 0;
+  };
+  mutable std::map<int32_t, StmtCost> stmt_cost_cache_;
+
+  bool ran_ = false;
+};
+
+/// Convenience: plan with `options`, then run. The standard entry point for
+/// benches / examples; see also src/driver for the experiment-level API.
+RunResult run_program(const zir::Program& program, const comm::CommPlan& plan, RunConfig config);
+
+}  // namespace zc::sim

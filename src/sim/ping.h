@@ -1,0 +1,39 @@
+// The paper's §3.2 synthetic benchmark: one node sends a message to another
+// 10000 times; between any of the four communication parts a busy loop runs,
+// long enough to hide the transmission time, and its cost is subtracted.
+// What remains is the *exposed* (software) communication overhead per
+// message — the curves of Figure 6.
+#pragma once
+
+#include <vector>
+
+#include "src/ironman/ironman.h"
+#include "src/machine/model.h"
+
+namespace zc::sim {
+
+struct PingPoint {
+  long long doubles = 0;  ///< message size in doubles (the paper's x axis)
+  double exposed = 0.0;   ///< exposed overhead per message, seconds (both
+                          ///< endpoints combined)
+};
+
+struct PingResult {
+  machine::MachineKind machine;
+  ironman::CommLibrary library;
+  std::vector<PingPoint> points;
+
+  /// The knee: the first size at which doubling the message no longer
+  /// leaves the per-message overhead overhead-dominated — where the
+  /// exposed cost has grown to at least twice its small-message floor.
+  [[nodiscard]] long long knee_doubles() const;
+};
+
+/// Runs the two-node ping for each size in `sizes` (in doubles).
+PingResult run_ping(const machine::MachineModel& machine, ironman::CommLibrary library,
+                    const std::vector<long long>& sizes, int reps = 10000);
+
+/// The paper's size sweep: powers of two from 1 to 4096 doubles.
+std::vector<long long> default_ping_sizes();
+
+}  // namespace zc::sim

@@ -1,0 +1,168 @@
+#include "src/sim/transport.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.h"
+
+namespace zc::sim {
+
+using ironman::CommLibrary;
+using ironman::IronmanCall;
+using ironman::Primitive;
+
+Transport::Transport(const machine::MachineModel& machine, ironman::CommLibrary library)
+    : machine_(machine),
+      library_(library),
+      sv_waits_(ironman::binding(library, IronmanCall::kSV) == Primitive::kMsgwaitSend) {
+  ZC_ASSERT(machine::library_available(machine_.kind, library_));
+}
+
+Transport::Channel& Transport::channel(int64_t chan, int src, int dst) {
+  return channels_[{chan, src, dst}];
+}
+
+double Transport::wire_time(int64_t bytes) const {
+  return machine_.wire_latency +
+         static_cast<double>(bytes) * machine_.channel_per_byte(library_);
+}
+
+void Transport::dr(int64_t chan, int src, int dst, int64_t bytes, double& t_dst) {
+  const Primitive prim = ironman::binding(library_, IronmanCall::kDR);
+  switch (prim) {
+    case Primitive::kNoOp:
+      return;
+    case Primitive::kIrecv:
+    case Primitive::kHprobe:
+      // Posting the receive costs CPU but creates no tracked state in this
+      // model (arrival timing is independent of posting time).
+      t_dst += machine_.primitive_cpu_cost(prim, bytes);
+      return;
+    case Primitive::kSynchPost: {
+      // Destination announces buffer readiness to its source; the flag
+      // crosses the wire and gates the source's shmem_put.
+      t_dst += machine_.primitive_cpu_cost(prim, bytes);
+      channel(chan, src, dst).readiness.push_back(t_dst + machine_.wire_latency);
+      return;
+    }
+    default:
+      ZC_ASSERT(false);
+  }
+}
+
+void Transport::sr(int64_t chan, int src, int dst, int64_t bytes, double& t_src) {
+  const Primitive prim = ironman::binding(library_, IronmanCall::kSR);
+  Channel& ch = channel(chan, src, dst);
+  switch (prim) {
+    case Primitive::kCsend:
+    case Primitive::kPvmSend: {
+      // Blocking buffered send: the CPU copies/packs, then the message is
+      // on the wire; the source may proceed immediately after the copy.
+      t_src += machine_.primitive_cpu_cost(prim, bytes);
+      ch.arrivals.push_back(t_src + wire_time(bytes));
+      if (sv_waits_) ch.send_completes.push_back(t_src);
+      return;
+    }
+    case Primitive::kIsend:
+    case Primitive::kHsend: {
+      // Asynchronous: heavy posting overhead, then the co-processor drains
+      // the user buffer onto the wire; buffer reusable once drained.
+      t_src += machine_.primitive_cpu_cost(prim, bytes);
+      const double drained = t_src + static_cast<double>(bytes) * machine_.wire_per_byte;
+      ch.arrivals.push_back(t_src + wire_time(bytes));
+      if (sv_waits_) ch.send_completes.push_back(drained);
+      return;
+    }
+    case Primitive::kShmemPut: {
+      // One-sided put, gated on the destination's readiness flag.
+      ZC_ASSERT(!ch.readiness.empty());
+      const double ready = ch.readiness.front();
+      ch.readiness.pop_front();
+      t_src = std::max(t_src, ready) + machine_.primitive_cpu_cost(prim, bytes);
+      ch.arrivals.push_back(t_src + machine_.wire_latency);
+      if (sv_waits_) ch.send_completes.push_back(t_src);
+      return;
+    }
+    default:
+      ZC_ASSERT(false);
+  }
+}
+
+void Transport::dn(int64_t chan, int src, int dst, int64_t bytes, double& t_dst) {
+  const Primitive prim = ironman::binding(library_, IronmanCall::kDN);
+  Channel& ch = channel(chan, src, dst);
+  ZC_ASSERT(!ch.arrivals.empty());
+  const double arrival = ch.arrivals.front();
+  ch.arrivals.pop_front();
+  switch (prim) {
+    case Primitive::kCrecv:
+    case Primitive::kPvmRecv:
+      // Wait for arrival, then copy/unpack out of the system buffer.
+      t_dst = std::max(t_dst, arrival) + machine_.primitive_cpu_cost(prim, bytes);
+      return;
+    case Primitive::kMsgwaitRecv:
+    case Primitive::kHrecv:
+    case Primitive::kSynchWait:
+      // Completion wait; data was deposited directly (DMA / put).
+      t_dst = std::max(t_dst, arrival) + machine_.primitive_cpu_cost(prim, bytes);
+      return;
+    default:
+      ZC_ASSERT(false);
+  }
+}
+
+void Transport::sv(int64_t chan, int src, int dst, int64_t bytes, double& t_src) {
+  const Primitive prim = ironman::binding(library_, IronmanCall::kSV);
+  switch (prim) {
+    case Primitive::kNoOp:
+      return;
+    case Primitive::kMsgwaitSend: {
+      Channel& ch = channel(chan, src, dst);
+      ZC_ASSERT(!ch.send_completes.empty());
+      const double complete = ch.send_completes.front();
+      ch.send_completes.pop_front();
+      t_src = std::max(t_src, complete) + machine_.primitive_cpu_cost(prim, bytes);
+      return;
+    }
+    default:
+      ZC_ASSERT(false);
+  }
+}
+
+bool Transport::dr_is_global_synch() const {
+  return ironman::binding(library_, IronmanCall::kDR) == Primitive::kSynchPost;
+}
+
+void Transport::global_synch(std::vector<double>& clocks) const {
+  ZC_ASSERT(!clocks.empty());
+  double t = clocks[0];
+  for (double c : clocks) t = std::max(t, c);
+  const int stages = std::max(
+      1, static_cast<int>(std::ceil(std::log2(static_cast<double>(clocks.size())))));
+  t += machine_.synch_post.overhead + stages * machine_.synch_stage;
+  std::fill(clocks.begin(), clocks.end(), t);
+}
+
+void Transport::post_readiness(int64_t chan, int src, int dst, double when) {
+  channel(chan, src, dst).readiness.push_back(when + machine_.wire_latency);
+}
+
+double Transport::exposed_overhead(int64_t bytes) const {
+  double total = 0.0;
+  for (const IronmanCall call :
+       {IronmanCall::kDR, IronmanCall::kSR, IronmanCall::kDN, IronmanCall::kSV}) {
+    total += machine_.primitive_cpu_cost(ironman::binding(library_, call), bytes);
+  }
+  // The SHMEM prototype's DR synch is a barrier: BOTH endpoints pay the
+  // participation overhead, not just the destination.
+  if (dr_is_global_synch()) total += machine_.synch_post.overhead;
+  return total;
+}
+
+std::size_t Transport::in_flight() const {
+  std::size_t n = 0;
+  for (const auto& [key, ch] : channels_) n += ch.arrivals.size();
+  return n;
+}
+
+}  // namespace zc::sim

@@ -1,0 +1,91 @@
+#include "src/support/chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace zc {
+
+BarChart::BarChart(std::string title, std::vector<std::string> series_names)
+    : title_(std::move(title)), series_(std::move(series_names)) {}
+
+void BarChart::add_group(std::string name, std::vector<double> values) {
+  ZC_ASSERT(values.size() == series_.size());
+  groups_.push_back({std::move(name), std::move(values)});
+}
+
+std::string BarChart::to_string() const {
+  std::size_t label_width = 0;
+  for (const auto& s : series_) label_width = std::max(label_width, s.size());
+  std::size_t group_width = 0;
+  for (const auto& g : groups_) group_width = std::max(group_width, g.name.size());
+
+  std::ostringstream os;
+  os << title_ << "\n";
+  for (const auto& g : groups_) {
+    os << g.name << "\n";
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+      const double v = g.values[s];
+      os << "  " << str::pad_right(series_[s], label_width) << " |";
+      if (std::isnan(v)) {
+        os << " n/a\n";
+        continue;
+      }
+      const double frac = std::clamp(v / scale_max_, 0.0, 1.0);
+      const int bars = static_cast<int>(std::lround(frac * width_));
+      os << std::string(bars, '#') << " " << str::format_f(v, 3) << suffix_ << "\n";
+    }
+  }
+  return os.str();
+}
+
+SeriesChart::SeriesChart(std::string title, std::string x_label, std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)), y_label_(std::move(y_label)) {}
+
+void SeriesChart::add_series(std::string name, std::vector<double> xs, std::vector<double> ys) {
+  ZC_ASSERT(xs.size() == ys.size());
+  series_.push_back({std::move(name), std::move(xs), std::move(ys)});
+}
+
+std::string SeriesChart::to_string() const {
+  std::ostringstream os;
+  os << title_ << "\n";
+  os << "x = " << x_label_ << ", y = " << y_label_ << "\n\n";
+
+  // Shared y range (log scale) across series for comparable sparklines.
+  double ymin = HUGE_VAL;
+  double ymax = -HUGE_VAL;
+  for (const auto& s : series_) {
+    for (double y : s.ys) {
+      if (y > 0) {
+        ymin = std::min(ymin, y);
+        ymax = std::max(ymax, y);
+      }
+    }
+  }
+  const bool have_range = ymax > 0 && ymax > ymin;
+  const char* glyphs = " .:-=+*#%@";
+
+  for (const auto& s : series_) {
+    os << s.name << "\n";
+    std::string spark;
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      double level = 0.0;
+      if (have_range && s.ys[i] > 0) {
+        level = (std::log(s.ys[i]) - std::log(ymin)) / (std::log(ymax) - std::log(ymin));
+      }
+      spark += glyphs[static_cast<int>(std::lround(level * 9))];
+    }
+    os << "  [" << spark << "]\n";
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      os << "    " << str::pad_left(str::format_f(s.xs[i], 0), 8) << "  "
+         << str::format_f(s.ys[i], 3) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace zc

@@ -1,0 +1,63 @@
+// ASCII charts for figure reproduction: grouped horizontal bar charts (the
+// paper's Figures 8, 10, 11, 12 are bar charts of values scaled to a
+// baseline) and multi-series log-scale line listings (Figure 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zc {
+
+/// A grouped horizontal bar chart. Each group (e.g. a benchmark program) has
+/// one bar per series (e.g. an optimization level). Values are typically
+/// fractions of a baseline; `scale_max` sets the value mapped to full width.
+class BarChart {
+ public:
+  BarChart(std::string title, std::vector<std::string> series_names);
+
+  void set_scale_max(double scale_max) { scale_max_ = scale_max; }
+  void set_width(int width) { width_ = width; }
+  /// Suffix appended to each printed value, e.g. "%".
+  void set_value_suffix(std::string suffix) { suffix_ = std::move(suffix); }
+
+  /// `values` must have one entry per series; NaN renders as "n/a".
+  void add_group(std::string name, std::vector<double> values);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> series_;
+  struct Group {
+    std::string name;
+    std::vector<double> values;
+  };
+  std::vector<Group> groups_;
+  double scale_max_ = 1.0;
+  int width_ = 50;
+  std::string suffix_;
+};
+
+/// A multi-series listing of y-values over shared x-values, with a log-scale
+/// ASCII sparkline per row. Used for the Figure 6 overhead-vs-size curves.
+class SeriesChart {
+ public:
+  SeriesChart(std::string title, std::string x_label, std::string y_label);
+
+  void add_series(std::string name, std::vector<double> xs, std::vector<double> ys);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  struct Series {
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+  std::vector<Series> series_;
+};
+
+}  // namespace zc

@@ -1,0 +1,23 @@
+// Internal invariant checking.
+//
+// ZC_ASSERT is for programmer errors (broken invariants); it aborts with a
+// source location. User-facing errors (bad programs, bad parameters) should
+// throw zc::Error instead (see diag.h).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace zc::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "zcomm internal error: assertion `%s` failed at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace zc::detail
+
+#define ZC_ASSERT(expr)                                        \
+  do {                                                         \
+    if (!(expr)) ::zc::detail::assert_fail(#expr, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,28 @@
+// Minimal CSV writer used by bench harnesses to dump machine-readable
+// results alongside the ASCII tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zc {
+
+/// Accumulates rows and renders RFC-4180-ish CSV (fields containing commas,
+/// quotes, or newlines are quoted; quotes are doubled).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to `path`; throws zc::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace zc

@@ -1,0 +1,53 @@
+#include "src/support/diag.h"
+
+#include <sstream>
+
+namespace zc {
+
+std::string SourceLoc::to_string() const {
+  if (!valid()) return "<no location>";
+  std::ostringstream os;
+  os << line << ":" << column;
+  return os.str();
+}
+
+Error::Error(SourceLoc loc, const std::string& message)
+    : std::runtime_error(loc.valid() ? loc.to_string() + ": " + message : message), loc_(loc) {}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  if (loc.valid()) os << loc.to_string() << ": ";
+  switch (severity) {
+    case Severity::kError: os << "error: "; break;
+    case Severity::kWarning: os << "warning: "; break;
+    case Severity::kNote: os << "note: "; break;
+  }
+  os << message;
+  return os.str();
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string message) {
+  diags_.push_back({Diagnostic::Severity::kError, loc, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string message) {
+  diags_.push_back({Diagnostic::Severity::kWarning, loc, std::move(message)});
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string message) {
+  diags_.push_back({Diagnostic::Severity::kNote, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::to_string() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) os << d.to_string() << "\n";
+  return os.str();
+}
+
+void DiagnosticEngine::throw_if_errors(const std::string& context) const {
+  if (!has_errors()) return;
+  throw Error(context + ":\n" + to_string());
+}
+
+}  // namespace zc

@@ -1,0 +1,70 @@
+// Diagnostics: source locations, user-facing errors, and an error sink used
+// by the parser and semantic analysis.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace zc {
+
+/// A position in a mini-ZPL source buffer. Lines and columns are 1-based;
+/// line 0 means "no location" (e.g. errors from the builder API).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool valid() const { return line > 0; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// User-facing error (bad source program, bad configuration). Internal
+/// invariant violations use ZC_ASSERT instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+  Error(SourceLoc loc, const std::string& message);
+
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_{};
+};
+
+/// One recorded diagnostic.
+struct Diagnostic {
+  enum class Severity { kError, kWarning, kNote };
+  Severity severity = Severity::kError;
+  SourceLoc loc{};
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Collects diagnostics during parsing / semantic analysis so that multiple
+/// errors can be reported from a single compile. `Parser::parse` records
+/// everything here and the driver decides whether to throw.
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void note(SourceLoc loc, std::string message);
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] int error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// All diagnostics, one per line, for embedding in an Error message.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Throws zc::Error with the collected messages if any error was recorded.
+  void throw_if_errors(const std::string& context) const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int error_count_ = 0;
+};
+
+}  // namespace zc

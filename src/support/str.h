@@ -1,0 +1,39 @@
+// Small string utilities shared across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zc::str {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Lower-cases ASCII letters.
+std::string to_lower(std::string_view text);
+
+/// Fixed-precision decimal rendering, e.g. format_f(1.23456, 3) == "1.235".
+std::string format_f(double value, int precision);
+
+/// Renders with thousands separators: 1234567 -> "1,234,567".
+std::string with_commas(long long value);
+
+/// Left/right pads `text` with spaces to `width` (no-op if already wider).
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+/// Renders a percentage of `part` over `whole`, e.g. "42%". Returns "--"
+/// when `whole` is zero.
+std::string percent(double part, double whole);
+
+}  // namespace zc::str

@@ -1,0 +1,84 @@
+#include "src/support/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/check.h"
+#include "src/support/str.h"
+
+namespace zc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  aligns_.resize(headers_.size(), Align::kRight);
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  ZC_ASSERT(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ZC_ASSERT(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto render_rule = [&](std::ostringstream& os) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      if (c > 0) os << "-+-";
+      os << std::string(widths[c], '-');
+    }
+    os << "\n";
+  };
+  auto render_row = [&](std::ostringstream& os, const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << (aligns_[c] == Align::kLeft ? str::pad_right(row[c], widths[c])
+                                        : str::pad_left(row[c], widths[c]));
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  render_row(os, headers_);
+  render_rule(os);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      render_rule(os);
+    } else {
+      render_row(os, row);
+    }
+  }
+  return os.str();
+}
+
+RowBuilder& RowBuilder::cell(std::string text) {
+  cells_.push_back(std::move(text));
+  return *this;
+}
+
+RowBuilder& RowBuilder::cell(long long value) {
+  cells_.push_back(str::with_commas(value));
+  return *this;
+}
+
+RowBuilder& RowBuilder::cell(double value, int precision) {
+  cells_.push_back(str::format_f(value, precision));
+  return *this;
+}
+
+RowBuilder& RowBuilder::percent_cell(double part, double whole) {
+  cells_.push_back(str::percent(part, whole));
+  return *this;
+}
+
+}  // namespace zc

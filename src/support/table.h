@@ -1,0 +1,57 @@
+// ASCII table rendering for bench / example output. The harnesses reproduce
+// the paper's tables with these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zc {
+
+/// Column alignment for Table.
+enum class Align { kLeft, kRight };
+
+/// A simple monospace table: set headers, add rows, render. Cell widths are
+/// computed from content. Numeric-looking helper adders are provided so bench
+/// code stays terse.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Per-column alignment; defaults to left for column 0, right otherwise.
+  void set_align(std::size_t column, Align align);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line before the next row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   name      | static | dynamic
+  ///   ----------+--------+--------
+  ///   tomcatv   |     46 |  40,400
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Convenience: builds a row from heterogeneous printf-style parts.
+class RowBuilder {
+ public:
+  RowBuilder& cell(std::string text);
+  RowBuilder& cell(long long value);
+  RowBuilder& cell(double value, int precision);
+  /// `part/whole` rendered as a percentage ("73%").
+  RowBuilder& percent_cell(double part, double whole);
+
+  [[nodiscard]] std::vector<std::string> build() && { return std::move(cells_); }
+
+ private:
+  std::vector<std::string> cells_;
+};
+
+}  // namespace zc

@@ -1,0 +1,255 @@
+#include "src/zir/builder.h"
+
+#include "src/support/check.h"
+#include "src/support/diag.h"
+
+namespace zc::zir {
+
+// --- Ex operators -----------------------------------------------------------
+
+namespace {
+Ex make_binary(BinOp op, const Ex& a, const Ex& b) {
+  ZC_ASSERT(a.builder() != nullptr && a.builder() == b.builder());
+  return a.builder()->binary(op, a, b);
+}
+}  // namespace
+
+Ex operator+(const Ex& a, const Ex& b) { return make_binary(BinOp::kAdd, a, b); }
+Ex operator-(const Ex& a, const Ex& b) { return make_binary(BinOp::kSub, a, b); }
+Ex operator*(const Ex& a, const Ex& b) { return make_binary(BinOp::kMul, a, b); }
+Ex operator/(const Ex& a, const Ex& b) { return make_binary(BinOp::kDiv, a, b); }
+Ex operator-(const Ex& a) { return a.builder()->unary(UnOp::kNeg, a); }
+
+Ex operator+(const Ex& a, double b) { return a + a.builder()->lit(b); }
+Ex operator+(double a, const Ex& b) { return b.builder()->lit(a) + b; }
+Ex operator-(const Ex& a, double b) { return a - a.builder()->lit(b); }
+Ex operator-(double a, const Ex& b) { return b.builder()->lit(a) - b; }
+Ex operator*(const Ex& a, double b) { return a * a.builder()->lit(b); }
+Ex operator*(double a, const Ex& b) { return b.builder()->lit(a) * b; }
+Ex operator/(const Ex& a, double b) { return a / a.builder()->lit(b); }
+Ex operator/(double a, const Ex& b) { return b.builder()->lit(a) / b; }
+
+// --- ProgramBuilder ---------------------------------------------------------
+
+ProgramBuilder::ProgramBuilder(std::string name) { program_.set_name(std::move(name)); }
+
+Ix ProgramBuilder::config(const std::string& name, long long default_value) {
+  const ConfigId id = program_.add_config({name, default_value});
+  return Ix(IntExpr::config(id));
+}
+
+RegionId ProgramBuilder::region(const std::string& name, std::vector<std::pair<Ix, Ix>> bounds) {
+  RegionSpec s;
+  for (auto& [lo, hi] : bounds) s.dims.push_back({lo.expr(), hi.expr()});
+  return program_.add_region({name, std::move(s)});
+}
+
+DirectionId ProgramBuilder::direction(const std::string& name, std::vector<int> offsets) {
+  return program_.add_direction({name, std::move(offsets)});
+}
+
+ArrayId ProgramBuilder::array(const std::string& name, RegionId over, ElemType type) {
+  return program_.add_array({name, over, type});
+}
+
+ScalarId ProgramBuilder::scalar(const std::string& name, ElemType type) {
+  return program_.add_scalar({name, type});
+}
+
+Ex ProgramBuilder::wrap(Expr e) { return Ex(this, program_.add_expr(std::move(e))); }
+
+Ex ProgramBuilder::lit(double v) {
+  Expr e;
+  e.kind = Expr::Kind::kConst;
+  e.const_value = v;
+  return wrap(e);
+}
+
+Ex ProgramBuilder::ref(ArrayId a) {
+  Expr e;
+  e.kind = Expr::Kind::kArrayRef;
+  e.array = a;
+  return wrap(e);
+}
+
+Ex ProgramBuilder::at(ArrayId a, DirectionId d) {
+  Expr e;
+  e.kind = Expr::Kind::kShift;
+  e.array = a;
+  e.direction = d;
+  return wrap(e);
+}
+
+Ex ProgramBuilder::sref(ScalarId s) {
+  Expr e;
+  e.kind = Expr::Kind::kScalarRef;
+  e.scalar = s;
+  return wrap(e);
+}
+
+Ex ProgramBuilder::index(int dim) {
+  Expr e;
+  e.kind = Expr::Kind::kIndex;
+  e.index_dim = dim;
+  return wrap(e);
+}
+
+Ex ProgramBuilder::binary(BinOp op, Ex a, Ex b) {
+  Expr e;
+  e.kind = Expr::Kind::kBinary;
+  e.bin_op = op;
+  e.lhs = a.id();
+  e.rhs = b.id();
+  return wrap(e);
+}
+
+Ex ProgramBuilder::unary(UnOp op, Ex a) {
+  Expr e;
+  e.kind = Expr::Kind::kUnary;
+  e.un_op = op;
+  e.lhs = a.id();
+  return wrap(e);
+}
+
+Ex ProgramBuilder::min(Ex a, Ex b) { return binary(BinOp::kMin, a, b); }
+Ex ProgramBuilder::max(Ex a, Ex b) { return binary(BinOp::kMax, a, b); }
+Ex ProgramBuilder::sqrt(Ex a) { return unary(UnOp::kSqrt, a); }
+Ex ProgramBuilder::abs(Ex a) { return unary(UnOp::kAbs, a); }
+
+Ex ProgramBuilder::reduce(ReduceOp op, Ex a) {
+  Expr e;
+  e.kind = Expr::Kind::kReduce;
+  e.reduce_op = op;
+  e.lhs = a.id();
+  return wrap(e);
+}
+
+RegionSpec ProgramBuilder::spec(std::vector<std::pair<Ix, Ix>> bounds) {
+  RegionSpec s;
+  for (auto& [lo, hi] : bounds) s.dims.push_back({lo.expr(), hi.expr()});
+  return s;
+}
+
+RegionSpec ProgramBuilder::spec_of(RegionId r) const { return program_.region(r).spec; }
+
+Ix ProgramBuilder::loop_ix() const {
+  if (loop_stack_.empty()) throw Error("loop_ix() used outside a for_ body");
+  return Ix(IntExpr::loop_var(loop_stack_.back()));
+}
+
+Ex ProgramBuilder::loop_ex() {
+  if (loop_stack_.empty()) throw Error("loop_ex() used outside a for_ body");
+  Expr e;
+  e.kind = Expr::Kind::kLoopVarRef;
+  e.loop_var = loop_stack_.back();
+  return wrap(e);
+}
+
+void ProgramBuilder::emit(Stmt s) {
+  if (body_stack_.empty()) throw Error("statement emitted outside a procedure body");
+  body_stack_.back().push_back(program_.add_stmt(std::move(s)));
+}
+
+void ProgramBuilder::assign(RegionId region, ArrayId lhs, Ex rhs) {
+  assign(spec_of(region), lhs, rhs);
+}
+
+void ProgramBuilder::assign(RegionSpec region, ArrayId lhs, Ex rhs) {
+  Stmt s;
+  s.kind = Stmt::Kind::kArrayAssign;
+  s.region = std::move(region);
+  s.lhs_array = lhs;
+  s.rhs = rhs.id();
+  emit(std::move(s));
+}
+
+void ProgramBuilder::sassign(ScalarId lhs, Ex rhs) {
+  Stmt s;
+  s.kind = Stmt::Kind::kScalarAssign;
+  s.lhs_scalar = lhs;
+  s.rhs = rhs.id();
+  emit(std::move(s));
+}
+
+void ProgramBuilder::sassign_over(RegionSpec region, ScalarId lhs, Ex rhs) {
+  Stmt s;
+  s.kind = Stmt::Kind::kScalarAssign;
+  s.region = std::move(region);
+  s.lhs_scalar = lhs;
+  s.rhs = rhs.id();
+  emit(std::move(s));
+}
+
+void ProgramBuilder::for_(const std::string& var, Ix lo, Ix hi,
+                          const std::function<void()>& body, long long step) {
+  const LoopVarId v = program_.add_loop_var({var});
+  loop_stack_.push_back(v);
+  body_stack_.emplace_back();
+  body();
+  std::vector<StmtId> stmts = std::move(body_stack_.back());
+  body_stack_.pop_back();
+  loop_stack_.pop_back();
+
+  Stmt s;
+  s.kind = Stmt::Kind::kFor;
+  s.loop_var = v;
+  s.lo = lo.expr();
+  s.hi = hi.expr();
+  s.step = step;
+  s.body = std::move(stmts);
+  emit(std::move(s));
+}
+
+void ProgramBuilder::repeat(Ix count, const std::function<void()>& body) {
+  for_("_rep", 1, count, body);
+}
+
+void ProgramBuilder::if_(Ex cond, const std::function<void()>& then_body,
+                         const std::function<void()>& else_body) {
+  body_stack_.emplace_back();
+  then_body();
+  std::vector<StmtId> then_stmts = std::move(body_stack_.back());
+  body_stack_.pop_back();
+
+  std::vector<StmtId> else_stmts;
+  if (else_body) {
+    body_stack_.emplace_back();
+    else_body();
+    else_stmts = std::move(body_stack_.back());
+    body_stack_.pop_back();
+  }
+
+  Stmt s;
+  s.kind = Stmt::Kind::kIf;
+  s.cond = cond.id();
+  s.body = std::move(then_stmts);
+  s.else_body = std::move(else_stmts);
+  emit(std::move(s));
+}
+
+void ProgramBuilder::call(ProcId callee) {
+  Stmt s;
+  s.kind = Stmt::Kind::kCall;
+  s.callee = callee;
+  emit(std::move(s));
+}
+
+ProcId ProgramBuilder::proc(const std::string& name, const std::function<void()>& body) {
+  body_stack_.emplace_back();
+  body();
+  std::vector<StmtId> stmts = std::move(body_stack_.back());
+  body_stack_.pop_back();
+  return program_.add_proc({name, std::move(stmts)});
+}
+
+Program ProgramBuilder::finish() && {
+  ProcId entry = program_.find_proc("main");
+  if (!entry.valid() && program_.proc_count() > 0) {
+    entry = ProcId(static_cast<int32_t>(program_.proc_count() - 1));
+  }
+  program_.set_entry(entry);
+  program_.validate();
+  return std::move(program_);
+}
+
+}  // namespace zc::zir

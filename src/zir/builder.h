@@ -1,0 +1,149 @@
+// ProgramBuilder: an ergonomic C++ DSL for constructing ZIR programs.
+// Used by tests, examples, and the property-test program generator; the
+// benchmark suite itself goes through the mini-ZPL parser.
+//
+// Example:
+//   ProgramBuilder b("jacobi");
+//   Ix n = b.config("n", 64);
+//   RegionId R = b.region("R", {{1, n}, {1, n}});
+//   DirectionId east = b.direction("east", {0, 1});
+//   ArrayId A = b.array("A", R), B = b.array("B", R);
+//   b.proc("main", [&] {
+//     b.repeat(10, [&] { b.assign(R, A, (b.at(B, east) + b.ref(B)) * 0.5); });
+//   });
+//   Program p = std::move(b).finish();
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/zir/program.h"
+
+namespace zc::zir {
+
+class ProgramBuilder;
+
+/// Integer-expression wrapper with arithmetic operators, for bounds.
+class Ix {
+ public:
+  Ix(long long v) : expr_(IntExpr::constant(v)) {}  // NOLINT: implicit by design
+  explicit Ix(IntExpr e) : expr_(std::move(e)) {}
+
+  [[nodiscard]] const IntExpr& expr() const { return expr_; }
+
+  friend Ix operator+(const Ix& a, const Ix& b) { return Ix(IntExpr::add(a.expr_, b.expr_)); }
+  friend Ix operator-(const Ix& a, const Ix& b) { return Ix(IntExpr::sub(a.expr_, b.expr_)); }
+  friend Ix operator*(const Ix& a, const Ix& b) { return Ix(IntExpr::mul(a.expr_, b.expr_)); }
+  friend Ix operator/(const Ix& a, const Ix& b) { return Ix(IntExpr::div(a.expr_, b.expr_)); }
+  friend Ix operator-(const Ix& a) { return Ix(IntExpr::neg(a.expr_)); }
+
+ private:
+  IntExpr expr_;
+};
+
+/// Value-expression wrapper with arithmetic operators.
+class Ex {
+ public:
+  Ex() = default;
+  Ex(ProgramBuilder* b, ExprId id) : builder_(b), id_(id) {}
+
+  [[nodiscard]] ExprId id() const { return id_; }
+  [[nodiscard]] ProgramBuilder* builder() const { return builder_; }
+  [[nodiscard]] bool valid() const { return builder_ != nullptr && id_.valid(); }
+
+  friend Ex operator+(const Ex& a, const Ex& b);
+  friend Ex operator-(const Ex& a, const Ex& b);
+  friend Ex operator*(const Ex& a, const Ex& b);
+  friend Ex operator/(const Ex& a, const Ex& b);
+  friend Ex operator-(const Ex& a);
+
+  // Mixed with double literals.
+  friend Ex operator+(const Ex& a, double b);
+  friend Ex operator+(double a, const Ex& b);
+  friend Ex operator-(const Ex& a, double b);
+  friend Ex operator-(double a, const Ex& b);
+  friend Ex operator*(const Ex& a, double b);
+  friend Ex operator*(double a, const Ex& b);
+  friend Ex operator/(const Ex& a, double b);
+  friend Ex operator/(double a, const Ex& b);
+
+ private:
+  ProgramBuilder* builder_ = nullptr;
+  ExprId id_{};
+};
+
+/// Builds a Program imperatively. Statement-emitting calls append to the
+/// innermost open body (procedure, loop, or branch).
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  // --- declarations --------------------------------------------------------
+  /// Declares a config constant and returns an Ix referring to it.
+  Ix config(const std::string& name, long long default_value);
+  RegionId region(const std::string& name, std::vector<std::pair<Ix, Ix>> bounds);
+  DirectionId direction(const std::string& name, std::vector<int> offsets);
+  ArrayId array(const std::string& name, RegionId over, ElemType type = ElemType::kF64);
+  ScalarId scalar(const std::string& name, ElemType type = ElemType::kF64);
+
+  // --- expressions ----------------------------------------------------------
+  Ex lit(double v);
+  Ex ref(ArrayId a);
+  Ex at(ArrayId a, DirectionId d);  ///< A@d
+  Ex sref(ScalarId s);
+  Ex index(int dim);  ///< ZPL Index1 / Index2 / Index3
+  Ex binary(BinOp op, Ex a, Ex b);
+  Ex unary(UnOp op, Ex a);
+  Ex min(Ex a, Ex b);
+  Ex max(Ex a, Ex b);
+  Ex sqrt(Ex a);
+  Ex abs(Ex a);
+  Ex reduce(ReduceOp op, Ex a);
+
+  // --- region specs ---------------------------------------------------------
+  /// An inline region spec (bounds may reference in-scope loop variables).
+  static RegionSpec spec(std::vector<std::pair<Ix, Ix>> bounds);
+  /// The spec of a previously declared named region.
+  [[nodiscard]] RegionSpec spec_of(RegionId r) const;
+  /// The current loop variable of the innermost `for_` as an Ix.
+  [[nodiscard]] Ix loop_ix() const;
+  /// ... and as a (scalar-valued) Ex.
+  Ex loop_ex();
+
+  // --- statements -----------------------------------------------------------
+  void assign(RegionId region, ArrayId lhs, Ex rhs);
+  void assign(RegionSpec region, ArrayId lhs, Ex rhs);
+  void sassign(ScalarId lhs, Ex rhs);
+  /// Scalar assignment whose rhs contains a reduction over `region`.
+  void sassign_over(RegionSpec region, ScalarId lhs, Ex rhs);
+  void for_(const std::string& var, Ix lo, Ix hi, const std::function<void()>& body,
+            long long step = 1);
+  void repeat(Ix count, const std::function<void()>& body);
+  void if_(Ex cond, const std::function<void()>& then_body,
+           const std::function<void()>& else_body = nullptr);
+  void call(ProcId callee);
+
+  // --- procedures -----------------------------------------------------------
+  ProcId proc(const std::string& name, const std::function<void()>& body);
+
+  /// Finishes construction; validates; the entry is the procedure named
+  /// "main" (or the last procedure declared if none is named main).
+  [[nodiscard]] Program finish() &&;
+
+  [[nodiscard]] Program& program() { return program_; }
+
+ private:
+  friend class Ex;
+  Ex wrap(Expr e);
+  void emit(Stmt s);
+
+  Program program_;
+  // Bodies under construction, innermost last. Values (not pointers into the
+  // statement arena) so that arena growth cannot invalidate them.
+  std::vector<std::vector<StmtId>> body_stack_;
+  std::vector<LoopVarId> loop_stack_;
+};
+
+}  // namespace zc::zir

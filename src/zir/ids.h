@@ -1,0 +1,52 @@
+// Strongly-typed indices into the Program arenas. Using distinct types (not
+// raw ints) keeps array/scalar/region/expression indices from being mixed up
+// at compile time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace zc::zir {
+
+template <typename Tag>
+struct Id {
+  int32_t value = -1;
+
+  Id() = default;
+  explicit Id(int32_t v) : value(v) {}
+
+  [[nodiscard]] bool valid() const { return value >= 0; }
+  [[nodiscard]] std::size_t index() const { return static_cast<std::size_t>(value); }
+
+  friend bool operator==(Id, Id) = default;
+  friend auto operator<=>(Id, Id) = default;
+};
+
+struct ConfigTag {};
+struct RegionTag {};
+struct DirectionTag {};
+struct ArrayTag {};
+struct ScalarTag {};
+struct LoopVarTag {};
+struct ExprTag {};
+struct StmtTag {};
+struct ProcTag {};
+
+using ConfigId = Id<ConfigTag>;
+using RegionId = Id<RegionTag>;
+using DirectionId = Id<DirectionTag>;
+using ArrayId = Id<ArrayTag>;
+using ScalarId = Id<ScalarTag>;
+using LoopVarId = Id<LoopVarTag>;
+using ExprId = Id<ExprTag>;
+using StmtId = Id<StmtTag>;
+using ProcId = Id<ProcTag>;
+
+}  // namespace zc::zir
+
+template <typename Tag>
+struct std::hash<zc::zir::Id<Tag>> {
+  std::size_t operator()(zc::zir::Id<Tag> id) const noexcept {
+    return std::hash<int32_t>{}(id.value);
+  }
+};

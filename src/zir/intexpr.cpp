@@ -1,0 +1,165 @@
+#include "src/zir/intexpr.h"
+
+#include "src/support/check.h"
+#include "src/support/diag.h"
+#include "src/zir/program.h"
+
+namespace zc::zir {
+
+IntExpr IntExpr::constant(long long v) {
+  IntExpr e;
+  e.kind_ = Kind::kConst;
+  e.const_value_ = v;
+  return e;
+}
+
+IntExpr IntExpr::config(ConfigId id) {
+  IntExpr e;
+  e.kind_ = Kind::kConfig;
+  e.config_id_ = id;
+  return e;
+}
+
+IntExpr IntExpr::loop_var(LoopVarId id) {
+  IntExpr e;
+  e.kind_ = Kind::kLoopVar;
+  e.loop_var_id_ = id;
+  return e;
+}
+
+IntExpr IntExpr::add(IntExpr a, IntExpr b) {
+  IntExpr e;
+  e.kind_ = Kind::kAdd;
+  e.lhs_ = std::make_shared<const IntExpr>(std::move(a));
+  e.rhs_ = std::make_shared<const IntExpr>(std::move(b));
+  return e;
+}
+
+IntExpr IntExpr::sub(IntExpr a, IntExpr b) {
+  IntExpr e;
+  e.kind_ = Kind::kSub;
+  e.lhs_ = std::make_shared<const IntExpr>(std::move(a));
+  e.rhs_ = std::make_shared<const IntExpr>(std::move(b));
+  return e;
+}
+
+IntExpr IntExpr::mul(IntExpr a, IntExpr b) {
+  IntExpr e;
+  e.kind_ = Kind::kMul;
+  e.lhs_ = std::make_shared<const IntExpr>(std::move(a));
+  e.rhs_ = std::make_shared<const IntExpr>(std::move(b));
+  return e;
+}
+
+IntExpr IntExpr::div(IntExpr a, IntExpr b) {
+  IntExpr e;
+  e.kind_ = Kind::kDiv;
+  e.lhs_ = std::make_shared<const IntExpr>(std::move(a));
+  e.rhs_ = std::make_shared<const IntExpr>(std::move(b));
+  return e;
+}
+
+IntExpr IntExpr::neg(IntExpr a) {
+  IntExpr e;
+  e.kind_ = Kind::kNeg;
+  e.lhs_ = std::make_shared<const IntExpr>(std::move(a));
+  return e;
+}
+
+long long IntExpr::eval(const IntEnv& env) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return const_value_;
+    case Kind::kConfig:
+      ZC_ASSERT(config_id_.index() < env.config_values.size());
+      return env.config_values[config_id_.index()];
+    case Kind::kLoopVar:
+      if (loop_var_id_.index() >= env.loop_bound.size() || !env.loop_bound[loop_var_id_.index()]) {
+        throw Error("loop variable used outside its loop in a bound expression");
+      }
+      return env.loop_values[loop_var_id_.index()];
+    case Kind::kAdd:
+      return lhs_->eval(env) + rhs_->eval(env);
+    case Kind::kSub:
+      return lhs_->eval(env) - rhs_->eval(env);
+    case Kind::kMul:
+      return lhs_->eval(env) * rhs_->eval(env);
+    case Kind::kDiv: {
+      const long long d = rhs_->eval(env);
+      if (d == 0) throw Error("division by zero in integer bound expression");
+      return lhs_->eval(env) / d;
+    }
+    case Kind::kNeg:
+      return -lhs_->eval(env);
+  }
+  ZC_ASSERT(false);
+  return 0;
+}
+
+bool IntExpr::is_static() const {
+  switch (kind_) {
+    case Kind::kConst:
+    case Kind::kConfig:
+      return true;
+    case Kind::kLoopVar:
+      return false;
+    case Kind::kNeg:
+      return lhs_->is_static();
+    default:
+      return lhs_->is_static() && rhs_->is_static();
+  }
+}
+
+bool IntExpr::uses_loop_var(LoopVarId id) const {
+  switch (kind_) {
+    case Kind::kConst:
+    case Kind::kConfig:
+      return false;
+    case Kind::kLoopVar:
+      return loop_var_id_ == id;
+    case Kind::kNeg:
+      return lhs_->uses_loop_var(id);
+    default:
+      return lhs_->uses_loop_var(id) || rhs_->uses_loop_var(id);
+  }
+}
+
+bool IntExpr::equals(const IntExpr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kConst:
+      return const_value_ == other.const_value_;
+    case Kind::kConfig:
+      return config_id_ == other.config_id_;
+    case Kind::kLoopVar:
+      return loop_var_id_ == other.loop_var_id_;
+    case Kind::kNeg:
+      return lhs_->equals(*other.lhs_);
+    default:
+      return lhs_->equals(*other.lhs_) && rhs_->equals(*other.rhs_);
+  }
+}
+
+std::string IntExpr::to_string(const Program& program) const {
+  switch (kind_) {
+    case Kind::kConst:
+      return std::to_string(const_value_);
+    case Kind::kConfig:
+      return program.config(config_id_).name;
+    case Kind::kLoopVar:
+      return program.loop_var(loop_var_id_).name;
+    case Kind::kAdd:
+      return "(" + lhs_->to_string(program) + "+" + rhs_->to_string(program) + ")";
+    case Kind::kSub:
+      return "(" + lhs_->to_string(program) + "-" + rhs_->to_string(program) + ")";
+    case Kind::kMul:
+      return "(" + lhs_->to_string(program) + "*" + rhs_->to_string(program) + ")";
+    case Kind::kDiv:
+      return "(" + lhs_->to_string(program) + "/" + rhs_->to_string(program) + ")";
+    case Kind::kNeg:
+      return "(-" + lhs_->to_string(program) + ")";
+  }
+  return "?";
+}
+
+}  // namespace zc::zir

@@ -1,0 +1,69 @@
+// Integer expressions: the small arithmetic language used for region bounds,
+// loop bounds, and repeat counts. Operands are literals, config constants
+// (e.g. the problem size `n`), and enclosing loop variables — this is what
+// lets TOMCATV express its row-sweep regions `[i, 1..n]`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/zir/ids.h"
+
+namespace zc::zir {
+
+class Program;  // for name lookup in to_string
+
+/// Environment for evaluating an IntExpr: config constant values plus the
+/// values of loop variables currently in scope.
+struct IntEnv {
+  std::vector<long long> config_values;            // indexed by ConfigId
+  std::vector<long long> loop_values;              // indexed by LoopVarId
+  std::vector<bool> loop_bound;                    // indexed by LoopVarId
+};
+
+/// A small value-semantic expression tree over integers.
+class IntExpr {
+ public:
+  enum class Kind { kConst, kConfig, kLoopVar, kAdd, kSub, kMul, kDiv, kNeg };
+
+  IntExpr() : kind_(Kind::kConst), const_value_(0) {}
+
+  static IntExpr constant(long long v);
+  static IntExpr config(ConfigId id);
+  static IntExpr loop_var(LoopVarId id);
+  static IntExpr add(IntExpr a, IntExpr b);
+  static IntExpr sub(IntExpr a, IntExpr b);
+  static IntExpr mul(IntExpr a, IntExpr b);
+  static IntExpr div(IntExpr a, IntExpr b);
+  static IntExpr neg(IntExpr a);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  /// Evaluates under `env`; throws zc::Error on unbound loop variable or
+  /// division by zero.
+  [[nodiscard]] long long eval(const IntEnv& env) const;
+
+  /// True if no loop variables occur (value depends only on configs).
+  [[nodiscard]] bool is_static() const;
+
+  /// True if this loop variable occurs in the expression.
+  [[nodiscard]] bool uses_loop_var(LoopVarId id) const;
+
+  /// Structural equality (same tree shape, same leaves).
+  [[nodiscard]] bool equals(const IntExpr& other) const;
+
+  [[nodiscard]] std::string to_string(const Program& program) const;
+
+ private:
+  Kind kind_;
+  long long const_value_ = 0;
+  ConfigId config_id_{};
+  LoopVarId loop_var_id_{};
+  // Children are heap-allocated to keep IntExpr copyable with value
+  // semantics; trees are tiny (a handful of nodes).
+  std::shared_ptr<const IntExpr> lhs_;
+  std::shared_ptr<const IntExpr> rhs_;
+};
+
+}  // namespace zc::zir

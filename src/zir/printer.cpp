@@ -1,0 +1,203 @@
+#include "src/zir/printer.h"
+
+#include <sstream>
+
+#include "src/support/check.h"
+
+namespace zc::zir {
+
+namespace {
+
+const char* bin_op_token(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMin: return "min";
+    case BinOp::kMax: return "max";
+    case BinOp::kPow: return "pow";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+const char* un_op_token(UnOp op) {
+  switch (op) {
+    case UnOp::kNeg: return "-";
+    case UnOp::kNot: return "!";
+    case UnOp::kAbs: return "abs";
+    case UnOp::kSqrt: return "sqrt";
+    case UnOp::kExp: return "exp";
+    case UnOp::kLog: return "log";
+    case UnOp::kSin: return "sin";
+    case UnOp::kCos: return "cos";
+  }
+  return "?";
+}
+
+const char* reduce_op_token(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "+<<";
+    case ReduceOp::kMax: return "max<<";
+    case ReduceOp::kMin: return "min<<";
+  }
+  return "?";
+}
+
+bool is_function_style(BinOp op) {
+  return op == BinOp::kMin || op == BinOp::kMax || op == BinOp::kPow;
+}
+
+std::string format_const(double v) {
+  std::ostringstream os;
+  os << v;
+  std::string s = os.str();
+  // Make sure literals parse back as doubles, not integers.
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  return s;
+}
+
+void print_body(const Program& p, const std::vector<StmtId>& body, int indent,
+                std::ostringstream& os) {
+  for (StmtId id : body) os << stmt_to_string(p, id, indent);
+}
+
+}  // namespace
+
+std::string expr_to_string(const Program& p, ExprId id) {
+  const Expr& e = p.expr(id);
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return format_const(e.const_value);
+    case Expr::Kind::kScalarRef:
+      return p.scalar(e.scalar).name;
+    case Expr::Kind::kLoopVarRef:
+      return p.loop_var(e.loop_var).name;
+    case Expr::Kind::kConfigRef:
+      return p.config(e.config).name;
+    case Expr::Kind::kArrayRef:
+      return p.array(e.array).name;
+    case Expr::Kind::kShift:
+      return p.array(e.array).name + "@" + p.direction(e.direction).name;
+    case Expr::Kind::kIndex:
+      return "Index" + std::to_string(e.index_dim);
+    case Expr::Kind::kBinary: {
+      const std::string a = expr_to_string(p, e.lhs);
+      const std::string b = expr_to_string(p, e.rhs);
+      if (is_function_style(e.bin_op)) {
+        return std::string(bin_op_token(e.bin_op)) + "(" + a + ", " + b + ")";
+      }
+      return "(" + a + " " + bin_op_token(e.bin_op) + " " + b + ")";
+    }
+    case Expr::Kind::kUnary: {
+      const std::string a = expr_to_string(p, e.lhs);
+      if (e.un_op == UnOp::kNeg || e.un_op == UnOp::kNot) {
+        return std::string(un_op_token(e.un_op)) + a;
+      }
+      return std::string(un_op_token(e.un_op)) + "(" + a + ")";
+    }
+    case Expr::Kind::kReduce:
+      return std::string(reduce_op_token(e.reduce_op)) + " " + expr_to_string(p, e.lhs);
+  }
+  return "?";
+}
+
+std::string region_spec_to_string(const Program& p, const RegionSpec& spec) {
+  std::string out = "[";
+  for (int d = 0; d < spec.rank(); ++d) {
+    if (d > 0) out += ", ";
+    out += spec.dims[d].lo.to_string(p);
+    out += "..";
+    out += spec.dims[d].hi.to_string(p);
+  }
+  out += "]";
+  return out;
+}
+
+std::string stmt_to_string(const Program& p, StmtId id, int indent) {
+  const Stmt& s = p.stmt(id);
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::ostringstream os;
+  switch (s.kind) {
+    case Stmt::Kind::kArrayAssign:
+      os << pad << region_spec_to_string(p, *s.region) << " " << p.array(s.lhs_array).name
+         << " := " << expr_to_string(p, s.rhs) << ";\n";
+      break;
+    case Stmt::Kind::kScalarAssign:
+      os << pad;
+      if (s.region.has_value()) os << region_spec_to_string(p, *s.region) << " ";
+      os << p.scalar(s.lhs_scalar).name << " := " << expr_to_string(p, s.rhs) << ";\n";
+      break;
+    case Stmt::Kind::kFor:
+      os << pad << "for " << p.loop_var(s.loop_var).name << " in " << s.lo.to_string(p) << ".."
+         << s.hi.to_string(p);
+      if (s.step != 1) os << " by " << s.step;
+      os << " {\n";
+      print_body(p, s.body, indent + 1, os);
+      os << pad << "}\n";
+      break;
+    case Stmt::Kind::kIf:
+      os << pad << "if " << expr_to_string(p, s.cond) << " {\n";
+      print_body(p, s.body, indent + 1, os);
+      if (!s.else_body.empty()) {
+        os << pad << "} else {\n";
+        print_body(p, s.else_body, indent + 1, os);
+      }
+      os << pad << "}\n";
+      break;
+    case Stmt::Kind::kCall:
+      os << pad << p.proc(s.callee).name << "();\n";
+      break;
+  }
+  return os.str();
+}
+
+std::string to_source(const Program& p) {
+  std::ostringstream os;
+  os << "program " << p.name() << ";\n\n";
+  for (std::size_t i = 0; i < p.config_count(); ++i) {
+    const ConfigDecl& c = p.config(ConfigId(static_cast<int32_t>(i)));
+    os << "config " << c.name << " : integer = " << c.default_value << ";\n";
+  }
+  for (std::size_t i = 0; i < p.region_count(); ++i) {
+    const RegionDecl& r = p.region(RegionId(static_cast<int32_t>(i)));
+    os << "region " << r.name << " = " << region_spec_to_string(p, r.spec) << ";\n";
+  }
+  for (std::size_t i = 0; i < p.direction_count(); ++i) {
+    const DirectionDecl& d = p.direction(DirectionId(static_cast<int32_t>(i)));
+    os << "direction " << d.name << " = [";
+    for (std::size_t k = 0; k < d.offsets.size(); ++k) {
+      if (k > 0) os << ", ";
+      os << d.offsets[k];
+    }
+    os << "];\n";
+  }
+  for (std::size_t i = 0; i < p.array_count(); ++i) {
+    const ArrayDecl& a = p.array(ArrayId(static_cast<int32_t>(i)));
+    os << "var " << a.name << " : [" << p.region(a.region).name << "] "
+       << (a.type == ElemType::kF64 ? "double" : "integer") << ";\n";
+  }
+  for (std::size_t i = 0; i < p.scalar_count(); ++i) {
+    const ScalarDecl& sd = p.scalar(ScalarId(static_cast<int32_t>(i)));
+    os << "var " << sd.name << " : " << (sd.type == ElemType::kF64 ? "double" : "integer")
+       << ";\n";
+  }
+  os << "\n";
+  for (std::size_t i = 0; i < p.proc_count(); ++i) {
+    const ProcDecl& pr = p.proc(ProcId(static_cast<int32_t>(i)));
+    os << "procedure " << pr.name << "() {\n";
+    print_body(p, pr.body, 1, os);
+    os << "}\n\n";
+  }
+  return os.str();
+}
+
+}  // namespace zc::zir

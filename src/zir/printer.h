@@ -1,0 +1,23 @@
+// Pretty printer: renders a Program back to mini-ZPL-ish source. Used by
+// tests (round-trip checks) and the compiler-explorer example.
+#pragma once
+
+#include <string>
+
+#include "src/zir/program.h"
+
+namespace zc::zir {
+
+/// Renders the full program: declarations then procedures.
+std::string to_source(const Program& program);
+
+/// Renders a single expression.
+std::string expr_to_string(const Program& program, ExprId id);
+
+/// Renders a region spec like "[1..n, 2..n-1]".
+std::string region_spec_to_string(const Program& program, const RegionSpec& spec);
+
+/// Renders one statement (with trailing newline), indented by `indent` levels.
+std::string stmt_to_string(const Program& program, StmtId id, int indent = 0);
+
+}  // namespace zc::zir

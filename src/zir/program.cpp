@@ -1,0 +1,356 @@
+#include "src/zir/program.h"
+
+#include <unordered_set>
+
+#include "src/support/check.h"
+
+namespace zc::zir {
+
+bool RegionSpec::is_static() const {
+  for (const RangeSpec& r : dims) {
+    if (!r.lo.is_static() || !r.hi.is_static()) return false;
+  }
+  return true;
+}
+
+ConfigId Program::add_config(ConfigDecl d) {
+  configs_.push_back(std::move(d));
+  return ConfigId(static_cast<int32_t>(configs_.size() - 1));
+}
+
+RegionId Program::add_region(RegionDecl d) {
+  regions_.push_back(std::move(d));
+  return RegionId(static_cast<int32_t>(regions_.size() - 1));
+}
+
+DirectionId Program::add_direction(DirectionDecl d) {
+  directions_.push_back(std::move(d));
+  return DirectionId(static_cast<int32_t>(directions_.size() - 1));
+}
+
+ArrayId Program::add_array(ArrayDecl d) {
+  arrays_.push_back(std::move(d));
+  return ArrayId(static_cast<int32_t>(arrays_.size() - 1));
+}
+
+ScalarId Program::add_scalar(ScalarDecl d) {
+  scalars_.push_back(std::move(d));
+  return ScalarId(static_cast<int32_t>(scalars_.size() - 1));
+}
+
+LoopVarId Program::add_loop_var(LoopVarDecl d) {
+  loop_vars_.push_back(std::move(d));
+  return LoopVarId(static_cast<int32_t>(loop_vars_.size() - 1));
+}
+
+ExprId Program::add_expr(Expr e) {
+  exprs_.push_back(std::move(e));
+  return ExprId(static_cast<int32_t>(exprs_.size() - 1));
+}
+
+StmtId Program::add_stmt(Stmt s) {
+  stmts_.push_back(std::move(s));
+  return StmtId(static_cast<int32_t>(stmts_.size() - 1));
+}
+
+ProcId Program::add_proc(ProcDecl p) {
+  procs_.push_back(std::move(p));
+  return ProcId(static_cast<int32_t>(procs_.size() - 1));
+}
+
+namespace {
+template <typename DeclVector, typename IdType>
+IdType find_by_name(const DeclVector& decls, std::string_view name) {
+  for (std::size_t i = 0; i < decls.size(); ++i) {
+    if (decls[i].name == name) return IdType(static_cast<int32_t>(i));
+  }
+  return IdType{};
+}
+}  // namespace
+
+ConfigId Program::find_config(std::string_view name) const {
+  return find_by_name<decltype(configs_), ConfigId>(configs_, name);
+}
+RegionId Program::find_region(std::string_view name) const {
+  return find_by_name<decltype(regions_), RegionId>(regions_, name);
+}
+DirectionId Program::find_direction(std::string_view name) const {
+  return find_by_name<decltype(directions_), DirectionId>(directions_, name);
+}
+ArrayId Program::find_array(std::string_view name) const {
+  return find_by_name<decltype(arrays_), ArrayId>(arrays_, name);
+}
+ScalarId Program::find_scalar(std::string_view name) const {
+  return find_by_name<decltype(scalars_), ScalarId>(scalars_, name);
+}
+ProcId Program::find_proc(std::string_view name) const {
+  return find_by_name<decltype(procs_), ProcId>(procs_, name);
+}
+
+int Program::rank() const {
+  int r = 0;
+  for (const RegionDecl& region : regions_) r = std::max(r, region.spec.rank());
+  return r;
+}
+
+IntEnv Program::default_env() const {
+  IntEnv env;
+  env.config_values.reserve(configs_.size());
+  for (const ConfigDecl& c : configs_) env.config_values.push_back(c.default_value);
+  env.loop_values.assign(loop_vars_.size(), 0);
+  env.loop_bound.assign(loop_vars_.size(), false);
+  return env;
+}
+
+namespace {
+
+/// Validation walker: checks id ranges, rank agreement, expression kinds,
+/// and recursion. Kept out of the header; reports via zc::Error.
+class Validator {
+ public:
+  explicit Validator(const Program& program) : p_(program) {}
+
+  void run() {
+    if (!p_.entry().valid() || p_.entry().index() >= p_.proc_count()) {
+      throw Error("program '" + p_.name() + "' has no valid entry procedure");
+    }
+    for (std::size_t i = 0; i < p_.array_count(); ++i) {
+      const ArrayDecl& a = p_.array(ArrayId(static_cast<int32_t>(i)));
+      if (!a.region.valid() || a.region.index() >= p_.region_count()) {
+        throw Error("array '" + a.name + "' declared over an invalid region");
+      }
+      if (!p_.region(a.region).spec.is_static()) {
+        throw Error("array '" + a.name + "' declared over a non-static region");
+      }
+    }
+    check_proc(p_.entry());
+  }
+
+ private:
+  void check_proc(ProcId id) {
+    if (visiting_.count(id.value) != 0) {
+      throw Error("recursive call of procedure '" + p_.proc(id).name + "' is not supported");
+    }
+    if (done_.count(id.value) != 0) return;
+    visiting_.insert(id.value);
+    for (StmtId s : p_.proc(id).body) check_stmt(s);
+    visiting_.erase(id.value);
+    done_.insert(id.value);
+  }
+
+  void check_region_spec(const RegionSpec& spec, SourceLoc loc) {
+    if (spec.rank() == 0) throw Error(loc, "region has rank 0");
+    if (spec.rank() > 3) throw Error(loc, "regions of rank > 3 are not supported");
+  }
+
+  void check_stmt(StmtId id) {
+    if (!id.valid() || id.index() >= p_.stmt_count()) throw Error("invalid statement id");
+    const Stmt& s = p_.stmt(id);
+    switch (s.kind) {
+      case Stmt::Kind::kArrayAssign: {
+        if (!s.region.has_value()) {
+          throw Error(s.loc, "array assignment requires a region scope");
+        }
+        check_region_spec(*s.region, s.loc);
+        const ArrayDecl& lhs = p_.array(s.lhs_array);
+        const int lhs_rank = p_.region(lhs.region).spec.rank();
+        if (lhs_rank != s.region->rank()) {
+          throw Error(s.loc, "region rank does not match array '" + lhs.name + "' rank");
+        }
+        check_expr(s.rhs, /*array_context=*/true, s.region->rank());
+        break;
+      }
+      case Stmt::Kind::kScalarAssign: {
+        const int rank = s.region.has_value() ? s.region->rank() : 0;
+        if (s.region.has_value()) check_region_spec(*s.region, s.loc);
+        const bool has_reduce = contains_reduce(s.rhs);
+        if (has_reduce && !s.region.has_value()) {
+          throw Error(s.loc, "reduction requires a region scope");
+        }
+        check_expr(s.rhs, /*array_context=*/false, rank);
+        break;
+      }
+      case Stmt::Kind::kFor: {
+        if (s.step == 0) throw Error(s.loc, "loop step must be nonzero");
+        for (StmtId b : s.body) check_stmt(b);
+        break;
+      }
+      case Stmt::Kind::kIf: {
+        check_expr(s.cond, /*array_context=*/false, 0);
+        if (is_array_valued(p_, s.cond)) {
+          throw Error(s.loc, "if condition must be scalar-valued");
+        }
+        for (StmtId b : s.body) check_stmt(b);
+        for (StmtId b : s.else_body) check_stmt(b);
+        break;
+      }
+      case Stmt::Kind::kCall: {
+        if (!s.callee.valid() || s.callee.index() >= p_.proc_count()) {
+          throw Error(s.loc, "call of undeclared procedure");
+        }
+        check_proc(s.callee);
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool contains_reduce(ExprId id) const {
+    const Expr& e = p_.expr(id);
+    if (e.kind == Expr::Kind::kReduce) return true;
+    bool found = false;
+    if (e.lhs.valid()) found = found || contains_reduce(e.lhs);
+    if (e.rhs.valid()) found = found || contains_reduce(e.rhs);
+    return found;
+  }
+
+  void check_expr(ExprId id, bool array_context, int rank) {
+    if (!id.valid() || id.index() >= p_.expr_count()) throw Error("invalid expression id");
+    const Expr& e = p_.expr(id);
+    switch (e.kind) {
+      case Expr::Kind::kConst:
+      case Expr::Kind::kLoopVarRef:
+      case Expr::Kind::kConfigRef:
+        break;
+      case Expr::Kind::kScalarRef:
+        if (!e.scalar.valid() || e.scalar.index() >= p_.scalar_count()) {
+          throw Error(e.loc, "reference to undeclared scalar");
+        }
+        break;
+      case Expr::Kind::kArrayRef:
+      case Expr::Kind::kShift: {
+        if (!e.array.valid() || e.array.index() >= p_.array_count()) {
+          throw Error(e.loc, "reference to undeclared array");
+        }
+        if (!array_context) {
+          throw Error(e.loc, "array '" + p_.array(e.array).name +
+                                 "' used where a scalar value is required");
+        }
+        const int array_rank = p_.region(p_.array(e.array).region).spec.rank();
+        if (rank != 0 && array_rank != rank) {
+          throw Error(e.loc, "array '" + p_.array(e.array).name +
+                                 "' rank does not match statement region rank");
+        }
+        if (e.kind == Expr::Kind::kShift) {
+          if (!e.direction.valid() || e.direction.index() >= p_.direction_count()) {
+            throw Error(e.loc, "shift by undeclared direction");
+          }
+          if (p_.direction(e.direction).rank() != array_rank) {
+            throw Error(e.loc, "direction rank does not match array rank");
+          }
+        }
+        break;
+      }
+      case Expr::Kind::kIndex:
+        if (!array_context) throw Error(e.loc, "Index used in scalar context");
+        if (e.index_dim < 1 || (rank != 0 && e.index_dim > rank)) {
+          throw Error(e.loc, "Index dimension out of range");
+        }
+        break;
+      case Expr::Kind::kBinary:
+        check_expr(e.lhs, array_context, rank);
+        check_expr(e.rhs, array_context, rank);
+        break;
+      case Expr::Kind::kUnary:
+        check_expr(e.lhs, array_context, rank);
+        break;
+      case Expr::Kind::kReduce:
+        // The operand of a reduction is array-valued even in scalar contexts.
+        check_expr(e.lhs, /*array_context=*/true, rank);
+        if (!is_array_valued(p_, e.lhs)) {
+          throw Error(e.loc, "reduction operand must be array-valued");
+        }
+        if (contains_reduce(e.lhs)) {
+          throw Error(e.loc, "nested reductions are not supported");
+        }
+        break;
+    }
+  }
+
+  const Program& p_;
+  std::unordered_set<int32_t> visiting_;
+  std::unordered_set<int32_t> done_;
+};
+
+}  // namespace
+
+void Program::validate() const { Validator(*this).run(); }
+
+bool is_array_valued(const Program& program, ExprId id) {
+  const Expr& e = program.expr(id);
+  switch (e.kind) {
+    case Expr::Kind::kArrayRef:
+    case Expr::Kind::kShift:
+    case Expr::Kind::kIndex:
+      return true;
+    case Expr::Kind::kReduce:
+      return false;  // reductions scalarize
+    case Expr::Kind::kBinary:
+      return is_array_valued(program, e.lhs) || is_array_valued(program, e.rhs);
+    case Expr::Kind::kUnary:
+      return is_array_valued(program, e.lhs);
+    default:
+      return false;
+  }
+}
+
+namespace {
+void collect_shift_refs_impl(const Program& p, ExprId id, std::vector<ShiftRef>& out) {
+  const Expr& e = p.expr(id);
+  if (e.kind == Expr::Kind::kShift) {
+    const ShiftRef ref{e.array, e.direction};
+    bool seen = false;
+    for (const ShiftRef& r : out) seen = seen || (r == ref);
+    if (!seen) out.push_back(ref);
+  }
+  if (e.lhs.valid()) collect_shift_refs_impl(p, e.lhs, out);
+  if (e.rhs.valid()) collect_shift_refs_impl(p, e.rhs, out);
+}
+
+void collect_arrays_read_impl(const Program& p, ExprId id, std::vector<ArrayId>& out) {
+  const Expr& e = p.expr(id);
+  if (e.kind == Expr::Kind::kArrayRef || e.kind == Expr::Kind::kShift) {
+    bool seen = false;
+    for (ArrayId a : out) seen = seen || (a == e.array);
+    if (!seen) out.push_back(e.array);
+  }
+  if (e.lhs.valid()) collect_arrays_read_impl(p, e.lhs, out);
+  if (e.rhs.valid()) collect_arrays_read_impl(p, e.rhs, out);
+}
+}  // namespace
+
+std::vector<ShiftRef> collect_shift_refs(const Program& program, ExprId id) {
+  std::vector<ShiftRef> out;
+  collect_shift_refs_impl(program, id, out);
+  return out;
+}
+
+std::vector<ArrayId> collect_arrays_read(const Program& program, ExprId id) {
+  std::vector<ArrayId> out;
+  collect_arrays_read_impl(program, id, out);
+  return out;
+}
+
+int count_flops(const Program& program, ExprId id) {
+  const Expr& e = program.expr(id);
+  int n = 0;
+  switch (e.kind) {
+    case Expr::Kind::kBinary:
+      n = 1 + count_flops(program, e.lhs) + count_flops(program, e.rhs);
+      break;
+    case Expr::Kind::kUnary:
+      // Transcendental unaries cost more than negation on real machines;
+      // approximate with a fixed multiplier.
+      n = (e.un_op == UnOp::kNeg || e.un_op == UnOp::kNot || e.un_op == UnOp::kAbs ? 1 : 8) +
+          count_flops(program, e.lhs);
+      break;
+    case Expr::Kind::kReduce:
+      n = 1 + count_flops(program, e.lhs);
+      break;
+    default:
+      n = 0;
+      break;
+  }
+  return n;
+}
+
+}  // namespace zc::zir

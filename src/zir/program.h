@@ -1,0 +1,264 @@
+// The mini-ZPL intermediate representation (ZIR).
+//
+// A Program is a set of declarations (config constants, regions, directions,
+// distributed arrays, replicated scalars) plus procedures whose bodies are
+// whole-array statements, scalar statements, counted loops, and scalar
+// conditionals. This mirrors the representation the paper's optimizer works
+// on: array statements are NOT expanded to loop nests before communication
+// generation, so a "source-level basic block" is a run of array statements
+// (paper §3.1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/support/diag.h"
+#include "src/zir/ids.h"
+#include "src/zir/intexpr.h"
+
+namespace zc::zir {
+
+/// Element type of arrays and scalars. The benchmarks use doubles; integers
+/// exist for counters and loop-derived values.
+enum class ElemType { kF64, kI64 };
+
+/// A compile-time integer configuration constant, e.g. the problem size `n`.
+/// Overridable at run time (like ZPL's `config var`).
+struct ConfigDecl {
+  std::string name;
+  long long default_value = 0;
+};
+
+/// One dimension of a region: the inclusive range [lo, hi].
+struct RangeSpec {
+  IntExpr lo;
+  IntExpr hi;
+};
+
+/// A (possibly loop-variable-dependent) rectangular index region.
+struct RegionSpec {
+  std::vector<RangeSpec> dims;
+
+  [[nodiscard]] int rank() const { return static_cast<int>(dims.size()); }
+  [[nodiscard]] bool is_static() const;
+};
+
+/// A named region declaration; bounds must be static (configs only).
+struct RegionDecl {
+  std::string name;
+  RegionSpec spec;
+};
+
+/// A named direction (static offset vector), e.g. east = [0, 1].
+struct DirectionDecl {
+  std::string name;
+  std::vector<int> offsets;
+
+  [[nodiscard]] int rank() const { return static_cast<int>(offsets.size()); }
+};
+
+/// A distributed array, declared over a named region.
+struct ArrayDecl {
+  std::string name;
+  RegionId region;
+  ElemType type = ElemType::kF64;
+};
+
+/// A replicated scalar variable.
+struct ScalarDecl {
+  std::string name;
+  ElemType type = ElemType::kF64;
+};
+
+/// A loop index variable (integer, replicated).
+struct LoopVarDecl {
+  std::string name;
+};
+
+/// Binary operators for value expressions. Comparisons yield 0.0 / 1.0.
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv,
+  kMin, kMax, kPow,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+enum class UnOp { kNeg, kNot, kAbs, kSqrt, kExp, kLog, kSin, kCos };
+
+/// Reduction operators (ZPL's `+<<`, `max<<`, `min<<`): array-valued operand,
+/// scalar result, combined across all processors.
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// A node in a value expression tree. Expressions are stored in a per-program
+/// arena and referenced by ExprId.
+struct Expr {
+  enum class Kind {
+    kConst,      ///< f64 literal
+    kScalarRef,  ///< replicated scalar
+    kLoopVarRef, ///< enclosing loop variable, as a double
+    kConfigRef,  ///< config constant, as a double
+    kArrayRef,   ///< unshifted element of a distributed array
+    kShift,      ///< A@d — the paper's `@` operator; the only comm source
+    kIndex,      ///< ZPL's Indexk: the global index in dimension `dim`
+    kBinary,
+    kUnary,
+    kReduce,     ///< scalar-valued reduction of an array-valued operand
+  };
+
+  Kind kind = Kind::kConst;
+  double const_value = 0.0;
+  ScalarId scalar{};
+  LoopVarId loop_var{};
+  ConfigId config{};
+  ArrayId array{};
+  DirectionId direction{};
+  int index_dim = 0;  // for kIndex: 1-based dimension
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  ReduceOp reduce_op = ReduceOp::kSum;
+  ExprId lhs{};
+  ExprId rhs{};
+  SourceLoc loc{};
+};
+
+/// Statement kinds. Bodies of For/If are vectors of StmtIds into the arena.
+struct Stmt {
+  enum class Kind {
+    kArrayAssign,   ///< [region] A := expr
+    kScalarAssign,  ///< s := expr  (expr may contain a reduction, with region)
+    kFor,           ///< for v in lo..hi by step { body }
+    kIf,            ///< if cond { then } else { else }
+    kCall,          ///< proc()
+  };
+
+  Kind kind = Stmt::Kind::kArrayAssign;
+
+  // kArrayAssign / kScalarAssign
+  std::optional<RegionSpec> region;  // required for array assigns & reductions
+  ArrayId lhs_array{};
+  ScalarId lhs_scalar{};
+  ExprId rhs{};
+
+  // kFor
+  LoopVarId loop_var{};
+  IntExpr lo;
+  IntExpr hi;
+  long long step = 1;  // nonzero; negative steps iterate downward
+  std::vector<StmtId> body;
+
+  // kIf
+  ExprId cond{};  // scalar-valued
+  std::vector<StmtId> else_body;
+
+  // kCall
+  ProcId callee{};
+
+  SourceLoc loc{};
+};
+
+struct ProcDecl {
+  std::string name;
+  std::vector<StmtId> body;
+};
+
+/// The program: all declaration tables plus the statement/expression arenas.
+/// Construct with ProgramBuilder or the parser; treat as immutable afterward.
+class Program {
+ public:
+  // --- declaration tables ------------------------------------------------
+  ConfigId add_config(ConfigDecl d);
+  RegionId add_region(RegionDecl d);
+  DirectionId add_direction(DirectionDecl d);
+  ArrayId add_array(ArrayDecl d);
+  ScalarId add_scalar(ScalarDecl d);
+  LoopVarId add_loop_var(LoopVarDecl d);
+  ExprId add_expr(Expr e);
+  StmtId add_stmt(Stmt s);
+  ProcId add_proc(ProcDecl p);
+
+  [[nodiscard]] const ConfigDecl& config(ConfigId id) const { return configs_.at(id.index()); }
+  [[nodiscard]] const RegionDecl& region(RegionId id) const { return regions_.at(id.index()); }
+  [[nodiscard]] const DirectionDecl& direction(DirectionId id) const {
+    return directions_.at(id.index());
+  }
+  [[nodiscard]] const ArrayDecl& array(ArrayId id) const { return arrays_.at(id.index()); }
+  [[nodiscard]] const ScalarDecl& scalar(ScalarId id) const { return scalars_.at(id.index()); }
+  [[nodiscard]] const LoopVarDecl& loop_var(LoopVarId id) const {
+    return loop_vars_.at(id.index());
+  }
+  [[nodiscard]] const Expr& expr(ExprId id) const { return exprs_.at(id.index()); }
+  [[nodiscard]] const Stmt& stmt(StmtId id) const { return stmts_.at(id.index()); }
+  [[nodiscard]] const ProcDecl& proc(ProcId id) const { return procs_.at(id.index()); }
+
+  [[nodiscard]] std::size_t config_count() const { return configs_.size(); }
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+  [[nodiscard]] std::size_t direction_count() const { return directions_.size(); }
+  [[nodiscard]] std::size_t array_count() const { return arrays_.size(); }
+  [[nodiscard]] std::size_t scalar_count() const { return scalars_.size(); }
+  [[nodiscard]] std::size_t loop_var_count() const { return loop_vars_.size(); }
+  [[nodiscard]] std::size_t expr_count() const { return exprs_.size(); }
+  [[nodiscard]] std::size_t stmt_count() const { return stmts_.size(); }
+  [[nodiscard]] std::size_t proc_count() const { return procs_.size(); }
+
+  // --- lookup by name (returns invalid id if absent) ----------------------
+  [[nodiscard]] ConfigId find_config(std::string_view name) const;
+  [[nodiscard]] RegionId find_region(std::string_view name) const;
+  [[nodiscard]] DirectionId find_direction(std::string_view name) const;
+  [[nodiscard]] ArrayId find_array(std::string_view name) const;
+  [[nodiscard]] ScalarId find_scalar(std::string_view name) const;
+  [[nodiscard]] ProcId find_proc(std::string_view name) const;
+
+  void set_name(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void set_entry(ProcId p) { entry_ = p; }
+  [[nodiscard]] ProcId entry() const { return entry_; }
+
+  /// The rank of the problem (max rank over declared regions): 2 or 3.
+  [[nodiscard]] int rank() const;
+
+  /// Builds an IntEnv with default config values (loop slots sized but unbound).
+  [[nodiscard]] IntEnv default_env() const;
+
+  /// Structural validation: name/rank consistency, entry exists, bodies
+  /// reference valid ids, no recursion, expressions well-kinded (array vs
+  /// scalar contexts). Throws zc::Error describing the first problem found.
+  void validate() const;
+
+ private:
+  std::string name_ = "unnamed";
+  std::vector<ConfigDecl> configs_;
+  std::vector<RegionDecl> regions_;
+  std::vector<DirectionDecl> directions_;
+  std::vector<ArrayDecl> arrays_;
+  std::vector<ScalarDecl> scalars_;
+  std::vector<LoopVarDecl> loop_vars_;
+  std::vector<Expr> exprs_;
+  std::vector<Stmt> stmts_;
+  std::vector<ProcDecl> procs_;
+  ProcId entry_{};
+};
+
+/// True if the expression (transitively) references distributed array data,
+/// making it array-valued; reductions re-scalarize their operand.
+bool is_array_valued(const Program& program, ExprId id);
+
+/// Collects the distinct (array, direction) shift references in `id`,
+/// in first-occurrence order. Unshifted ArrayRefs are not included.
+struct ShiftRef {
+  ArrayId array;
+  DirectionId direction;
+  friend bool operator==(const ShiftRef&, const ShiftRef&) = default;
+};
+std::vector<ShiftRef> collect_shift_refs(const Program& program, ExprId id);
+
+/// Collects distinct arrays read (shifted or not) by the expression.
+std::vector<ArrayId> collect_arrays_read(const Program& program, ExprId id);
+
+/// Counts arithmetic operation nodes (the per-element flop estimate used by
+/// the simulator's compute cost model).
+int count_flops(const Program& program, ExprId id);
+
+}  // namespace zc::zir

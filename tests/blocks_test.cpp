@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "src/comm/blocks.h"
+#include "src/parser/parser.h"
+
+namespace zc::comm {
+namespace {
+
+TEST(Blocks, SingleRunIsOneBlock) {
+  const zir::Program p = parser::parse_program(R"(
+program t;
+config n : integer = 8;
+region R = [1..n, 1..n];
+var A, B : [R] double;
+procedure main() {
+  [R] A := 0.0;
+  [R] B := 1.0;
+  [R] A := B;
+}
+)");
+  const auto blocks = find_blocks(p);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].stmts.size(), 3u);
+}
+
+TEST(Blocks, ControlFlowSplitsBlocks) {
+  const zir::Program p = parser::parse_program(R"(
+program t;
+config n : integer = 8;
+region R = [1..n, 1..n];
+var A, B : [R] double;
+var s : double;
+procedure main() {
+  [R] A := 0.0;
+  repeat 2 {
+    [R] B := A;
+    [R] A := B;
+  }
+  [R] B := 2.0;
+  s := 1.0;
+  if s > 0.0 {
+    [R] A := 3.0;
+  } else {
+    [R] A := 4.0;
+  }
+}
+)");
+  const auto blocks = find_blocks(p);
+  // Blocks: [A:=0], [B:=2; s:=1] (outer, after the loop), [B:=A; A:=B]
+  // (loop body), [A:=3], [A:=4].
+  ASSERT_EQ(blocks.size(), 5u);
+  EXPECT_EQ(blocks[0].stmts.size(), 1u);
+  EXPECT_EQ(blocks[1].stmts.size(), 2u);  // B:=2 and the scalar assign
+  EXPECT_EQ(blocks[2].stmts.size(), 2u);  // loop body
+}
+
+TEST(Blocks, ScalarAssignsJoinArrayAssignBlocks) {
+  const zir::Program p = parser::parse_program(R"(
+program t;
+config n : integer = 8;
+region R = [1..n, 1..n];
+var A : [R] double;
+var s : double;
+procedure main() {
+  [R] A := 0.0;
+  [R] s := +<< A;
+  [R] A := A + 1.0;
+}
+)");
+  const auto blocks = find_blocks(p);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].stmts.size(), 3u);
+}
+
+TEST(Blocks, CalleeVisitedOnceAcrossCallSites) {
+  const zir::Program p = parser::parse_program(R"(
+program t;
+config n : integer = 8;
+region R = [1..n, 1..n];
+var A : [R] double;
+procedure sub() {
+  [R] A := A + 1.0;
+}
+procedure main() {
+  sub();
+  sub();
+  sub();
+}
+)");
+  const auto blocks = find_blocks(p);
+  // sub's single block is planned once, not three times (static counts!).
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(p.proc(blocks[0].proc).name, "sub");
+}
+
+TEST(Blocks, UnreachableProcedureIgnored) {
+  const zir::Program p = parser::parse_program(R"(
+program t;
+config n : integer = 8;
+region R = [1..n, 1..n];
+var A : [R] double;
+procedure dead() {
+  [R] A := 9.0;
+}
+procedure main() {
+  [R] A := 0.0;
+}
+)");
+  const auto blocks = find_blocks(p);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(p.proc(blocks[0].proc).name, "main");
+}
+
+}  // namespace
+}  // namespace zc::comm

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "src/parser/parser.h"
+#include "src/runtime/darray.h"
+
+namespace zc::rt {
+namespace {
+
+Box box2(long long lo0, long long hi0, long long lo1, long long hi1) {
+  return Box::make(2, {lo0, lo1, 0}, {hi0, hi1, 0});
+}
+
+TEST(LocalArray, StorageIncludesFluffClampedToDeclared) {
+  const Box declared = box2(0, 17, 0, 17);
+  const Box owned = box2(0, 8, 0, 8);  // corner processor
+  const LocalArray la(owned, declared, {1, 1, 0});
+  // No fluff past the declared region on the low sides; one cell on high.
+  EXPECT_EQ(la.storage_box(), box2(0, 9, 0, 9));
+}
+
+TEST(LocalArray, InteriorStorageHasFluffAllAround) {
+  const Box declared = box2(0, 17, 0, 17);
+  const Box owned = box2(9, 12, 9, 12);
+  const LocalArray la(owned, declared, {2, 2, 0});
+  EXPECT_EQ(la.storage_box(), box2(7, 14, 7, 14));
+}
+
+TEST(LocalArray, EmptyOwnedAllocatesNothing) {
+  Box owned = box2(5, 4, 0, 3);  // empty
+  const LocalArray la(owned, box2(0, 9, 0, 9), {1, 1, 0});
+  EXPECT_EQ(la.allocation_size(), 0u);
+}
+
+TEST(LocalArray, ElementAccessRoundTrip) {
+  const Box owned = box2(2, 5, 3, 7);
+  LocalArray la(owned, box2(0, 9, 0, 9), {1, 1, 0});
+  la.at(3, 4) = 42.0;
+  la.at(2, 3) = -1.0;
+  EXPECT_DOUBLE_EQ(la.at(3, 4), 42.0);
+  EXPECT_DOUBLE_EQ(la.at(2, 3), -1.0);
+  // Fluff cells are addressable too.
+  la.at(1, 3) = 7.0;
+  EXPECT_DOUBLE_EQ(la.at(1, 3), 7.0);
+}
+
+TEST(LocalArray, ReadWriteBoxRowMajor) {
+  const Box owned = box2(0, 3, 0, 3);
+  LocalArray la(owned, owned, {0, 0, 0});
+  const Box sub = box2(1, 2, 1, 3);
+  const std::vector<double> in = {1, 2, 3, 4, 5, 6};
+  la.write_box(sub, in.data());
+  EXPECT_DOUBLE_EQ(la.at(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(la.at(1, 3), 3.0);
+  EXPECT_DOUBLE_EQ(la.at(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(la.at(2, 3), 6.0);
+  std::vector<double> out(6);
+  la.read_box(sub, out.data());
+  EXPECT_EQ(out, in);
+}
+
+TEST(LocalArray, Rank3ReadWrite) {
+  const Box owned = Box::make(3, {0, 0, 0}, {2, 2, 3});
+  LocalArray la(owned, owned, {0, 0, 0});
+  const Box sub = Box::make(3, {1, 1, 1}, {2, 2, 2});
+  const std::vector<double> in = {1, 2, 3, 4, 5, 6, 7, 8};
+  la.write_box(sub, in.data());
+  EXPECT_DOUBLE_EQ(la.at(1, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(la.at(1, 1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(la.at(1, 2, 1), 3.0);
+  EXPECT_DOUBLE_EQ(la.at(2, 2, 2), 8.0);
+  std::vector<double> out(8);
+  la.read_box(sub, out.data());
+  EXPECT_EQ(out, in);
+}
+
+TEST(LocalArray, Rank1ReadWrite) {
+  const Box owned = Box::make(1, {3, 0, 0}, {9, 0, 0});
+  LocalArray la(owned, owned, {1, 0, 0});
+  const Box sub = Box::make(1, {4, 0, 0}, {6, 0, 0});
+  const std::vector<double> in = {10, 20, 30};
+  la.write_box(sub, in.data());
+  EXPECT_DOUBLE_EQ(la.at(5), 20.0);
+  std::vector<double> out(3);
+  la.read_box(sub, out.data());
+  EXPECT_EQ(out, in);
+}
+
+TEST(LocalArray, Fill) {
+  const Box owned = box2(0, 2, 0, 2);
+  LocalArray la(owned, owned, {0, 0, 0});
+  la.fill(3.5);
+  EXPECT_DOUBLE_EQ(la.at(1, 1), 3.5);
+}
+
+TEST(FluffWidths, MaxAbsOffsetPerDim) {
+  const zir::Program p = parser::parse_program(R"(
+program t;
+config n : integer = 8;
+region R = [1..n, 1..n];
+direction e = [0, 1], big = [-2, 1], diag = [1, -1];
+var A : [R] double;
+procedure main() { [R] A := A@e + A@big + A@diag; }
+)");
+  const auto w = fluff_widths(p);
+  EXPECT_EQ(w[0], 2);
+  EXPECT_EQ(w[1], 1);
+  EXPECT_EQ(w[2], 0);
+}
+
+}  // namespace
+}  // namespace zc::rt

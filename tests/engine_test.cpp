@@ -1,0 +1,228 @@
+// Engine semantics: numerics on a known stencil, counters, imbalance,
+// reductions, and determinism.
+#include <gtest/gtest.h>
+
+#include "src/comm/optimizer.h"
+#include "src/parser/parser.h"
+#include "src/sim/engine.h"
+
+namespace zc::sim {
+namespace {
+
+RunResult run(std::string_view source, comm::OptLevel level, int procs,
+              ironman::CommLibrary lib = ironman::CommLibrary::kPVM,
+              std::map<std::string, long long> overrides = {}) {
+  const zir::Program p = parser::parse_program(source);
+  const comm::CommPlan plan = comm::plan_communication(p, comm::OptOptions::for_level(level));
+  RunConfig cfg;
+  cfg.library = lib;
+  cfg.machine = machine::library_available(machine::MachineKind::kT3D, lib)
+                    ? machine::t3d_model()
+                    : machine::paragon_model();
+  cfg.procs = procs;
+  cfg.config_overrides = std::move(overrides);
+  return run_program(p, plan, cfg);
+}
+
+constexpr std::string_view kShiftProgram = R"(
+program shift;
+config n : integer = 8;
+region R = [1..n, 1..n];
+region I = [1..n, 1..n-1];
+direction east = [0, 1];
+var A, B : [R] double;
+procedure main() {
+  [R] A := Index1 * 100.0 + Index2;
+  [R] B := 0.0;
+  [I] B := A@east;
+}
+)";
+
+TEST(Engine, ShiftMovesCorrectValuesAcrossProcessors) {
+  // B(i,j) = A(i,j+1) = 100 i + j + 1 over [1..8, 1..7]; zero elsewhere.
+  double expected = 0.0;
+  for (int i = 1; i <= 8; ++i) {
+    for (int j = 1; j <= 7; ++j) expected += 100.0 * i + j + 1;
+  }
+  for (const int procs : {1, 4, 8}) {
+    const RunResult r = run(kShiftProgram, comm::OptLevel::kBaseline, procs);
+    EXPECT_DOUBLE_EQ(r.checksums.at("B"), expected) << procs << " procs";
+  }
+}
+
+TEST(Engine, DiagonalShiftAcrossCornerProcessors) {
+  constexpr std::string_view src = R"(
+program diag;
+config n : integer = 8;
+region R = [1..n, 1..n];
+region I = [2..n, 2..n];
+direction nw = [-1, -1];
+var A, B : [R] double;
+procedure main() {
+  [R] A := Index1 * 100.0 + Index2;
+  [R] B := 0.0;
+  [I] B := A@nw;
+}
+)";
+  double expected = 0.0;
+  for (int i = 2; i <= 8; ++i) {
+    for (int j = 2; j <= 8; ++j) expected += 100.0 * (i - 1) + (j - 1);
+  }
+  for (const int procs : {1, 4, 16}) {
+    const RunResult r = run(src, comm::OptLevel::kBaseline, procs);
+    EXPECT_DOUBLE_EQ(r.checksums.at("B"), expected) << procs << " procs";
+  }
+}
+
+TEST(Engine, DynamicCountIsIterationScaled) {
+  constexpr std::string_view src = R"(
+program loopy;
+config n : integer = 8;
+config iters : integer = 5;
+region R = [1..n, 1..n];
+region I = [1..n, 1..n-1];
+direction east = [0, 1];
+var A, B : [R] double;
+procedure main() {
+  [R] A := 1.0;
+  [R] B := 0.0;
+  for it in 1..iters {
+    [I] B := A@east;
+    [I] A := B + 1.0;
+  }
+}
+)";
+  const RunResult r = run(src, comm::OptLevel::kBaseline, 4);
+  EXPECT_EQ(r.dynamic_count, 5);
+  const RunResult r10 = run(src, comm::OptLevel::kBaseline, 4, ironman::CommLibrary::kPVM,
+                            {{"iters", 10}});
+  EXPECT_EQ(r10.dynamic_count, 10);
+}
+
+TEST(Engine, MessagesOnlyWhereDataCrosses) {
+  // 2x2 mesh, east shift: only the column boundary moves data — 2 messages
+  // (one per processor row).
+  const RunResult r = run(kShiftProgram, comm::OptLevel::kBaseline, 4);
+  EXPECT_EQ(r.total_messages, 2);
+  EXPECT_EQ(r.total_bytes, 2 * 4 * 8);  // 4-row column slices of doubles
+  // On one processor there is no communication at all.
+  const RunResult r1 = run(kShiftProgram, comm::OptLevel::kBaseline, 1);
+  EXPECT_EQ(r1.total_messages, 0);
+  EXPECT_EQ(r1.dynamic_count, 1);  // the call set still executes
+}
+
+TEST(Engine, RowRegionStatementsOnlyChargeOwners) {
+  // A statement over a single row costs time only on the processor row
+  // that owns it: the other processor rows' clocks stay behind.
+  constexpr std::string_view src = R"(
+program rows;
+config n : integer = 16;
+region R = [1..n, 1..n];
+var A : [R] double;
+procedure main() {
+  [R] A := 1.0;
+  [2, 1..n] A := A * 2.0;
+  [2, 1..n] A := A * 2.0;
+  [2, 1..n] A := A * 2.0;
+}
+)";
+  const zir::Program p = parser::parse_program(src);
+  const comm::CommPlan plan =
+      comm::plan_communication(p, comm::OptOptions::for_level(comm::OptLevel::kBaseline));
+  RunConfig cfg;
+  cfg.procs = 4;
+  Engine engine(p, plan, cfg);
+  const RunResult r = engine.run();
+  // Row 2 lives on processor row 0; the checksum reflects 1*2*2*2 on row 2.
+  EXPECT_DOUBLE_EQ(r.checksums.at("A"), 16.0 * 16.0 - 16.0 + 16.0 * 8.0);
+}
+
+TEST(Engine, ReductionComputesGlobalValueAndSynchronizes) {
+  constexpr std::string_view src = R"(
+program red;
+config n : integer = 8;
+region R = [1..n, 1..n];
+var A : [R] double;
+var s, m : double;
+procedure main() {
+  [R] A := Index1 + Index2;
+  [R] s := +<< A;
+  [R] m := max<< A;
+}
+)";
+  for (const int procs : {1, 4}) {
+    const RunResult r = run(src, comm::OptLevel::kBaseline, procs);
+    double sum = 0.0;
+    for (int i = 1; i <= 8; ++i) {
+      for (int j = 1; j <= 8; ++j) sum += i + j;
+    }
+    EXPECT_DOUBLE_EQ(r.scalars.at("s"), sum) << procs;
+    EXPECT_DOUBLE_EQ(r.scalars.at("m"), 16.0) << procs;
+    EXPECT_EQ(r.reduction_count, 2);
+  }
+}
+
+TEST(Engine, IfBranchesOnReplicatedScalar) {
+  constexpr std::string_view src = R"(
+program brnch;
+config n : integer = 4;
+region R = [1..n, 1..n];
+var A : [R] double;
+var s : double;
+procedure main() {
+  [R] A := 1.0;
+  [R] s := +<< A;
+  if s > 10.0 {
+    [R] A := 2.0;
+  } else {
+    [R] A := 3.0;
+  }
+}
+)";
+  const RunResult r = run(src, comm::OptLevel::kBaseline, 4);
+  EXPECT_DOUBLE_EQ(r.checksums.at("A"), 2.0 * 16);  // sum = 16 > 10
+}
+
+TEST(Engine, ElapsedTimePositiveAndDeterministic) {
+  const RunResult a = run(kShiftProgram, comm::OptLevel::kBaseline, 4);
+  const RunResult b = run(kShiftProgram, comm::OptLevel::kBaseline, 4);
+  EXPECT_GT(a.elapsed_seconds, 0.0);
+  EXPECT_EQ(a.elapsed_seconds, b.elapsed_seconds);
+  EXPECT_EQ(a.checksums, b.checksums);
+}
+
+TEST(Engine, ShmemRunsProduceSameNumbers) {
+  const RunResult pvm = run(kShiftProgram, comm::OptLevel::kPL, 4, ironman::CommLibrary::kPVM);
+  const RunResult shm = run(kShiftProgram, comm::OptLevel::kPL, 4, ironman::CommLibrary::kSHMEM);
+  EXPECT_EQ(pvm.checksums, shm.checksums);
+  EXPECT_NE(pvm.elapsed_seconds, shm.elapsed_seconds);  // timing differs
+}
+
+TEST(Engine, ParagonLibrariesProduceSameNumbers) {
+  for (const auto lib : {ironman::CommLibrary::kNXSync, ironman::CommLibrary::kNXAsync,
+                         ironman::CommLibrary::kNXCallback}) {
+    const RunResult r = run(kShiftProgram, comm::OptLevel::kPL, 4, lib);
+    const RunResult ref = run(kShiftProgram, comm::OptLevel::kPL, 1, lib);
+    EXPECT_EQ(r.checksums, ref.checksums) << ironman::to_string(lib);
+  }
+}
+
+TEST(Engine, ConfigOverridesApply) {
+  const RunResult r = run(kShiftProgram, comm::OptLevel::kBaseline, 4,
+                          ironman::CommLibrary::kPVM, {{"n", 12}});
+  double expected = 0.0;
+  for (int i = 1; i <= 12; ++i) {
+    for (int j = 1; j <= 11; ++j) expected += 100.0 * i + j + 1;
+  }
+  EXPECT_DOUBLE_EQ(r.checksums.at("B"), expected);
+}
+
+TEST(Engine, CenterProcIsInterior) {
+  const RunResult r = run(kShiftProgram, comm::OptLevel::kBaseline, 4);
+  EXPECT_EQ(r.mesh.rows, 2);
+  EXPECT_EQ(r.mesh.cols, 2);
+  EXPECT_EQ(r.center_proc, r.mesh.rank_of(1, 1));
+}
+
+}  // namespace
+}  // namespace zc::sim

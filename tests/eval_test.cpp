@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/runtime/eval.h"
+#include "src/zir/builder.h"
+
+namespace zc::rt {
+namespace {
+
+using zir::Ex;
+using zir::ProgramBuilder;
+
+/// Fixture: one 4x4 array A over [1..4,1..4] with fluff 1 on a single
+/// processor covering [1..4] x [1..4]; A(i,j) = 10*i + j.
+class EvalTest : public ::testing::Test {
+ protected:
+  EvalTest() : builder_("t") {
+    builder_.config("n", 4);
+    n_ = zir::ConfigId(0);
+  }
+
+  void Build(const std::function<Ex(ProgramBuilder&)>& make_rhs) {
+    const zir::Ix n = zir::Ix(zir::IntExpr::config(zir::ConfigId(0)));
+    R_ = builder_.region("R", {{0, n + 1}, {0, n + 1}});
+    A_ = builder_.array("A", R_);
+    B_ = builder_.array("B", R_);
+    s_ = builder_.scalar("s");
+    Ex rhs = make_rhs(builder_);
+    builder_.proc("main", [&] { builder_.assign(R_, B_, rhs); });
+    program_ = std::move(builder_).finish();
+
+    env_ = program_.default_env();
+    const Box declared = Box::make(2, {0, 0, 0}, {5, 5, 0});
+    arrays_.emplace_back(declared, declared, std::array<long long, 3>{1, 1, 0});  // A
+    arrays_.emplace_back(declared, declared, std::array<long long, 3>{1, 1, 0});  // B
+    for (long long i = 0; i <= 5; ++i) {
+      for (long long j = 0; j <= 5; ++j) {
+        arrays_[0].at(i, j) = 10.0 * static_cast<double>(i) + static_cast<double>(j);
+      }
+    }
+    scalars_ = {2.5};
+    ctx_.program = &program_;
+    ctx_.arrays = &arrays_;
+    ctx_.scalars = &scalars_;
+    ctx_.env = &env_;
+    ctx_.box = Box::make(2, {1, 1, 0}, {4, 4, 0});
+  }
+
+  zir::ExprId rhs_expr() const {
+    return program_.stmt(program_.proc(program_.entry()).body[0]).rhs;
+  }
+
+  ProgramBuilder builder_;
+  zir::ConfigId n_;
+  zir::RegionId R_;
+  zir::ArrayId A_;
+  zir::ArrayId B_;
+  zir::ScalarId s_;
+  zir::Program program_;
+  zir::IntEnv env_;
+  std::vector<LocalArray> arrays_;
+  std::vector<double> scalars_;
+  EvalContext ctx_;
+};
+
+TEST_F(EvalTest, ArrayRefReadsBox) {
+  Build([](ProgramBuilder& b) { return b.ref(b.program().find_array("A")); });
+  Evaluator ev(program_);
+  std::vector<double> out;
+  ev.eval_vector(ctx_, rhs_expr(), out);
+  ASSERT_EQ(out.size(), 16u);
+  EXPECT_DOUBLE_EQ(out[0], 11.0);   // (1,1)
+  EXPECT_DOUBLE_EQ(out[3], 14.0);   // (1,4)
+  EXPECT_DOUBLE_EQ(out[15], 44.0);  // (4,4)
+}
+
+TEST_F(EvalTest, ShiftReadsNeighborCells) {
+  Build([](ProgramBuilder& b) {
+    const zir::DirectionId east = b.direction("east", {0, 1});
+    return b.at(b.program().find_array("A"), east);
+  });
+  Evaluator ev(program_);
+  std::vector<double> out;
+  ev.eval_vector(ctx_, rhs_expr(), out);
+  EXPECT_DOUBLE_EQ(out[0], 12.0);   // A(1,2)
+  EXPECT_DOUBLE_EQ(out[3], 15.0);   // A(1,5): fluff cell
+  EXPECT_DOUBLE_EQ(out[15], 45.0);  // A(4,5)
+}
+
+TEST_F(EvalTest, MixedScalarVectorArithmetic) {
+  Build([](ProgramBuilder& b) {
+    const zir::ArrayId A = b.program().find_array("A");
+    const zir::ScalarId s = b.program().find_scalar("s");
+    return b.ref(A) * b.sref(s) + 1.0;
+  });
+  Evaluator ev(program_);
+  std::vector<double> out;
+  ev.eval_vector(ctx_, rhs_expr(), out);
+  EXPECT_DOUBLE_EQ(out[0], 11.0 * 2.5 + 1.0);
+}
+
+TEST_F(EvalTest, IndexArrays) {
+  Build([](ProgramBuilder& b) { return b.index(1) * 100.0 + b.index(2); });
+  Evaluator ev(program_);
+  std::vector<double> out;
+  ev.eval_vector(ctx_, rhs_expr(), out);
+  EXPECT_DOUBLE_EQ(out[0], 101.0);
+  EXPECT_DOUBLE_EQ(out[5], 202.0);  // (2,2)
+}
+
+TEST_F(EvalTest, ComparisonYieldsZeroOne) {
+  Build([](ProgramBuilder& b) {
+    const zir::ArrayId A = b.program().find_array("A");
+    return b.binary(zir::BinOp::kGt, b.ref(A), b.lit(22.0));
+  });
+  Evaluator ev(program_);
+  std::vector<double> out;
+  ev.eval_vector(ctx_, rhs_expr(), out);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);   // 11 > 22
+  EXPECT_DOUBLE_EQ(out[15], 1.0);  // 44 > 22
+}
+
+TEST_F(EvalTest, UnaryFunctions) {
+  Build([](ProgramBuilder& b) {
+    const zir::ArrayId A = b.program().find_array("A");
+    return b.sqrt(b.abs(b.lit(0.0) - b.ref(A)));
+  });
+  Evaluator ev(program_);
+  std::vector<double> out;
+  ev.eval_vector(ctx_, rhs_expr(), out);
+  EXPECT_DOUBLE_EQ(out[0], std::sqrt(11.0));
+}
+
+TEST_F(EvalTest, ReducePartialsAndScalar) {
+  Build([](ProgramBuilder& b) {
+    const zir::ArrayId A = b.program().find_array("A");
+    return b.ref(A);  // placeholder; we evaluate a reduce expr directly below
+  });
+  // s := (max<< A) - (+<< A) / 16
+  zir::Program& p = program_;
+  zir::Expr ref;
+  ref.kind = zir::Expr::Kind::kArrayRef;
+  ref.array = p.find_array("A");
+  const zir::ExprId ref_id = p.add_expr(ref);
+  zir::Expr maxr;
+  maxr.kind = zir::Expr::Kind::kReduce;
+  maxr.reduce_op = zir::ReduceOp::kMax;
+  maxr.lhs = ref_id;
+  const zir::ExprId max_id = p.add_expr(maxr);
+  zir::Expr sumr;
+  sumr.kind = zir::Expr::Kind::kReduce;
+  sumr.reduce_op = zir::ReduceOp::kSum;
+  sumr.lhs = ref_id;
+  const zir::ExprId sum_id = p.add_expr(sumr);
+  zir::Expr diff;
+  diff.kind = zir::Expr::Kind::kBinary;
+  diff.bin_op = zir::BinOp::kSub;
+  diff.lhs = max_id;
+  diff.rhs = sum_id;
+  const zir::ExprId top = p.add_expr(diff);
+
+  Evaluator ev(p);
+  const auto ops = ev.reduce_ops(top);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0], zir::ReduceOp::kMax);
+  EXPECT_EQ(ops[1], zir::ReduceOp::kSum);
+
+  std::vector<double> partials;
+  ev.eval_reduce_partials(ctx_, top, partials);
+  ASSERT_EQ(partials.size(), 2u);
+  EXPECT_DOUBLE_EQ(partials[0], 44.0);
+  double expected_sum = 0.0;
+  for (long long i = 1; i <= 4; ++i) {
+    for (long long j = 1; j <= 4; ++j) expected_sum += 10.0 * i + j;
+  }
+  EXPECT_DOUBLE_EQ(partials[1], expected_sum);
+
+  const double v = ev.eval_scalar(ctx_, top, partials);
+  EXPECT_DOUBLE_EQ(v, 44.0 - expected_sum);
+}
+
+TEST_F(EvalTest, ReducePartialOfEmptyBoxIsIdentity) {
+  Build([](ProgramBuilder& b) { return b.ref(b.program().find_array("A")); });
+  zir::Expr red;
+  red.kind = zir::Expr::Kind::kReduce;
+  red.reduce_op = zir::ReduceOp::kMax;
+  red.lhs = rhs_expr();
+  const zir::ExprId top = program_.add_expr(red);
+  EvalContext empty = ctx_;
+  empty.box = Box::make(2, {2, 2, 0}, {1, 1, 0});  // empty
+  Evaluator ev(program_);
+  std::vector<double> partials;
+  ev.eval_reduce_partials(empty, top, partials);
+  ASSERT_EQ(partials.size(), 1u);
+  EXPECT_EQ(partials[0], reduce_identity(zir::ReduceOp::kMax));
+}
+
+TEST(ReduceOps, IdentityAndCombine) {
+  EXPECT_EQ(reduce_identity(zir::ReduceOp::kSum), 0.0);
+  EXPECT_EQ(reduce_combine(zir::ReduceOp::kSum, 2.0, 3.0), 5.0);
+  EXPECT_EQ(reduce_combine(zir::ReduceOp::kMax, 2.0, 3.0), 3.0);
+  EXPECT_EQ(reduce_combine(zir::ReduceOp::kMin, 2.0, 3.0), 2.0);
+  EXPECT_GT(reduce_identity(zir::ReduceOp::kMin), 1e300);
+  EXPECT_LT(reduce_identity(zir::ReduceOp::kMax), -1e300);
+}
+
+}  // namespace
+}  // namespace zc::rt

@@ -1,0 +1,138 @@
+// Golden semantic validation: every benchmark, at every optimization level
+// and combining heuristic, on a multi-processor mesh, must produce the same
+// numerical results as the single-processor reference run. An incorrectly
+// removed, combined, or mis-placed communication changes the numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/comm/optimizer.h"
+#include "src/parser/parser.h"
+#include "src/programs/programs.h"
+#include "src/sim/engine.h"
+
+namespace zc {
+namespace {
+
+sim::RunResult run_cfg(const zir::Program& p, const comm::OptOptions& opts, int procs,
+                       ironman::CommLibrary lib,
+                       const std::map<std::string, long long>& overrides) {
+  const comm::CommPlan plan = comm::plan_communication(p, opts);
+  sim::RunConfig cfg;
+  cfg.library = lib;
+  cfg.procs = procs;
+  cfg.config_overrides = overrides;
+  return sim::run_program(p, plan, cfg);
+}
+
+void expect_checksums_match(const std::map<std::string, double>& got,
+                            const std::map<std::string, double>& want,
+                            const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (const auto& [name, value] : want) {
+    const double g = got.at(name);
+    ASSERT_TRUE(std::isfinite(value)) << label << " " << name << " reference not finite";
+    // Summation order differs across partitions; allow tight relative slack.
+    const double tol = 1e-9 * std::max(1.0, std::fabs(value));
+    EXPECT_NEAR(g, value, tol) << label << " array " << name;
+  }
+}
+
+struct GoldenCase {
+  std::string benchmark;
+  std::string experiment;  // paper Figure 9 key name
+  int procs;
+};
+
+class GoldenBenchmarks : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenBenchmarks, MatchesSequentialReference) {
+  const GoldenCase& c = GetParam();
+  const programs::BenchmarkInfo& info = programs::benchmark(c.benchmark);
+  const zir::Program p = parser::parse_program(info.source);
+
+  // Reference: one processor, baseline plan (no communication happens).
+  const sim::RunResult ref =
+      run_cfg(p, comm::OptOptions::for_level(comm::OptLevel::kBaseline), 1,
+              ironman::CommLibrary::kPVM, info.test_configs);
+
+  const auto maybe = [&]() {
+    using comm::CombineHeuristic;
+    using comm::OptLevel;
+    comm::OptOptions o;
+    ironman::CommLibrary lib = ironman::CommLibrary::kPVM;
+    if (c.experiment == "baseline") {
+      o = comm::OptOptions::for_level(OptLevel::kBaseline);
+    } else if (c.experiment == "rr") {
+      o = comm::OptOptions::for_level(OptLevel::kRR);
+    } else if (c.experiment == "cc") {
+      o = comm::OptOptions::for_level(OptLevel::kCC);
+    } else if (c.experiment == "pl") {
+      o = comm::OptOptions::for_level(OptLevel::kPL);
+    } else if (c.experiment == "pl with shmem") {
+      o = comm::OptOptions::for_level(OptLevel::kPL);
+      lib = ironman::CommLibrary::kSHMEM;
+    } else if (c.experiment == "pl with max latency") {
+      o = comm::OptOptions::for_level(OptLevel::kPL);
+      o.heuristic = CombineHeuristic::kMaxLatency;
+      lib = ironman::CommLibrary::kSHMEM;
+    } else if (c.experiment == "pl nested") {
+      o = comm::OptOptions::for_level(OptLevel::kPL);
+      o.heuristic = CombineHeuristic::kNested;
+    } else if (c.experiment == "pl hybrid") {
+      o = comm::OptOptions::for_level(OptLevel::kPL);
+      o.heuristic = CombineHeuristic::kHybrid;
+    }
+    return std::make_pair(o, lib);
+  }();
+
+  const sim::RunResult got = run_cfg(p, maybe.first, c.procs, maybe.second, info.test_configs);
+  expect_checksums_match(got.checksums, ref.checksums,
+                         c.benchmark + "/" + c.experiment + "/p" + std::to_string(c.procs));
+}
+
+std::vector<GoldenCase> golden_cases() {
+  std::vector<GoldenCase> cases;
+  for (const char* bench : {"tomcatv", "swm", "simple", "sp"}) {
+    for (const char* exp : {"baseline", "rr", "cc", "pl", "pl with shmem",
+                            "pl with max latency", "pl nested", "pl hybrid"}) {
+      cases.push_back({bench, exp, 4});
+    }
+    cases.push_back({bench, "pl", 9});
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<GoldenCase>& info) {
+  std::string s = info.param.benchmark + "_" + info.param.experiment + "_p" +
+                  std::to_string(info.param.procs);
+  for (char& ch : s) {
+    if (ch == ' ') ch = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, GoldenBenchmarks, ::testing::ValuesIn(golden_cases()),
+                         case_name);
+
+// The kernels, too, with a diagonal-heavy stencil (life) included.
+class GoldenKernels : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenKernels, MatchesSequentialReference) {
+  const zir::Program p = parser::parse_program(programs::kernel_source(GetParam()));
+  const sim::RunResult ref = run_cfg(p, comm::OptOptions::for_level(comm::OptLevel::kBaseline),
+                                     1, ironman::CommLibrary::kPVM, {});
+  for (const auto level : {comm::OptLevel::kBaseline, comm::OptLevel::kRR, comm::OptLevel::kCC,
+                           comm::OptLevel::kPL}) {
+    const sim::RunResult got =
+        run_cfg(p, comm::OptOptions::for_level(level), 4, ironman::CommLibrary::kPVM, {});
+    expect_checksums_match(got.checksums, ref.checksums,
+                           GetParam() + "/" + comm::to_string(level));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, GoldenKernels,
+                         ::testing::Values("jacobi", "life", "heat3d"));
+
+}  // namespace
+}  // namespace zc

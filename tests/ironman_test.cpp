@@ -1,0 +1,67 @@
+// Verifies the IRONMAN binding table against the paper's Figure 5.
+#include <gtest/gtest.h>
+
+#include "src/ironman/ironman.h"
+
+namespace zc::ironman {
+namespace {
+
+TEST(Bindings, ParagonMessagePassing) {
+  EXPECT_EQ(binding(CommLibrary::kNXSync, IronmanCall::kDR), Primitive::kNoOp);
+  EXPECT_EQ(binding(CommLibrary::kNXSync, IronmanCall::kSR), Primitive::kCsend);
+  EXPECT_EQ(binding(CommLibrary::kNXSync, IronmanCall::kDN), Primitive::kCrecv);
+  EXPECT_EQ(binding(CommLibrary::kNXSync, IronmanCall::kSV), Primitive::kNoOp);
+}
+
+TEST(Bindings, ParagonAsynchronous) {
+  EXPECT_EQ(binding(CommLibrary::kNXAsync, IronmanCall::kDR), Primitive::kIrecv);
+  EXPECT_EQ(binding(CommLibrary::kNXAsync, IronmanCall::kSR), Primitive::kIsend);
+  EXPECT_EQ(binding(CommLibrary::kNXAsync, IronmanCall::kDN), Primitive::kMsgwaitRecv);
+  EXPECT_EQ(binding(CommLibrary::kNXAsync, IronmanCall::kSV), Primitive::kMsgwaitSend);
+}
+
+TEST(Bindings, ParagonCallback) {
+  EXPECT_EQ(binding(CommLibrary::kNXCallback, IronmanCall::kDR), Primitive::kHprobe);
+  EXPECT_EQ(binding(CommLibrary::kNXCallback, IronmanCall::kSR), Primitive::kHsend);
+  EXPECT_EQ(binding(CommLibrary::kNXCallback, IronmanCall::kDN), Primitive::kHrecv);
+  EXPECT_EQ(binding(CommLibrary::kNXCallback, IronmanCall::kSV), Primitive::kMsgwaitSend);
+}
+
+TEST(Bindings, T3DPvm) {
+  EXPECT_EQ(binding(CommLibrary::kPVM, IronmanCall::kDR), Primitive::kNoOp);
+  EXPECT_EQ(binding(CommLibrary::kPVM, IronmanCall::kSR), Primitive::kPvmSend);
+  EXPECT_EQ(binding(CommLibrary::kPVM, IronmanCall::kDN), Primitive::kPvmRecv);
+  EXPECT_EQ(binding(CommLibrary::kPVM, IronmanCall::kSV), Primitive::kNoOp);
+}
+
+TEST(Bindings, T3DShmem) {
+  EXPECT_EQ(binding(CommLibrary::kSHMEM, IronmanCall::kDR), Primitive::kSynchPost);
+  EXPECT_EQ(binding(CommLibrary::kSHMEM, IronmanCall::kSR), Primitive::kShmemPut);
+  EXPECT_EQ(binding(CommLibrary::kSHMEM, IronmanCall::kDN), Primitive::kSynchWait);
+  EXPECT_EQ(binding(CommLibrary::kSHMEM, IronmanCall::kSV), Primitive::kNoOp);
+}
+
+TEST(Endpoints, SourceVsDestination) {
+  EXPECT_EQ(endpoint_of(Primitive::kNoOp), Endpoint::kNone);
+  EXPECT_EQ(endpoint_of(Primitive::kCsend), Endpoint::kSource);
+  EXPECT_EQ(endpoint_of(Primitive::kIsend), Endpoint::kSource);
+  EXPECT_EQ(endpoint_of(Primitive::kShmemPut), Endpoint::kSource);
+  EXPECT_EQ(endpoint_of(Primitive::kMsgwaitSend), Endpoint::kSource);
+  EXPECT_EQ(endpoint_of(Primitive::kCrecv), Endpoint::kDestination);
+  EXPECT_EQ(endpoint_of(Primitive::kIrecv), Endpoint::kDestination);
+  EXPECT_EQ(endpoint_of(Primitive::kSynchPost), Endpoint::kDestination);
+  EXPECT_EQ(endpoint_of(Primitive::kHprobe), Endpoint::kDestination);
+}
+
+TEST(Names, RoundTrip) {
+  EXPECT_EQ(to_string(CommLibrary::kPVM), "pvm");
+  EXPECT_EQ(to_string(CommLibrary::kSHMEM), "shmem");
+  EXPECT_EQ(to_string(IronmanCall::kDR), "DR");
+  EXPECT_EQ(to_string(IronmanCall::kSV), "SV");
+  EXPECT_EQ(to_string(Primitive::kPvmSend), "pvm_send");
+  EXPECT_EQ(to_string(Primitive::kShmemPut), "shmem_put");
+  EXPECT_EQ(to_string(Primitive::kSynchPost), "synch");
+}
+
+}  // namespace
+}  // namespace zc::ironman

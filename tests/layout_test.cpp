@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/parser/parser.h"
+#include "src/runtime/layout.h"
+
+namespace zc::rt {
+namespace {
+
+Box box2(long long lo0, long long hi0, long long lo1, long long hi1) {
+  return Box::make(2, {lo0, lo1, 0}, {hi0, hi1, 0});
+}
+
+TEST(Box, EmptyAndCount) {
+  EXPECT_FALSE(box2(1, 4, 1, 4).empty());
+  EXPECT_EQ(box2(1, 4, 1, 4).count(), 16);
+  EXPECT_TRUE(box2(2, 1, 1, 4).empty());
+  EXPECT_EQ(box2(2, 1, 1, 4).count(), 0);
+}
+
+TEST(Box, Contains) {
+  const Box outer = box2(0, 9, 0, 9);
+  EXPECT_TRUE(outer.contains(box2(1, 8, 2, 7)));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(box2(1, 10, 2, 7)));
+  EXPECT_TRUE(outer.contains(box2(5, 4, 0, 0)));  // empty always contained
+}
+
+TEST(Box, Shifted) {
+  const Box b = box2(1, 4, 2, 5).shifted({-1, 2});
+  EXPECT_EQ(b, box2(0, 3, 4, 7));
+}
+
+TEST(Box, Intersect) {
+  EXPECT_EQ(box2(0, 5, 0, 5).intersect(box2(3, 8, 2, 4)), box2(3, 5, 2, 4));
+  EXPECT_TRUE(box2(0, 2, 0, 2).intersect(box2(5, 8, 5, 8)).empty());
+}
+
+TEST(Box, SubtractDisjoint) {
+  const Box a = box2(0, 3, 0, 3);
+  const auto pieces = a.subtract(box2(10, 12, 10, 12));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], a);
+}
+
+TEST(Box, SubtractContained) {
+  const auto pieces = box2(0, 3, 0, 3).subtract(box2(-1, 4, -1, 4));
+  EXPECT_TRUE(pieces.empty());
+}
+
+TEST(Box, SubtractPiecesAreDisjointAndCoverDifference) {
+  // Exhaustive small-case check of the subtraction algebra.
+  const Box a = box2(0, 5, 0, 5);
+  for (long long lo0 = -1; lo0 <= 6; lo0 += 2) {
+    for (long long hi0 = lo0; hi0 <= 7; hi0 += 2) {
+      for (long long lo1 = -1; lo1 <= 6; lo1 += 3) {
+        for (long long hi1 = lo1; hi1 <= 7; hi1 += 2) {
+          const Box b = box2(lo0, hi0, lo1, hi1);
+          const auto pieces = a.subtract(b);
+          long long covered = 0;
+          for (const Box& piece : pieces) {
+            EXPECT_TRUE(a.contains(piece));
+            EXPECT_TRUE(piece.intersect(b).empty());
+            covered += piece.count();
+          }
+          // Pairwise disjoint.
+          for (std::size_t i = 0; i < pieces.size(); ++i) {
+            for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+              EXPECT_TRUE(pieces[i].intersect(pieces[j]).empty());
+            }
+          }
+          EXPECT_EQ(covered, a.count() - a.intersect(b).count());
+        }
+      }
+    }
+  }
+}
+
+TEST(Box, SubtractDiagonalShiftShape) {
+  // The geometry behind a south-east shift: (owned + (1,1)) \ owned is an
+  // L of two slabs (plus the corner merged into one of them).
+  const Box owned = box2(0, 7, 0, 7);
+  const Box needed = owned.shifted({1, 1});
+  const auto pieces = needed.subtract(owned);
+  ASSERT_EQ(pieces.size(), 2u);
+  long long total = 0;
+  for (const Box& piece : pieces) total += piece.count();
+  EXPECT_EQ(total, 8 + 7);  // bottom row (8 wide) + right column (7 tall)
+}
+
+TEST(Mesh, NearSquare) {
+  EXPECT_EQ(Mesh::near_square(64).rows, 8);
+  EXPECT_EQ(Mesh::near_square(64).cols, 8);
+  EXPECT_EQ(Mesh::near_square(2).rows, 1);
+  EXPECT_EQ(Mesh::near_square(2).cols, 2);
+  EXPECT_EQ(Mesh::near_square(12).rows, 3);
+  EXPECT_EQ(Mesh::near_square(12).cols, 4);
+  EXPECT_EQ(Mesh::near_square(1).procs(), 1);
+  EXPECT_EQ(Mesh::near_square(7).rows, 1);  // prime: 1 x 7
+}
+
+TEST(Mesh, RankMapping) {
+  const Mesh m{2, 3};
+  EXPECT_EQ(m.rank_of(1, 2), 5);
+  EXPECT_EQ(m.row_of(5), 1);
+  EXPECT_EQ(m.col_of(5), 2);
+  EXPECT_EQ(m.center_rank(), m.rank_of(1, 1));
+}
+
+class BlockDistTest : public ::testing::Test {
+ protected:
+  BlockDistTest()
+      : program_(parser::parse_program(R"(
+program t;
+config n : integer = 16;
+region R = [0..n+1, 0..n+1];
+region I = [1..n, 1..n];
+direction e = [0,1];
+var A : [R] double;
+procedure main() { [I] A := 0.0; }
+)")),
+        env_(program_.default_env()),
+        dist_(program_, env_, Mesh{2, 2}) {}
+
+  zir::Program program_;
+  zir::IntEnv env_;
+  BlockDist dist_;
+};
+
+TEST_F(BlockDistTest, SpaceIsBoundingBox) {
+  EXPECT_EQ(dist_.space(), box2(0, 17, 0, 17));
+}
+
+TEST_F(BlockDistTest, OwnershipPartitions) {
+  // Owned boxes tile the space exactly.
+  long long total = 0;
+  for (int p = 0; p < 4; ++p) total += dist_.owned(p).count();
+  EXPECT_EQ(total, dist_.space().count());
+  // Disjoint.
+  for (int p = 0; p < 4; ++p) {
+    for (int q = p + 1; q < 4; ++q) {
+      EXPECT_TRUE(dist_.owned(p).intersect(dist_.owned(q)).empty());
+    }
+  }
+  // 18 rows over 2 parts: 9 each.
+  EXPECT_EQ(dist_.owned(0), box2(0, 8, 0, 8));
+  EXPECT_EQ(dist_.owned(3), box2(9, 17, 9, 17));
+}
+
+TEST_F(BlockDistTest, OwnersFindsIntersectingProcs) {
+  // A box straddling the vertical cut belongs to both column procs.
+  const auto owners = dist_.owners(box2(0, 0, 8, 9));
+  EXPECT_EQ(owners, (std::vector<int>{0, 1}));
+  const auto all = dist_.owners(box2(0, 17, 0, 17));
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_TRUE(dist_.owners(box2(5, 4, 0, 0)).empty());  // empty box
+}
+
+TEST(BlockDistUneven, BlocksDifferByAtMostOne) {
+  const zir::Program p = parser::parse_program(R"(
+program t;
+config n : integer = 13;
+region R = [1..n, 1..n];
+var A : [R] double;
+procedure main() { [R] A := 0.0; }
+)");
+  const zir::IntEnv env = p.default_env();
+  const BlockDist dist(p, env, Mesh{4, 4});
+  long long min_e = 100;
+  long long max_e = 0;
+  for (int r = 0; r < 4; ++r) {
+    const Box b = dist.owned(Mesh{4, 4}.rank_of(r, 0));
+    min_e = std::min(min_e, b.extent(0));
+    max_e = std::max(max_e, b.extent(0));
+  }
+  EXPECT_GE(min_e, 3);
+  EXPECT_LE(max_e, 4);
+}
+
+TEST(EvalRegion, LoopVarDependentBounds) {
+  zir::Program p;
+  const zir::ConfigId n = p.add_config({"n", 10});
+  const zir::LoopVarId i = p.add_loop_var({"i"});
+  zir::RegionSpec spec;
+  spec.dims.push_back({zir::IntExpr::loop_var(i), zir::IntExpr::loop_var(i)});
+  spec.dims.push_back({zir::IntExpr::constant(1), zir::IntExpr::config(n)});
+  zir::IntEnv env = p.default_env();
+  env.loop_bound[i.index()] = true;
+  env.loop_values[i.index()] = 4;
+  EXPECT_EQ(eval_region(spec, env), box2(4, 4, 1, 10));
+}
+
+}  // namespace
+}  // namespace zc::rt

@@ -1,0 +1,115 @@
+// Checks the machine models' qualitative properties the paper measured in
+// §3.2 (Figures 3 and 6): the 4 KB combining knee, SHMEM ~10% under PVM,
+// and the heavyweight Paragon async/callback primitives.
+#include <gtest/gtest.h>
+
+#include "src/machine/model.h"
+#include "src/sim/transport.h"
+
+namespace zc::machine {
+namespace {
+
+using ironman::CommLibrary;
+using ironman::Primitive;
+
+TEST(Models, Figure3Parameters) {
+  const MachineModel paragon = paragon_model();
+  EXPECT_EQ(paragon.kind, MachineKind::kParagon);
+  EXPECT_DOUBLE_EQ(paragon.clock_hz, 50e6);
+  EXPECT_NEAR(paragon.timer_granularity, 100e-9, 1e-12);
+
+  const MachineModel t3d = t3d_model();
+  EXPECT_EQ(t3d.kind, MachineKind::kT3D);
+  EXPECT_DOUBLE_EQ(t3d.clock_hz, 150e6);
+  EXPECT_NEAR(t3d.timer_granularity, 150e-9, 1e-12);
+}
+
+TEST(Models, LibraryAvailability) {
+  EXPECT_TRUE(library_available(MachineKind::kParagon, CommLibrary::kNXSync));
+  EXPECT_TRUE(library_available(MachineKind::kParagon, CommLibrary::kNXAsync));
+  EXPECT_TRUE(library_available(MachineKind::kParagon, CommLibrary::kNXCallback));
+  EXPECT_FALSE(library_available(MachineKind::kParagon, CommLibrary::kPVM));
+  EXPECT_TRUE(library_available(MachineKind::kT3D, CommLibrary::kPVM));
+  EXPECT_TRUE(library_available(MachineKind::kT3D, CommLibrary::kSHMEM));
+  EXPECT_FALSE(library_available(MachineKind::kT3D, CommLibrary::kNXSync));
+}
+
+TEST(Models, PrimitiveCostGrowsWithSize) {
+  const MachineModel t3d = t3d_model();
+  const double small = t3d.primitive_cpu_cost(Primitive::kPvmSend, 8);
+  const double large = t3d.primitive_cpu_cost(Primitive::kPvmSend, 8192);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0.0);
+}
+
+TEST(Models, PacketChargeAppliesBeyond4K) {
+  const MachineModel t3d = t3d_model();
+  const double just_under = t3d.primitive_cpu_cost(Primitive::kPvmSend, 4096);
+  const double just_over = t3d.primitive_cpu_cost(Primitive::kPvmSend, 4097);
+  EXPECT_GT(just_over - just_under, t3d.packet_overhead * 0.99);
+}
+
+TEST(Models, NoOpCostsNothing) {
+  EXPECT_EQ(t3d_model().primitive_cpu_cost(Primitive::kNoOp, 1 << 20), 0.0);
+}
+
+/// §3.2: "the knee occurs at about 512 doubles (4K bytes)": below the knee
+/// the per-call overhead dominates (combining always wins); above it the
+/// per-byte cost dominates (combining stops helping).
+TEST(Knee, CombiningWinsBelow4KAndStopsMattering) {
+  for (const auto& [machine, lib] :
+       std::vector<std::pair<MachineModel, CommLibrary>>{
+           {t3d_model(), CommLibrary::kPVM},
+           {t3d_model(), CommLibrary::kSHMEM},
+           {paragon_model(), CommLibrary::kNXSync}}) {
+    const sim::Transport tx(machine, lib);
+    // Two 256-double messages vs one 512-double message: combining wins big.
+    const double two_small = 2 * tx.exposed_overhead(256 * 8);
+    const double one_big = tx.exposed_overhead(512 * 8);
+    EXPECT_LT(one_big, two_small) << to_string(lib);
+    EXPECT_LT(one_big, 0.75 * two_small) << to_string(lib);
+
+    // Two 512-double messages vs one 1024-double message: combining saves
+    // proportionally much less — the curve has gone linear.
+    const double two_big = 2 * tx.exposed_overhead(512 * 8);
+    const double one_huge = tx.exposed_overhead(1024 * 8);
+    const double saving_small = (two_small - one_big) / two_small;
+    const double saving_large = (two_big - one_huge) / two_big;
+    EXPECT_LT(saving_large, saving_small * 0.8) << to_string(lib);
+  }
+}
+
+/// §3.2: SHMEM's exposed overhead is ~10% below PVM's in the prototype
+/// framework (the heavyweight synch eats most of shmem_put's advantage).
+TEST(Shmem, AboutTenPercentBelowPvmAtSmallSizes) {
+  const sim::Transport pvm(t3d_model(), CommLibrary::kPVM);
+  const sim::Transport shm(t3d_model(), CommLibrary::kSHMEM);
+  const double o_pvm = pvm.exposed_overhead(64 * 8);
+  const double o_shm = shm.exposed_overhead(64 * 8);
+  const double ratio = o_shm / o_pvm;
+  EXPECT_GT(ratio, 0.80);
+  EXPECT_LT(ratio, 0.97);
+}
+
+/// §3.2 / §4: the Paragon's asynchronous primitives are "extremely
+/// heavy-weight": they do not beat csend/crecv on exposed overhead, and
+/// the callback variants are worse still.
+TEST(Paragon, AsyncPrimitivesDoNotBeatCsend) {
+  const MachineModel paragon = paragon_model();
+  const sim::Transport sync(paragon, CommLibrary::kNXSync);
+  const sim::Transport async(paragon, CommLibrary::kNXAsync);
+  const sim::Transport callback(paragon, CommLibrary::kNXCallback);
+  for (const long long doubles : {1LL, 16LL, 128LL, 512LL}) {
+    const long long bytes = doubles * 8;
+    EXPECT_GE(async.exposed_overhead(bytes), sync.exposed_overhead(bytes)) << doubles;
+    EXPECT_GT(callback.exposed_overhead(bytes), async.exposed_overhead(bytes)) << doubles;
+  }
+}
+
+TEST(Names, MachineKindToString) {
+  EXPECT_EQ(to_string(MachineKind::kParagon), "paragon");
+  EXPECT_EQ(to_string(MachineKind::kT3D), "t3d");
+}
+
+}  // namespace
+}  // namespace zc::machine

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "src/parser/lexer.h"
+#include "src/parser/parser.h"
+#include "src/support/diag.h"
+#include "src/zir/printer.h"
+
+namespace zc::parser {
+namespace {
+
+using zir::Program;
+using zir::Stmt;
+
+// --- lexer ------------------------------------------------------------------
+
+TEST(Lexer, BasicTokens) {
+  DiagnosticEngine diags;
+  const auto toks = lex("program p; [1..n] A := B@east * 2.5;", diags);
+  EXPECT_FALSE(diags.has_errors());
+  ASSERT_GE(toks.size(), 14u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kProgram);
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(toks[1].text, "p");
+  EXPECT_EQ(toks[2].kind, TokenKind::kSemi);
+  EXPECT_EQ(toks[3].kind, TokenKind::kLBracket);
+  EXPECT_EQ(toks[4].kind, TokenKind::kIntLit);
+  EXPECT_EQ(toks[5].kind, TokenKind::kDotDot);
+}
+
+TEST(Lexer, DotDotAfterNumberIsNotAFloat) {
+  DiagnosticEngine diags;
+  const auto toks = lex("1..2", diags);
+  ASSERT_EQ(toks.size(), 4u);  // 1, .., 2, EOF
+  EXPECT_EQ(toks[0].kind, TokenKind::kIntLit);
+  EXPECT_EQ(toks[0].int_value, 1);
+  EXPECT_EQ(toks[1].kind, TokenKind::kDotDot);
+  EXPECT_EQ(toks[2].int_value, 2);
+}
+
+TEST(Lexer, FloatForms) {
+  DiagnosticEngine diags;
+  const auto toks = lex("0.25 1e3 2.5e-2 7", diags);
+  EXPECT_EQ(toks[0].kind, TokenKind::kFloatLit);
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 0.25);
+  EXPECT_EQ(toks[1].kind, TokenKind::kFloatLit);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 0.025);
+  EXPECT_EQ(toks[3].kind, TokenKind::kIntLit);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  DiagnosticEngine diags;
+  const auto toks = lex("a -- to end of line\nb // also\nc", diags);
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, CompoundOperators) {
+  DiagnosticEngine diags;
+  const auto toks = lex(":= <= >= == != && || <<", diags);
+  EXPECT_EQ(toks[0].kind, TokenKind::kAssign);
+  EXPECT_EQ(toks[1].kind, TokenKind::kLe);
+  EXPECT_EQ(toks[2].kind, TokenKind::kGe);
+  EXPECT_EQ(toks[3].kind, TokenKind::kEqEq);
+  EXPECT_EQ(toks[4].kind, TokenKind::kNe);
+  EXPECT_EQ(toks[5].kind, TokenKind::kAndAnd);
+  EXPECT_EQ(toks[6].kind, TokenKind::kOrOr);
+  EXPECT_EQ(toks[7].kind, TokenKind::kShiftL);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  DiagnosticEngine diags;
+  const auto toks = lex("a\n  b", diags);
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.column, 3);
+}
+
+TEST(Lexer, BadCharacterIsError) {
+  DiagnosticEngine diags;
+  lex("a $ b", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+// --- parser -----------------------------------------------------------------
+
+constexpr std::string_view kSmall = R"(
+program small;
+config n : integer = 8;
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+direction east = [0, 1], west = [0, -1];
+var A, B : [R] double;
+var err : double;
+
+procedure main() {
+  [R] A := 1.5;
+  [R] B := 0.0;
+  repeat 3 {
+    [I] B := 0.5 * (A@east + A@west);
+    [I] err := max<< abs(B - A);
+    [I] A := B;
+  }
+}
+)";
+
+TEST(Parser, ParsesSmallProgram) {
+  const Program p = parse_program(kSmall);
+  EXPECT_EQ(p.name(), "small");
+  EXPECT_EQ(p.array_count(), 2u);
+  EXPECT_EQ(p.direction_count(), 2u);
+  EXPECT_EQ(p.region_count(), 2u);
+  EXPECT_TRUE(p.find_proc("main").valid());
+  EXPECT_EQ(p.entry(), p.find_proc("main"));
+}
+
+TEST(Parser, RegionBoundsWithArithmetic) {
+  const Program p = parse_program(kSmall);
+  const auto& spec = p.region(p.find_region("I")).spec;
+  const zir::IntEnv env = p.default_env();
+  EXPECT_EQ(spec.dims[0].lo.eval(env), 2);
+  EXPECT_EQ(spec.dims[0].hi.eval(env), 7);
+}
+
+TEST(Parser, SingleIndexRangeMeansDegenerate) {
+  const Program p = parse_program(R"(
+program t;
+config n : integer = 8;
+region R = [1..n, 1..n];
+direction north = [-1, 0];
+var A : [R] double;
+procedure main() {
+  for i in 2..n {
+    [i, 1..n] A := A@north + 1.0;
+  }
+}
+)");
+  // Find the For statement, then the array assign inside it.
+  const Stmt& loop = p.stmt(p.proc(p.entry()).body[0]);
+  ASSERT_EQ(loop.kind, Stmt::Kind::kFor);
+  const Stmt& assign = p.stmt(loop.body[0]);
+  ASSERT_TRUE(assign.region.has_value());
+  // Dim 0 is i..i (loop-dependent), dim 1 is 1..n.
+  EXPECT_FALSE(assign.region->dims[0].lo.is_static());
+  EXPECT_TRUE(assign.region->dims[0].lo.equals(assign.region->dims[0].hi));
+}
+
+TEST(Parser, ForWithNegativeStep) {
+  const Program p = parse_program(R"(
+program t;
+config n : integer = 8;
+region R = [1..n];
+var A : [R] double;
+procedure main() {
+  for i in n-1..2 by -1 {
+    [i] A := 1.0;
+  }
+}
+)");
+  const Stmt& loop = p.stmt(p.proc(p.entry()).body[0]);
+  EXPECT_EQ(loop.step, -1);
+}
+
+TEST(Parser, IfElseChain) {
+  const Program p = parse_program(R"(
+program t;
+config n : integer = 4;
+region R = [1..n];
+var A : [R] double;
+var s : double;
+procedure main() {
+  s := 1.0;
+  if s > 0.5 {
+    [R] A := 1.0;
+  } else if s > 0.25 {
+    [R] A := 2.0;
+  } else {
+    [R] A := 3.0;
+  }
+}
+)");
+  const Stmt& cond = p.stmt(p.proc(p.entry()).body[1]);
+  ASSERT_EQ(cond.kind, Stmt::Kind::kIf);
+  ASSERT_EQ(cond.else_body.size(), 1u);
+  EXPECT_EQ(p.stmt(cond.else_body[0]).kind, Stmt::Kind::kIf);
+}
+
+TEST(Parser, ReductionForms) {
+  const Program p = parse_program(R"(
+program t;
+config n : integer = 4;
+region R = [1..n, 1..n];
+var A : [R] double;
+var s1, s2, s3 : double;
+procedure main() {
+  [R] s1 := +<< A;
+  [R] s2 := max<< (A * 2.0);
+  [R] s3 := min<< A + 1.0;
+}
+)");
+  // min<< A + 1.0 parses as (min<< A) + 1.0 — reduce binds like a unary op.
+  const Stmt& s3 = p.stmt(p.proc(p.entry()).body[2]);
+  const zir::Expr& top = p.expr(s3.rhs);
+  EXPECT_EQ(top.kind, zir::Expr::Kind::kBinary);
+  EXPECT_EQ(p.expr(top.lhs).kind, zir::Expr::Kind::kReduce);
+}
+
+TEST(Parser, BuiltinsAndIndexArrays) {
+  const Program p = parse_program(R"(
+program t;
+config n : integer = 4;
+region R = [1..n, 1..n];
+var A : [R] double;
+procedure main() {
+  [R] A := min(sqrt(abs(Index1 - Index2)), pow(2.0, 3.0)) + sin(0.5) * cos(0.5);
+}
+)");
+  EXPECT_EQ(p.proc(p.entry()).body.size(), 1u);
+}
+
+TEST(Parser, ProcedureCalls) {
+  const Program p = parse_program(R"(
+program t;
+config n : integer = 4;
+region R = [1..n];
+var A : [R] double;
+procedure setup() {
+  [R] A := 0.0;
+}
+procedure main() {
+  setup();
+  setup();
+}
+)");
+  EXPECT_EQ(p.proc(p.entry()).body.size(), 2u);
+  EXPECT_EQ(p.stmt(p.proc(p.entry()).body[0]).kind, Stmt::Kind::kCall);
+}
+
+TEST(Parser, ErrorUnknownName) {
+  DiagnosticEngine diags;
+  parse_program(R"(
+program t;
+config n : integer = 4;
+region R = [1..n];
+var A : [R] double;
+procedure main() {
+  [R] A := nosuch + 1.0;
+}
+)", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, ErrorArrayAssignNeedsRegion) {
+  DiagnosticEngine diags;
+  parse_program(R"(
+program t;
+config n : integer = 4;
+region R = [1..n];
+var A : [R] double;
+procedure main() {
+  A := 1.0;
+}
+)", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, ErrorUnknownDirection) {
+  DiagnosticEngine diags;
+  parse_program(R"(
+program t;
+config n : integer = 4;
+region R = [1..n];
+var A : [R] double;
+procedure main() {
+  [R] A := A@nowhere;
+}
+)", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, ErrorRedeclaration) {
+  DiagnosticEngine diags;
+  parse_program(R"(
+program t;
+config n : integer = 4;
+config n : integer = 5;
+region R = [1..n];
+var A : [R] double;
+procedure main() { [R] A := 0.0; }
+)", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Parser, RecoversAndReportsMultipleErrors) {
+  DiagnosticEngine diags;
+  parse_program(R"(
+program t;
+config n : integer = 4;
+region R = [1..n];
+var A : [R] double;
+procedure main() {
+  [R] A := bad1;
+  [R] A := bad2;
+}
+)", diags);
+  EXPECT_GE(diags.error_count(), 2);
+}
+
+TEST(Parser, ThrowingOverloadThrowsWithMessage) {
+  EXPECT_THROW(parse_program("program t;"), Error);
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  const Program p1 = parse_program(kSmall);
+  const std::string src2 = zir::to_source(p1);
+  const Program p2 = parse_program(src2);  // printed source must re-parse
+  EXPECT_EQ(p2.array_count(), p1.array_count());
+  EXPECT_EQ(p2.stmt_count(), p1.stmt_count());
+}
+
+}  // namespace
+}  // namespace zc::parser

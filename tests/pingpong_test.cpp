@@ -1,0 +1,95 @@
+// Tests of the §3.2 synthetic ping benchmark (Figure 6 machinery).
+#include <gtest/gtest.h>
+
+#include "src/sim/ping.h"
+#include "src/sim/transport.h"
+
+namespace zc::sim {
+namespace {
+
+using ironman::CommLibrary;
+
+TEST(Ping, DefaultSizesSweepTo4096Doubles) {
+  const auto sizes = default_ping_sizes();
+  EXPECT_EQ(sizes.front(), 1);
+  EXPECT_EQ(sizes.back(), 4096);
+  EXPECT_EQ(sizes.size(), 13u);
+}
+
+TEST(Ping, ExposedCostMatchesAnalyticModelWhenFullyOverlapped) {
+  // The busy loops hide all transmission, so the per-message exposed cost
+  // must equal the analytic per-call CPU cost model (within the small
+  // barrier-stage term for SHMEM).
+  for (const auto& [model, lib] : std::vector<std::pair<machine::MachineModel, CommLibrary>>{
+           {machine::t3d_model(), CommLibrary::kPVM},
+           {machine::t3d_model(), CommLibrary::kSHMEM},
+           {machine::paragon_model(), CommLibrary::kNXSync},
+           {machine::paragon_model(), CommLibrary::kNXAsync},
+           {machine::paragon_model(), CommLibrary::kNXCallback}}) {
+    Transport tx(model, lib);
+    const PingResult r = run_ping(model, lib, {8, 512, 4096}, /*reps=*/200);
+    for (const PingPoint& pt : r.points) {
+      const double analytic = tx.exposed_overhead(pt.doubles * 8);
+      EXPECT_NEAR(pt.exposed, analytic, 0.10 * analytic + 2e-6)
+          << ironman::to_string(lib) << " at " << pt.doubles << " doubles";
+    }
+  }
+}
+
+TEST(Ping, KneeNear512DoublesOnBothMachines) {
+  // Paper §3.2: "for both the Paragon and the T3D, the knee occurs at
+  // about 512 doubles (4K bytes)".
+  const auto sizes = default_ping_sizes();
+  const PingResult pvm = run_ping(machine::t3d_model(), CommLibrary::kPVM, sizes, 500);
+  EXPECT_GE(pvm.knee_doubles(), 256);
+  EXPECT_LE(pvm.knee_doubles(), 2048);
+  const PingResult nx = run_ping(machine::paragon_model(), CommLibrary::kNXSync, sizes, 500);
+  EXPECT_GE(nx.knee_doubles(), 256);
+  EXPECT_LE(nx.knee_doubles(), 2048);
+}
+
+TEST(Ping, OverheadIsFlatBelowKneeLinearAbove) {
+  const auto sizes = default_ping_sizes();
+  const PingResult r = run_ping(machine::t3d_model(), CommLibrary::kPVM, sizes, 500);
+  // Below the knee, 64x size growth changes the overhead by < 2x.
+  const double at1 = r.points[0].exposed;
+  const double at64 = r.points[6].exposed;
+  EXPECT_LT(at64, 2.0 * at1);
+  // Above the knee, doubling the size costs nearly 2x.
+  const double at2048 = r.points[11].exposed;
+  const double at4096 = r.points[12].exposed;
+  EXPECT_GT(at4096, 1.5 * at2048);
+}
+
+TEST(Ping, ShmemBelowPvmAcrossSizes) {
+  const auto sizes = default_ping_sizes();
+  const PingResult pvm = run_ping(machine::t3d_model(), CommLibrary::kPVM, sizes, 300);
+  const PingResult shm = run_ping(machine::t3d_model(), CommLibrary::kSHMEM, sizes, 300);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_LT(shm.points[i].exposed, pvm.points[i].exposed) << sizes[i];
+  }
+  // ... and by roughly 10% at small-to-mid sizes (paper §3.2).
+  const double ratio = shm.points[6].exposed / pvm.points[6].exposed;
+  EXPECT_GT(ratio, 0.75);
+  EXPECT_LT(ratio, 0.97);
+}
+
+TEST(Ping, ParagonAsyncNoBetterCallbackWorse) {
+  const auto sizes = default_ping_sizes();
+  const PingResult sync = run_ping(machine::paragon_model(), CommLibrary::kNXSync, sizes, 300);
+  const PingResult async = run_ping(machine::paragon_model(), CommLibrary::kNXAsync, sizes, 300);
+  const PingResult cb = run_ping(machine::paragon_model(), CommLibrary::kNXCallback, sizes, 300);
+  for (std::size_t i = 0; i < 10; ++i) {  // up to 512 doubles
+    EXPECT_GE(async.points[i].exposed, sync.points[i].exposed * 0.999) << sizes[i];
+    EXPECT_GT(cb.points[i].exposed, async.points[i].exposed) << sizes[i];
+  }
+}
+
+TEST(Ping, DeterministicAcrossRuns) {
+  const PingResult a = run_ping(machine::t3d_model(), CommLibrary::kSHMEM, {64}, 100);
+  const PingResult b = run_ping(machine::t3d_model(), CommLibrary::kSHMEM, {64}, 100);
+  EXPECT_EQ(a.points[0].exposed, b.points[0].exposed);
+}
+
+}  // namespace
+}  // namespace zc::sim

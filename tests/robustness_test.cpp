@@ -1,0 +1,235 @@
+// Edge cases across the stack: degenerate meshes, over-decomposition,
+// empty regions, radius-2 offsets on tiny blocks, printer round-trips on
+// the full benchmark suite, and runtime validation errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/comm/optimizer.h"
+#include "src/parser/parser.h"
+#include "src/programs/programs.h"
+#include "src/sim/engine.h"
+#include "src/zir/printer.h"
+
+namespace zc {
+namespace {
+
+sim::RunResult run(std::string_view src, int procs,
+                   std::map<std::string, long long> overrides = {},
+                   comm::OptLevel level = comm::OptLevel::kPL) {
+  const zir::Program p = parser::parse_program(src);
+  const comm::CommPlan plan = comm::plan_communication(p, comm::OptOptions::for_level(level));
+  sim::RunConfig cfg;
+  cfg.procs = procs;
+  cfg.config_overrides = std::move(overrides);
+  return sim::run_program(p, plan, cfg);
+}
+
+constexpr std::string_view kTinyStencil = R"(
+program tiny;
+config n : integer = 4;
+region R = [1..n, 1..n];
+region I = [2..n-1, 2..n-1];
+direction east = [0, 1], sw = [1, -1];
+var A, B : [R] double;
+procedure main() {
+  [R] A := Index1 * 10.0 + Index2;
+  [R] B := 0.0;
+  [I] B := A@east + A@sw;
+}
+)";
+
+TEST(EdgeCases, OverDecomposedMeshMatchesReference) {
+  // 4x4 problem on up to 64 processors: most own nothing; some blocks are
+  // empty. The numbers must not change.
+  const sim::RunResult ref = run(kTinyStencil, 1);
+  for (const int procs : {4, 16, 64}) {
+    const sim::RunResult r = run(kTinyStencil, procs);
+    EXPECT_EQ(r.checksums.at("B"), ref.checksums.at("B")) << procs;
+  }
+}
+
+TEST(EdgeCases, PrimeProcessorCountMakesFlatMesh) {
+  const sim::RunResult r = run(kTinyStencil, 7, {{"n", 14}});
+  EXPECT_EQ(r.mesh.rows, 1);
+  EXPECT_EQ(r.mesh.cols, 7);
+  const sim::RunResult ref = run(kTinyStencil, 1, {{"n", 14}});
+  EXPECT_EQ(r.checksums.at("B"), ref.checksums.at("B"));
+}
+
+TEST(EdgeCases, Radius2OffsetsOnWidth2Blocks) {
+  // Blocks narrower than the shift radius: a needed slice spans two
+  // processors' blocks.
+  constexpr std::string_view src = R"(
+program r2;
+config n : integer = 16;
+region R = [1..n, 1..n];
+region I = [3..n-2, 3..n-2];
+direction east2 = [0, 2], north2 = [-2, 0];
+var A, B : [R] double;
+procedure main() {
+  [R] A := Index1 * 100.0 + Index2;
+  [R] B := 0.0;
+  [I] B := A@east2 + A@north2;
+}
+)";
+  const sim::RunResult ref = run(src, 1);
+  for (const int procs : {16, 64}) {
+    const sim::RunResult r = run(src, procs);
+    EXPECT_EQ(r.checksums.at("B"), ref.checksums.at("B")) << procs;
+  }
+}
+
+TEST(EdgeCases, EmptyRegionStatementIsANoop) {
+  constexpr std::string_view src = R"(
+program empt;
+config n : integer = 8;
+config k : integer = 0;
+region R = [1..n, 1..n];
+direction east = [0, 1];
+var A, B : [R] double;
+procedure main() {
+  [R] A := 1.0;
+  [R] B := 2.0;
+  [1..k, 1..n-1] B := A@east + 100.0;   -- empty when k = 0
+}
+)";
+  const sim::RunResult r = run(src, 4);
+  EXPECT_DOUBLE_EQ(r.checksums.at("B"), 2.0 * 64);  // untouched
+  // With k = 3 the statement takes effect.
+  const sim::RunResult r2 = run(src, 4, {{"k", 3}});
+  EXPECT_GT(r2.checksums.at("B"), 100.0 * 7 * 3);
+}
+
+TEST(EdgeCases, StatementRegionOutsideDeclaredThrows) {
+  constexpr std::string_view src = R"(
+program oob;
+config n : integer = 8;
+region R = [1..n, 1..n];
+var A : [R] double;
+procedure main() {
+  [0..n, 1..n] A := 1.0;   -- row 0 is outside R
+}
+)";
+  EXPECT_THROW(run(src, 4), Error);
+}
+
+TEST(EdgeCases, ShiftPastDeclaredBorderThrows) {
+  constexpr std::string_view src = R"(
+program shiftoob;
+config n : integer = 8;
+region R = [1..n, 1..n];
+direction east = [0, 1];
+var A, B : [R] double;
+procedure main() {
+  [R] A := 0.0;
+  [R] B := A@east;   -- reads column n+1, outside R
+}
+)";
+  EXPECT_THROW(run(src, 4), Error);
+}
+
+TEST(EdgeCases, UnknownConfigOverrideThrows) {
+  EXPECT_THROW(run(kTinyStencil, 4, {{"bogus", 1}}), Error);
+}
+
+TEST(EdgeCases, NegativeStepLoopRuns) {
+  constexpr std::string_view src = R"(
+program down;
+config n : integer = 8;
+region R = [1..n, 1..n];
+direction south = [1, 0];
+var A : [R] double;
+procedure main() {
+  [R] A := Index1;
+  for i in n-1..1 by -1 {
+    [i, 1..n] A := A + A@south;
+  }
+}
+)";
+  const sim::RunResult ref = run(src, 1);
+  const sim::RunResult r = run(src, 4);
+  EXPECT_NEAR(r.checksums.at("A"), ref.checksums.at("A"),
+              1e-9 * std::fabs(ref.checksums.at("A")));
+  EXPECT_TRUE(std::isfinite(r.checksums.at("A")));
+}
+
+TEST(EdgeCases, SingleElementRegions) {
+  constexpr std::string_view src = R"(
+program single;
+config n : integer = 8;
+region R = [1..n, 1..n];
+direction east = [0, 1];
+var A, B : [R] double;
+procedure main() {
+  [R] A := Index1 * 10.0 + Index2;
+  [R] B := 0.0;
+  [4, 4] B := A@east * 2.0;   -- one element, possibly on a remote proc
+}
+)";
+  for (const int procs : {1, 4, 16}) {
+    const sim::RunResult r = run(src, procs);
+    EXPECT_DOUBLE_EQ(r.checksums.at("B"), 2.0 * 45.0) << procs;  // A(4,5) = 45
+  }
+}
+
+TEST(PrinterRoundTrip, BenchmarksReachAFixedPoint) {
+  for (const auto& info : programs::benchmark_suite()) {
+    const zir::Program p1 = parser::parse_program(info.source);
+    const std::string s1 = zir::to_source(p1);
+    const zir::Program p2 = parser::parse_program(s1);
+    const std::string s2 = zir::to_source(p2);
+    EXPECT_EQ(s1, s2) << info.name;  // printing is a fixed point
+    EXPECT_EQ(p1.stmt_count(), p2.stmt_count()) << info.name;
+    EXPECT_EQ(p1.expr_count(), p2.expr_count()) << info.name;
+  }
+}
+
+TEST(PrinterRoundTrip, ReparsedBenchmarksPlanIdentically) {
+  for (const auto& info : programs::benchmark_suite()) {
+    const zir::Program p1 = parser::parse_program(info.source);
+    const zir::Program p2 = parser::parse_program(zir::to_source(p1));
+    for (const auto level :
+         {comm::OptLevel::kBaseline, comm::OptLevel::kRR, comm::OptLevel::kPL}) {
+      const auto o = comm::OptOptions::for_level(level);
+      EXPECT_EQ(comm::plan_communication(p1, o).static_count(),
+                comm::plan_communication(p2, o).static_count())
+          << info.name << " " << comm::to_string(level);
+    }
+  }
+}
+
+TEST(Counters, MessageAndByteTotalsConsistent) {
+  const sim::RunResult r = run(kTinyStencil, 4, {{"n", 8}});
+  long long sent = 0;
+  long long received = 0;
+  long long bytes_sent = 0;
+  long long bytes_received = 0;
+  for (const auto& c : r.per_proc) {
+    sent += c.messages_sent;
+    received += c.messages_received;
+    bytes_sent += c.bytes_sent;
+    bytes_received += c.bytes_received;
+  }
+  EXPECT_EQ(sent, received);
+  EXPECT_EQ(bytes_sent, bytes_received);
+  EXPECT_EQ(sent, r.total_messages);
+  EXPECT_EQ(bytes_sent, r.total_bytes);
+}
+
+TEST(Counters, ParticipationNeverExceedsDynamicCount) {
+  const zir::Program p = parser::parse_program(programs::benchmark("tomcatv").source);
+  const comm::CommPlan plan =
+      comm::plan_communication(p, comm::OptOptions::for_level(comm::OptLevel::kCC));
+  sim::RunConfig cfg;
+  cfg.procs = 16;
+  cfg.config_overrides = programs::benchmark("tomcatv").test_configs;
+  const sim::RunResult r = sim::run_program(p, plan, cfg);
+  for (const auto& c : r.per_proc) {
+    EXPECT_LE(c.communications, r.dynamic_count);
+  }
+  EXPECT_GT(r.per_proc[r.center_proc].communications, 0);
+}
+
+}  // namespace
+}  // namespace zc

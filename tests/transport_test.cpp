@@ -1,0 +1,165 @@
+// Timing-semantics tests for the simulated communication primitives.
+#include <gtest/gtest.h>
+
+#include "src/sim/transport.h"
+
+namespace zc::sim {
+namespace {
+
+using ironman::CommLibrary;
+
+class TransportTest : public ::testing::Test {
+ protected:
+  static constexpr int kSrc = 0;
+  static constexpr int kDst = 1;
+
+  /// Runs one full DR/SR/DN/SV exchange and returns the clock deltas.
+  static std::pair<double, double> exchange(Transport& tx, double t_src0, double t_dst0,
+                                            long long bytes, int64_t chan = 0) {
+    double t_src = t_src0;
+    double t_dst = t_dst0;
+    tx.dr(chan, kSrc, kDst, bytes, t_dst);
+    tx.sr(chan, kSrc, kDst, bytes, t_src);
+    tx.dn(chan, kSrc, kDst, bytes, t_dst);
+    tx.sv(chan, kSrc, kDst, bytes, t_src);
+    return {t_src - t_src0, t_dst - t_dst0};
+  }
+};
+
+TEST_F(TransportTest, PvmSenderDoesNotWaitForReceiver) {
+  Transport tx(machine::t3d_model(), CommLibrary::kPVM);
+  double t_src = 0.0;
+  double t_dst = 100.0;  // receiver far ahead: sender must not care
+  tx.dr(0, kSrc, kDst, 800, t_dst);
+  tx.sr(0, kSrc, kDst, 800, t_src);
+  EXPECT_LT(t_src, 1e-3);  // only the CPU-side send cost
+  tx.dn(0, kSrc, kDst, 800, t_dst);
+  tx.sv(0, kSrc, kDst, 800, t_src);
+  EXPECT_LT(t_src, 1e-3);  // SV is a no-op for PVM
+}
+
+TEST_F(TransportTest, PvmReceiverWaitsForArrival) {
+  Transport tx(machine::t3d_model(), CommLibrary::kPVM);
+  double t_src = 5.0;  // sender far behind the receiver's clock? ahead:
+  double t_dst = 0.0;
+  tx.dr(0, kSrc, kDst, 800, t_dst);
+  tx.sr(0, kSrc, kDst, 800, t_src);
+  tx.dn(0, kSrc, kDst, 800, t_dst);
+  // The message leaves after t=5: the receiver must wait past that.
+  EXPECT_GT(t_dst, 5.0);
+  tx.sv(0, kSrc, kDst, 800, t_src);
+}
+
+TEST_F(TransportTest, ShmemSenderIsGatedByDestinationReadiness) {
+  Transport tx(machine::t3d_model(), CommLibrary::kSHMEM);
+  double t_src = 0.0;
+  double t_dst = 2.0;  // destination reaches DR late
+  tx.dr(0, kSrc, kDst, 800, t_dst);
+  tx.sr(0, kSrc, kDst, 800, t_src);
+  // The put waits for the readiness flag posted after t=2: two-sided
+  // coupling (this is what hurts TOMCATV/SP under the SHMEM prototype).
+  EXPECT_GT(t_src, 2.0);
+  tx.dn(0, kSrc, kDst, 800, t_dst);
+  tx.sv(0, kSrc, kDst, 800, t_src);
+}
+
+TEST_F(TransportTest, PipeliningHidesWireTimeForPvm) {
+  // If both endpoints are past the arrival time, DN costs only CPU time:
+  // the latency was hidden by the intervening computation.
+  Transport tx(machine::t3d_model(), CommLibrary::kPVM);
+  double t_src = 0.0;
+  double t_dst = 0.0;
+  tx.dr(7, kSrc, kDst, 8000, t_dst);
+  tx.sr(7, kSrc, kDst, 8000, t_src);
+  // Simulate a long computation on the destination before the receive.
+  t_dst += 1.0;
+  const double before = t_dst;
+  tx.dn(7, kSrc, kDst, 8000, t_dst);
+  const double exposed = t_dst - before;
+  // Exposed cost is the pvm_recv CPU cost alone, not latency + wire time.
+  EXPECT_LT(exposed, 2.0 * machine::t3d_model().primitive_cpu_cost(
+                               ironman::Primitive::kPvmRecv, 8000));
+  tx.sv(7, kSrc, kDst, 8000, t_src);
+}
+
+TEST_F(TransportTest, UnpipelinedReceiverPaysWireTime) {
+  Transport tx(machine::t3d_model(), CommLibrary::kPVM);
+  double t_src = 0.0;
+  double t_dst = 0.0;
+  tx.dr(0, kSrc, kDst, 80000, t_dst);
+  tx.sr(0, kSrc, kDst, 80000, t_src);
+  tx.dn(0, kSrc, kDst, 80000, t_dst);  // immediately: must wait for the wire
+  EXPECT_GT(t_dst, tx.wire_time(80000));
+  tx.sv(0, kSrc, kDst, 80000, t_src);
+}
+
+TEST_F(TransportTest, NxAsyncSvWaitsForDrain) {
+  Transport tx(machine::paragon_model(), CommLibrary::kNXAsync);
+  double t_src = 0.0;
+  double t_dst = 0.0;
+  tx.dr(0, kSrc, kDst, 1 << 20, t_dst);   // irecv
+  tx.sr(0, kSrc, kDst, 1 << 20, t_src);   // isend: returns fast
+  const double after_isend = t_src;
+  tx.sv(0, kSrc, kDst, 1 << 20, t_src);   // msgwait: buffer drain of 1 MB
+  EXPECT_GT(t_src - after_isend, 1e-3);   // 1 MB over ~175 MB/s >> 1 ms
+  tx.dn(0, kSrc, kDst, 1 << 20, t_dst);
+}
+
+TEST_F(TransportTest, ChannelsAreFifoAcrossRepeatedExchanges) {
+  Transport tx(machine::t3d_model(), CommLibrary::kPVM);
+  double t_src = 0.0;
+  double t_dst = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto [ds, dd] = exchange(tx, t_src, t_dst, 256);
+    t_src += ds;
+    t_dst += dd;
+  }
+  EXPECT_EQ(tx.in_flight(), 0u);
+  EXPECT_GT(t_src, 0.0);
+  EXPECT_GT(t_dst, t_src);  // receiver also pays arrival latency
+}
+
+TEST_F(TransportTest, DistinctChannelsDoNotInterfere) {
+  Transport tx(machine::t3d_model(), CommLibrary::kPVM);
+  double t_src = 0.0;
+  double t_dst = 0.0;
+  // Send on channels 1 and 2, receive in the same order.
+  tx.sr(1, kSrc, kDst, 80, t_src);
+  tx.sr(2, kSrc, kDst, 8000, t_src);
+  EXPECT_EQ(tx.in_flight(), 2u);
+  double t_dst1 = t_dst;
+  tx.dn(2, kSrc, kDst, 8000, t_dst1);
+  tx.dn(1, kSrc, kDst, 80, t_dst1);
+  EXPECT_EQ(tx.in_flight(), 0u);
+}
+
+TEST_F(TransportTest, ExposedOverheadMonotoneInSize) {
+  for (const CommLibrary lib : {CommLibrary::kPVM, CommLibrary::kSHMEM}) {
+    Transport tx(machine::t3d_model(), lib);
+    double prev = 0.0;
+    for (long long b = 8; b <= 1 << 16; b *= 2) {
+      const double o = tx.exposed_overhead(b);
+      EXPECT_GE(o, prev);
+      prev = o;
+    }
+  }
+}
+
+TEST_F(TransportTest, TimingIsDeterministic) {
+  auto run = [] {
+    Transport tx(machine::t3d_model(), CommLibrary::kSHMEM);
+    double t_src = 0.0;
+    double t_dst = 0.0;
+    for (int i = 0; i < 10; ++i) {
+      tx.dr(0, 0, 1, 128 * (i + 1), t_dst);
+      tx.sr(0, 0, 1, 128 * (i + 1), t_src);
+      tx.dn(0, 0, 1, 128 * (i + 1), t_dst);
+      tx.sv(0, 0, 1, 128 * (i + 1), t_src);
+    }
+    return t_src + t_dst;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace zc::sim

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "src/support/diag.h"
+#include "src/zir/builder.h"
+#include "src/zir/printer.h"
+#include "src/zir/program.h"
+
+namespace zc::zir {
+namespace {
+
+/// A small two-array stencil program used by several tests.
+Program make_jacobi() {
+  ProgramBuilder b("jacobi");
+  const Ix n = b.config("n", 8);
+  const RegionId R = b.region("R", {{0, n + 1}, {0, n + 1}});
+  const RegionId I = b.region("I", {{1, n}, {1, n}});
+  const DirectionId east = b.direction("east", {0, 1});
+  const DirectionId west = b.direction("west", {0, -1});
+  const ArrayId A = b.array("A", R);
+  const ArrayId B = b.array("B", R);
+  const ScalarId err = b.scalar("err");
+  b.proc("main", [&] {
+    b.assign(R, A, b.lit(0.0));
+    b.assign(R, B, b.lit(0.0));
+    b.repeat(3, [&] {
+      b.assign(I, B, (b.at(A, east) + b.at(A, west)) * 0.5);
+      b.sassign_over(b.spec_of(I), err, b.reduce(ReduceOp::kMax, b.abs(b.ref(B) - b.ref(A))));
+      b.assign(I, A, b.ref(B));
+    });
+  });
+  return std::move(b).finish();
+}
+
+TEST(Builder, BuildsValidProgram) {
+  const Program p = make_jacobi();
+  EXPECT_EQ(p.name(), "jacobi");
+  EXPECT_EQ(p.config_count(), 1u);
+  EXPECT_EQ(p.region_count(), 2u);
+  EXPECT_EQ(p.direction_count(), 2u);
+  EXPECT_EQ(p.array_count(), 2u);
+  EXPECT_EQ(p.scalar_count(), 1u);
+  EXPECT_TRUE(p.entry().valid());
+  EXPECT_EQ(p.proc(p.entry()).name, "main");
+  EXPECT_EQ(p.rank(), 2);
+}
+
+TEST(Builder, FindByName) {
+  const Program p = make_jacobi();
+  EXPECT_TRUE(p.find_array("A").valid());
+  EXPECT_TRUE(p.find_region("I").valid());
+  EXPECT_TRUE(p.find_direction("east").valid());
+  EXPECT_TRUE(p.find_config("n").valid());
+  EXPECT_TRUE(p.find_scalar("err").valid());
+  EXPECT_FALSE(p.find_array("Z").valid());
+  EXPECT_FALSE(p.find_proc("nosuch").valid());
+}
+
+TEST(Builder, DefaultEnvUsesConfigDefaults) {
+  const Program p = make_jacobi();
+  const IntEnv env = p.default_env();
+  EXPECT_EQ(env.config_values[p.find_config("n").index()], 8);
+}
+
+TEST(Analysis, CollectShiftRefsDeduplicates) {
+  ProgramBuilder b("t");
+  const Ix n = b.config("n", 4);
+  const RegionId R = b.region("R", {{1, n}, {1, n}});
+  const DirectionId e = b.direction("e", {0, 1});
+  const ArrayId A = b.array("A", R);
+  const ArrayId B = b.array("B", R);
+  b.proc("main", [&] {
+    // A@e appears twice; B unshifted.
+    b.assign(R, B, b.at(A, e) + b.at(A, e) * b.ref(B));
+  });
+  const Program p = std::move(b).finish();
+  const Stmt& s = p.stmt(p.proc(p.entry()).body[0]);
+  const auto refs = collect_shift_refs(p, s.rhs);
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].array, p.find_array("A"));
+
+  const auto reads = collect_arrays_read(p, s.rhs);
+  EXPECT_EQ(reads.size(), 2u);
+}
+
+TEST(Analysis, CountFlops) {
+  ProgramBuilder b("t");
+  const Ix n = b.config("n", 4);
+  const RegionId R = b.region("R", {{1, n}});
+  const ArrayId A = b.array("A", R);
+  b.proc("main", [&] {
+    b.assign(R, A, b.ref(A) * 2.0 + 1.0);  // two binary ops
+  });
+  const Program p = std::move(b).finish();
+  const Stmt& s = p.stmt(p.proc(p.entry()).body[0]);
+  EXPECT_EQ(count_flops(p, s.rhs), 2);
+}
+
+TEST(Analysis, IsArrayValued) {
+  ProgramBuilder b("t");
+  const Ix n = b.config("n", 4);
+  const RegionId R = b.region("R", {{1, n}});
+  const ArrayId A = b.array("A", R);
+  const ScalarId s = b.scalar("s");
+  b.proc("main", [&] {
+    b.sassign_over(b.spec_of(R), s, b.reduce(ReduceOp::kSum, b.ref(A)) * 2.0);
+  });
+  const Program p = std::move(b).finish();
+  const Stmt& stmt = p.stmt(p.proc(p.entry()).body[0]);
+  // The whole rhs is scalar-valued (reduction scalarizes its operand).
+  EXPECT_FALSE(is_array_valued(p, stmt.rhs));
+}
+
+TEST(Validation, ArrayAssignWithoutRegionFails) {
+  Program p;
+  p.set_name("bad");
+  const RegionId r = p.add_region({"R", {{
+      {IntExpr::constant(1), IntExpr::constant(4)},
+  }}});
+  const ArrayId a = p.add_array({"A", r, ElemType::kF64});
+  Expr c;
+  c.kind = Expr::Kind::kConst;
+  const ExprId rhs = p.add_expr(c);
+  Stmt s;
+  s.kind = Stmt::Kind::kArrayAssign;
+  s.lhs_array = a;
+  s.rhs = rhs;  // no region
+  const StmtId sid = p.add_stmt(std::move(s));
+  p.set_entry(p.add_proc({"main", {sid}}));
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Validation, RecursionFails) {
+  Program p;
+  p.set_name("rec");
+  p.add_region({"R", {{{IntExpr::constant(1), IntExpr::constant(4)}}}});
+  Stmt call;
+  call.kind = Stmt::Kind::kCall;
+  call.callee = ProcId(0);  // calls itself
+  const StmtId sid = p.add_stmt(std::move(call));
+  p.set_entry(p.add_proc({"main", {sid}}));
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Validation, DirectionRankMismatchFails) {
+  ProgramBuilder b("t");
+  const Ix n = b.config("n", 4);
+  const RegionId R = b.region("R", {{1, n}, {1, n}});
+  const DirectionId d1 = b.direction("d1", {1});  // rank 1 direction
+  const ArrayId A = b.array("A", R);
+  b.proc("main", [&] { b.assign(R, A, b.at(A, d1)); });
+  EXPECT_THROW(std::move(b).finish(), Error);
+}
+
+TEST(Validation, NestedReduceFails) {
+  ProgramBuilder b("t");
+  const Ix n = b.config("n", 4);
+  const RegionId R = b.region("R", {{1, n}});
+  const ArrayId A = b.array("A", R);
+  const ScalarId s = b.scalar("s");
+  b.proc("main", [&] {
+    const Ex inner = b.reduce(ReduceOp::kSum, b.ref(A));
+    b.sassign_over(b.spec_of(R), s, b.reduce(ReduceOp::kMax, b.ref(A) + inner));
+  });
+  EXPECT_THROW(std::move(b).finish(), Error);
+}
+
+TEST(Validation, ArrayInScalarContextFails) {
+  ProgramBuilder b("t");
+  const Ix n = b.config("n", 4);
+  const RegionId R = b.region("R", {{1, n}});
+  const ArrayId A = b.array("A", R);
+  const ScalarId s = b.scalar("s");
+  b.proc("main", [&] { b.sassign(s, b.ref(A)); });  // bare array, no reduce
+  EXPECT_THROW(std::move(b).finish(), Error);
+}
+
+TEST(Printer, RoundTripContainsConstructs) {
+  const Program p = make_jacobi();
+  const std::string src = to_source(p);
+  EXPECT_NE(src.find("program jacobi;"), std::string::npos);
+  EXPECT_NE(src.find("config n : integer = 8;"), std::string::npos);
+  EXPECT_NE(src.find("region I = [1..n, 1..n];"), std::string::npos);
+  EXPECT_NE(src.find("direction east = [0, 1];"), std::string::npos);
+  EXPECT_NE(src.find("var A : [R] double;"), std::string::npos);
+  EXPECT_NE(src.find("A@east"), std::string::npos);
+  EXPECT_NE(src.find("max<<"), std::string::npos);
+  EXPECT_NE(src.find("for _rep in 1..3"), std::string::npos);
+}
+
+TEST(Printer, ExprPrecedenceParenthesized) {
+  ProgramBuilder b("t");
+  const Ix n = b.config("n", 4);
+  const RegionId R = b.region("R", {{1, n}});
+  const ArrayId A = b.array("A", R);
+  b.proc("main", [&] { b.assign(R, A, (b.ref(A) + 1.0) * 2.0); });
+  const Program p = std::move(b).finish();
+  const std::string s = stmt_to_string(p, p.proc(p.entry()).body[0]);
+  EXPECT_NE(s.find("((A + 1.0) * 2.0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zc::zir
