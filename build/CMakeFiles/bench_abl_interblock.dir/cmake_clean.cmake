@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_interblock.dir/bench/bench_abl_interblock.cpp.o"
+  "CMakeFiles/bench_abl_interblock.dir/bench/bench_abl_interblock.cpp.o.d"
+  "bench/bench_abl_interblock"
+  "bench/bench_abl_interblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_interblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

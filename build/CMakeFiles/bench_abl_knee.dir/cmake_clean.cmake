@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_knee.dir/bench/bench_abl_knee.cpp.o"
+  "CMakeFiles/bench_abl_knee.dir/bench/bench_abl_knee.cpp.o.d"
+  "bench/bench_abl_knee"
+  "bench/bench_abl_knee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_knee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_bindings.dir/bench/bench_fig05_bindings.cpp.o"
+  "CMakeFiles/bench_fig05_bindings.dir/bench/bench_fig05_bindings.cpp.o.d"
+  "bench/bench_fig05_bindings"
+  "bench/bench_fig05_bindings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_bindings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

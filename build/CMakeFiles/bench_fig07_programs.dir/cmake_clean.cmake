@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_programs.dir/bench/bench_fig07_programs.cpp.o"
+  "CMakeFiles/bench_fig07_programs.dir/bench/bench_fig07_programs.cpp.o.d"
+  "bench/bench_fig07_programs"
+  "bench/bench_fig07_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_counts.dir/bench/bench_fig08_counts.cpp.o"
+  "CMakeFiles/bench_fig08_counts.dir/bench/bench_fig08_counts.cpp.o.d"
+  "bench/bench_fig08_counts"
+  "bench/bench_fig08_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

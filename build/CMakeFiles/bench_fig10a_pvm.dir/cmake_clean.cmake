@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_pvm.dir/bench/bench_fig10a_pvm.cpp.o"
+  "CMakeFiles/bench_fig10a_pvm.dir/bench/bench_fig10a_pvm.cpp.o.d"
+  "bench/bench_fig10a_pvm"
+  "bench/bench_fig10a_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_shmem.dir/bench/bench_fig10b_shmem.cpp.o"
+  "CMakeFiles/bench_fig10b_shmem.dir/bench/bench_fig10b_shmem.cpp.o.d"
+  "bench/bench_fig10b_shmem"
+  "bench/bench_fig10b_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_heuristic_times.dir/bench/bench_fig12_heuristic_times.cpp.o"
+  "CMakeFiles/bench_fig12_heuristic_times.dir/bench/bench_fig12_heuristic_times.cpp.o.d"
+  "bench/bench_fig12_heuristic_times"
+  "bench/bench_fig12_heuristic_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_heuristic_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

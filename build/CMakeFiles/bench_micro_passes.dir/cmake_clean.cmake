@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_passes.dir/bench/bench_micro_passes.cpp.o"
+  "CMakeFiles/bench_micro_passes.dir/bench/bench_micro_passes.cpp.o.d"
+  "bench/bench_micro_passes"
+  "bench/bench_micro_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paragon_suite.dir/bench/bench_paragon_suite.cpp.o"
+  "CMakeFiles/bench_paragon_suite.dir/bench/bench_paragon_suite.cpp.o.d"
+  "bench/bench_paragon_suite"
+  "bench/bench_paragon_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paragon_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tomcatv.dir/bench/bench_table1_tomcatv.cpp.o"
+  "CMakeFiles/bench_table1_tomcatv.dir/bench/bench_table1_tomcatv.cpp.o.d"
+  "bench/bench_table1_tomcatv"
+  "bench/bench_table1_tomcatv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tomcatv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

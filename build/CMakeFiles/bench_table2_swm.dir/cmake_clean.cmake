@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_swm.dir/bench/bench_table2_swm.cpp.o"
+  "CMakeFiles/bench_table2_swm.dir/bench/bench_table2_swm.cpp.o.d"
+  "bench/bench_table2_swm"
+  "bench/bench_table2_swm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_swm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_simple.dir/bench/bench_table3_simple.cpp.o"
+  "CMakeFiles/bench_table3_simple.dir/bench/bench_table3_simple.cpp.o.d"
+  "bench/bench_table3_simple"
+  "bench/bench_table3_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

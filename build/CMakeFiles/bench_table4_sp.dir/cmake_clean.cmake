@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sp.dir/bench/bench_table4_sp.cpp.o"
+  "CMakeFiles/bench_table4_sp.dir/bench/bench_table4_sp.cpp.o.d"
+  "bench/bench_table4_sp"
+  "bench/bench_table4_sp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_bench.dir/bench/common.cpp.o"
+  "CMakeFiles/zc_bench.dir/bench/common.cpp.o.d"
+  "libzc_bench.a"
+  "libzc_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_life.dir/ocean_life.cpp.o"
+  "CMakeFiles/ocean_life.dir/ocean_life.cpp.o.d"
+  "ocean_life"
+  "ocean_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/blocks.cpp" "src/comm/CMakeFiles/zc_comm.dir/blocks.cpp.o" "gcc" "src/comm/CMakeFiles/zc_comm.dir/blocks.cpp.o.d"
+  "/root/repo/src/comm/interblock.cpp" "src/comm/CMakeFiles/zc_comm.dir/interblock.cpp.o" "gcc" "src/comm/CMakeFiles/zc_comm.dir/interblock.cpp.o.d"
+  "/root/repo/src/comm/optimizer.cpp" "src/comm/CMakeFiles/zc_comm.dir/optimizer.cpp.o" "gcc" "src/comm/CMakeFiles/zc_comm.dir/optimizer.cpp.o.d"
+  "/root/repo/src/comm/print.cpp" "src/comm/CMakeFiles/zc_comm.dir/print.cpp.o" "gcc" "src/comm/CMakeFiles/zc_comm.dir/print.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zir/CMakeFiles/zc_zir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/zc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

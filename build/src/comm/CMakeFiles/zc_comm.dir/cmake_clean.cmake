@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_comm.dir/blocks.cpp.o"
+  "CMakeFiles/zc_comm.dir/blocks.cpp.o.d"
+  "CMakeFiles/zc_comm.dir/interblock.cpp.o"
+  "CMakeFiles/zc_comm.dir/interblock.cpp.o.d"
+  "CMakeFiles/zc_comm.dir/optimizer.cpp.o"
+  "CMakeFiles/zc_comm.dir/optimizer.cpp.o.d"
+  "CMakeFiles/zc_comm.dir/print.cpp.o"
+  "CMakeFiles/zc_comm.dir/print.cpp.o.d"
+  "libzc_comm.a"
+  "libzc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

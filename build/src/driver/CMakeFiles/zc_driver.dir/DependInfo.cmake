@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/driver.cpp" "src/driver/CMakeFiles/zc_driver.dir/driver.cpp.o" "gcc" "src/driver/CMakeFiles/zc_driver.dir/driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/zc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/zc_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/zc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/zir/CMakeFiles/zc_zir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/zc_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/zc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/zc_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ironman/CMakeFiles/zc_ironman.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_driver.dir/driver.cpp.o"
+  "CMakeFiles/zc_driver.dir/driver.cpp.o.d"
+  "libzc_driver.a"
+  "libzc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_ironman.dir/ironman.cpp.o"
+  "CMakeFiles/zc_ironman.dir/ironman.cpp.o.d"
+  "libzc_ironman.a"
+  "libzc_ironman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_ironman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_machine.dir/model.cpp.o"
+  "CMakeFiles/zc_machine.dir/model.cpp.o.d"
+  "libzc_machine.a"
+  "libzc_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

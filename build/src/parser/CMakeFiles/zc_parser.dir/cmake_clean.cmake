@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_parser.dir/lexer.cpp.o"
+  "CMakeFiles/zc_parser.dir/lexer.cpp.o.d"
+  "CMakeFiles/zc_parser.dir/parser.cpp.o"
+  "CMakeFiles/zc_parser.dir/parser.cpp.o.d"
+  "libzc_parser.a"
+  "libzc_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

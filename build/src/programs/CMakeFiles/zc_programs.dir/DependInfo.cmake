@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/programs/kernels.cpp" "src/programs/CMakeFiles/zc_programs.dir/kernels.cpp.o" "gcc" "src/programs/CMakeFiles/zc_programs.dir/kernels.cpp.o.d"
+  "/root/repo/src/programs/programs.cpp" "src/programs/CMakeFiles/zc_programs.dir/programs.cpp.o" "gcc" "src/programs/CMakeFiles/zc_programs.dir/programs.cpp.o.d"
+  "/root/repo/src/programs/simple.cpp" "src/programs/CMakeFiles/zc_programs.dir/simple.cpp.o" "gcc" "src/programs/CMakeFiles/zc_programs.dir/simple.cpp.o.d"
+  "/root/repo/src/programs/sp.cpp" "src/programs/CMakeFiles/zc_programs.dir/sp.cpp.o" "gcc" "src/programs/CMakeFiles/zc_programs.dir/sp.cpp.o.d"
+  "/root/repo/src/programs/swm.cpp" "src/programs/CMakeFiles/zc_programs.dir/swm.cpp.o" "gcc" "src/programs/CMakeFiles/zc_programs.dir/swm.cpp.o.d"
+  "/root/repo/src/programs/tomcatv.cpp" "src/programs/CMakeFiles/zc_programs.dir/tomcatv.cpp.o" "gcc" "src/programs/CMakeFiles/zc_programs.dir/tomcatv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/zc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

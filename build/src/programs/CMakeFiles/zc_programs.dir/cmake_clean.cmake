@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_programs.dir/kernels.cpp.o"
+  "CMakeFiles/zc_programs.dir/kernels.cpp.o.d"
+  "CMakeFiles/zc_programs.dir/programs.cpp.o"
+  "CMakeFiles/zc_programs.dir/programs.cpp.o.d"
+  "CMakeFiles/zc_programs.dir/simple.cpp.o"
+  "CMakeFiles/zc_programs.dir/simple.cpp.o.d"
+  "CMakeFiles/zc_programs.dir/sp.cpp.o"
+  "CMakeFiles/zc_programs.dir/sp.cpp.o.d"
+  "CMakeFiles/zc_programs.dir/swm.cpp.o"
+  "CMakeFiles/zc_programs.dir/swm.cpp.o.d"
+  "CMakeFiles/zc_programs.dir/tomcatv.cpp.o"
+  "CMakeFiles/zc_programs.dir/tomcatv.cpp.o.d"
+  "libzc_programs.a"
+  "libzc_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/darray.cpp" "src/runtime/CMakeFiles/zc_runtime.dir/darray.cpp.o" "gcc" "src/runtime/CMakeFiles/zc_runtime.dir/darray.cpp.o.d"
+  "/root/repo/src/runtime/eval.cpp" "src/runtime/CMakeFiles/zc_runtime.dir/eval.cpp.o" "gcc" "src/runtime/CMakeFiles/zc_runtime.dir/eval.cpp.o.d"
+  "/root/repo/src/runtime/layout.cpp" "src/runtime/CMakeFiles/zc_runtime.dir/layout.cpp.o" "gcc" "src/runtime/CMakeFiles/zc_runtime.dir/layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zir/CMakeFiles/zc_zir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/zc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

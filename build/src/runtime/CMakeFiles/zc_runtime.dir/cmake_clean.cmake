@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_runtime.dir/darray.cpp.o"
+  "CMakeFiles/zc_runtime.dir/darray.cpp.o.d"
+  "CMakeFiles/zc_runtime.dir/eval.cpp.o"
+  "CMakeFiles/zc_runtime.dir/eval.cpp.o.d"
+  "CMakeFiles/zc_runtime.dir/layout.cpp.o"
+  "CMakeFiles/zc_runtime.dir/layout.cpp.o.d"
+  "libzc_runtime.a"
+  "libzc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_sim.dir/engine.cpp.o"
+  "CMakeFiles/zc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/ping.cpp.o"
+  "CMakeFiles/zc_sim.dir/ping.cpp.o.d"
+  "CMakeFiles/zc_sim.dir/transport.cpp.o"
+  "CMakeFiles/zc_sim.dir/transport.cpp.o.d"
+  "libzc_sim.a"
+  "libzc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

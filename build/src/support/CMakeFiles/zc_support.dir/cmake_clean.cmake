@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_support.dir/chart.cpp.o"
+  "CMakeFiles/zc_support.dir/chart.cpp.o.d"
+  "CMakeFiles/zc_support.dir/csv.cpp.o"
+  "CMakeFiles/zc_support.dir/csv.cpp.o.d"
+  "CMakeFiles/zc_support.dir/diag.cpp.o"
+  "CMakeFiles/zc_support.dir/diag.cpp.o.d"
+  "CMakeFiles/zc_support.dir/str.cpp.o"
+  "CMakeFiles/zc_support.dir/str.cpp.o.d"
+  "CMakeFiles/zc_support.dir/table.cpp.o"
+  "CMakeFiles/zc_support.dir/table.cpp.o.d"
+  "libzc_support.a"
+  "libzc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

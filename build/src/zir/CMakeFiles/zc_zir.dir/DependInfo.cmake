@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zir/builder.cpp" "src/zir/CMakeFiles/zc_zir.dir/builder.cpp.o" "gcc" "src/zir/CMakeFiles/zc_zir.dir/builder.cpp.o.d"
+  "/root/repo/src/zir/intexpr.cpp" "src/zir/CMakeFiles/zc_zir.dir/intexpr.cpp.o" "gcc" "src/zir/CMakeFiles/zc_zir.dir/intexpr.cpp.o.d"
+  "/root/repo/src/zir/printer.cpp" "src/zir/CMakeFiles/zc_zir.dir/printer.cpp.o" "gcc" "src/zir/CMakeFiles/zc_zir.dir/printer.cpp.o.d"
+  "/root/repo/src/zir/program.cpp" "src/zir/CMakeFiles/zc_zir.dir/program.cpp.o" "gcc" "src/zir/CMakeFiles/zc_zir.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/zc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

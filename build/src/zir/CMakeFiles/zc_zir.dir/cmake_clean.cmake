@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zc_zir.dir/builder.cpp.o"
+  "CMakeFiles/zc_zir.dir/builder.cpp.o.d"
+  "CMakeFiles/zc_zir.dir/intexpr.cpp.o"
+  "CMakeFiles/zc_zir.dir/intexpr.cpp.o.d"
+  "CMakeFiles/zc_zir.dir/printer.cpp.o"
+  "CMakeFiles/zc_zir.dir/printer.cpp.o.d"
+  "CMakeFiles/zc_zir.dir/program.cpp.o"
+  "CMakeFiles/zc_zir.dir/program.cpp.o.d"
+  "libzc_zir.a"
+  "libzc_zir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zc_zir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

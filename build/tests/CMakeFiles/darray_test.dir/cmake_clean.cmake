@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darray_test.dir/darray_test.cpp.o"
+  "CMakeFiles/darray_test.dir/darray_test.cpp.o.d"
+  "darray_test"
+  "darray_test.pdb"
+  "darray_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

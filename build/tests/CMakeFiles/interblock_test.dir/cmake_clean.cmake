@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interblock_test.dir/interblock_test.cpp.o"
+  "CMakeFiles/interblock_test.dir/interblock_test.cpp.o.d"
+  "interblock_test"
+  "interblock_test.pdb"
+  "interblock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interblock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intexpr_test.dir/intexpr_test.cpp.o"
+  "CMakeFiles/intexpr_test.dir/intexpr_test.cpp.o.d"
+  "intexpr_test"
+  "intexpr_test.pdb"
+  "intexpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

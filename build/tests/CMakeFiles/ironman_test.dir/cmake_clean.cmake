@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ironman_test.dir/ironman_test.cpp.o"
+  "CMakeFiles/ironman_test.dir/ironman_test.cpp.o.d"
+  "ironman_test"
+  "ironman_test.pdb"
+  "ironman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ironman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zir_test.dir/zir_test.cpp.o"
+  "CMakeFiles/zir_test.dir/zir_test.cpp.o.d"
+  "zir_test"
+  "zir_test.pdb"
+  "zir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
