@@ -37,3 +37,8 @@ add_executable(bench_micro_passes bench/bench_micro_passes.cpp)
 target_link_libraries(bench_micro_passes PRIVATE zc_bench benchmark::benchmark)
 set_target_properties(bench_micro_passes PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+add_executable(bench_trace_overhead bench/bench_trace_overhead.cpp)
+target_link_libraries(bench_trace_overhead PRIVATE zc_bench benchmark::benchmark)
+set_target_properties(bench_trace_overhead PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,83 @@
+// Guard benchmark for the trace subsystem's cost: engine throughput with
+// tracing off (the default, which must stay free) vs. on (bounded recording
+// of every call, message, compute span, and barrier). Run both and compare;
+// future PRs touching the recorder should keep the "on" overhead modest and
+// the "off" numbers unchanged within noise.
+#include <benchmark/benchmark.h>
+
+#include "src/comm/optimizer.h"
+#include "src/parser/parser.h"
+#include "src/programs/programs.h"
+#include "src/sim/engine.h"
+#include "src/trace/recorder.h"
+#include "src/trace/stats.h"
+
+namespace {
+
+using namespace zc;
+
+const zir::Program& jacobi_program() {
+  static const zir::Program p = parser::parse_program(programs::kernel_source("jacobi"));
+  return p;
+}
+
+const comm::CommPlan& jacobi_plan() {
+  static const comm::CommPlan plan =
+      comm::plan_communication(jacobi_program(), comm::OptOptions::for_level(comm::OptLevel::kPL));
+  return plan;
+}
+
+sim::RunConfig jacobi_config(int procs) {
+  sim::RunConfig cfg;
+  cfg.procs = procs;
+  cfg.config_overrides = {{"n", 64}, {"iters", 4}};
+  return cfg;
+}
+
+void BM_EngineTracingOff(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::run_program(jacobi_program(), jacobi_plan(),
+                                              jacobi_config(procs)));
+  }
+}
+BENCHMARK(BM_EngineTracingOff)->Arg(16)->Arg(64);
+
+void BM_EngineTracingOn(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    trace::Recorder recorder(procs);
+    sim::RunConfig cfg = jacobi_config(procs);
+    cfg.recorder = &recorder;
+    benchmark::DoNotOptimize(sim::run_program(jacobi_program(), jacobi_plan(), cfg));
+    benchmark::DoNotOptimize(recorder.total_messages());
+  }
+}
+BENCHMARK(BM_EngineTracingOn)->Arg(16)->Arg(64);
+
+void BM_RecorderRecordCall(benchmark::State& state) {
+  trace::Recorder recorder(1, {/*max_events_per_proc=*/1 << 20, /*max_messages=*/1});
+  double t = 0.0;
+  for (auto _ : state) {
+    recorder.record_call(0, ironman::IronmanCall::kSR, ironman::Primitive::kPvmSend,
+                         /*chan=*/1, /*src=*/0, /*dst=*/1, /*bytes=*/1024, t, t, t + 1e-6);
+    t += 2e-6;
+  }
+  benchmark::DoNotOptimize(recorder.call_totals());
+}
+BENCHMARK(BM_RecorderRecordCall);
+
+void BM_ComputeStats(benchmark::State& state) {
+  trace::Recorder recorder(16);
+  sim::RunConfig cfg = jacobi_config(16);
+  cfg.recorder = &recorder;
+  sim::run_program(jacobi_program(), jacobi_plan(), cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::compute_stats(recorder));
+  }
+}
+BENCHMARK(BM_ComputeStats);
+
+}  // namespace
+
+BENCHMARK_MAIN();

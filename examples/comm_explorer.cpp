@@ -1,13 +1,31 @@
 // Communication explorer: shows what the optimizer actually does to a
-// program, in the style of the paper's Figure 1 — the annotated SPMD
-// listing with DR/SR/DN/SV calls, at every optimization level and under
-// every combining heuristic.
+// program — as annotated SPMD listings in the style of the paper's
+// Figure 1, and (with --trace) as Chrome trace-event timelines of the
+// simulated run, one track per processor plus wire lanes per channel.
 //
 // Build & run:  cmake --build build && ./build/examples/comm_explorer
+//
+//   comm_explorer                      # the Figure 1 listings, every level
+//   comm_explorer --trace pl.json      # trace TOMCATV under `pl`, 16 procs
+//   comm_explorer --bench swm --experiment "pl with shmem" --trace-stats
+//   comm_explorer --experiment all --trace t.json --trace-stats-csv s.csv
+//
+// Open the JSON in https://ui.perfetto.dev or chrome://tracing; pipelined
+// runs show the wire lanes' transfer spans overlapping the processors'
+// compute spans, with the exposed remainder visible as "wait DN" slices.
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "src/comm/optimizer.h"
+#include "src/driver/driver.h"
 #include "src/parser/parser.h"
+#include "src/programs/programs.h"
+#include "src/trace/chrome.h"
+#include "src/trace/stats.h"
 
 namespace {
 
@@ -19,10 +37,11 @@ program figure1;
 config n : integer = 8;
 
 region R = [1..n, 1..n];
+region RB = [1..n, 1..n+1];   -- one halo column so @east stays in bounds
 
 direction east = [0, 1];
 
-var A, B, C, D, E, U : [R] double;
+var A, B, C, D, E, U : [RB] double;
 
 procedure main() {
   [R] B := Index1 * 0.5;     -- B is modified here ...
@@ -41,12 +60,8 @@ void show(const zc::zir::Program& program, const std::string& title,
   std::cout << zc::comm::to_string(plan, program) << "\n";
 }
 
-}  // namespace
-
-int main() {
+void show_listings(const zc::zir::Program& program) {
   using namespace zc;
-  const zir::Program program = parser::parse_program(kSource);
-
   show(program, "baseline: message vectorization only (Figure 1a)",
        comm::OptOptions::for_level(comm::OptLevel::kBaseline));
   show(program, "rr: + redundant communication removal (Figure 1b)",
@@ -67,5 +82,158 @@ int main() {
   std::cout << "Reading the listings: SR lines that moved up relative to their DN show\n"
                "pipelining; multiple arrays in one call show combining; '-- redundant'\n"
                "annotations mark transfers removed by rr.\n";
+}
+
+struct TraceOptions {
+  std::string bench = "tomcatv";  // or "figure1"
+  std::string experiment = "pl";  // or "all"
+  int procs = 16;
+  std::string trace_path;        // --trace <out.json>
+  bool print_stats = false;      // --trace-stats
+  std::string stats_csv_path;    // --trace-stats-csv <out.csv>
+  bool trace_requested = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "usage: comm_explorer [options]\n"
+      "  (no options)                 print the Figure 1 annotated listings\n"
+      "  --bench <name>               figure1 | tomcatv | swm | simple | sp\n"
+      "                               (default tomcatv; test-scale configs)\n"
+      "  --experiment <name>          a Figure 9 experiment name, or 'all'\n"
+      "                               (default pl)\n"
+      "  --procs <N>                  simulated processors (default 16)\n"
+      "  --trace <out.json>           run and export a Chrome trace (open in\n"
+      "                               Perfetto / chrome://tracing)\n"
+      "  --trace-stats                print wait/CPU, exposed vs. overlapped\n"
+      "                               wire time, channels, size histogram\n"
+      "  --trace-stats-csv <out.csv>  write the same stats as name,value CSV\n";
+  std::exit(code);
+}
+
+/// "pl with shmem" -> "pl-with-shmem" for per-experiment file names.
+std::string slug(const std::string& name) {
+  std::string s = name;
+  for (char& c : s) {
+    if (c == ' ') c = '-';
+  }
+  return s;
+}
+
+/// trace.json + "pl with shmem" -> trace.pl-with-shmem.json
+std::string with_experiment_suffix(const std::string& path, const std::string& experiment) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "." + slug(experiment);
+  }
+  return path.substr(0, dot) + "." + slug(experiment) + path.substr(dot);
+}
+
+int run_traced(const TraceOptions& opt) {
+  using namespace zc;
+
+  std::string_view source;
+  std::map<std::string, long long> configs;
+  if (opt.bench == "figure1") {
+    source = kSource;
+  } else {
+    const programs::BenchmarkInfo& info = programs::benchmark(opt.bench);
+    source = info.source;
+    configs = info.test_configs;
+  }
+  const zir::Program program = parser::parse_program(source);
+
+  std::vector<driver::Experiment> experiments;
+  if (opt.experiment == "all") {
+    experiments = driver::paper_experiments();
+  } else {
+    auto e = driver::find_experiment(opt.experiment);
+    if (!e) {
+      std::cerr << "unknown experiment '" << opt.experiment << "' (see --help)\n";
+      return 1;
+    }
+    experiments.push_back(std::move(*e));
+  }
+
+  for (const driver::Experiment& e : experiments) {
+    trace::Recorder recorder(opt.procs);
+    sim::RunConfig cfg;
+    cfg.procs = opt.procs;
+    cfg.config_overrides = configs;
+    cfg.recorder = &recorder;
+    const driver::Metrics m = driver::run_experiment(program, e, cfg);
+
+    std::cout << "== " << opt.bench << " / " << e.name << ": static " << m.static_count
+              << ", dynamic " << m.dynamic_count << ", time "
+              << m.execution_time * 1e3 << " ms ==\n";
+    if (!opt.trace_path.empty()) {
+      const std::string path = experiments.size() > 1
+                                   ? with_experiment_suffix(opt.trace_path, e.name)
+                                   : opt.trace_path;
+      trace::write_chrome_trace(recorder, path);
+      std::cout << "wrote Chrome trace: " << path << "\n";
+    }
+    if (opt.print_stats) std::cout << m.trace_stats->to_string();
+    if (!opt.stats_csv_path.empty()) {
+      const std::string path = experiments.size() > 1
+                                   ? with_experiment_suffix(opt.stats_csv_path, e.name)
+                                   : opt.stats_csv_path;
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "cannot open " << path << "\n";
+        return 1;
+      }
+      out << m.trace_stats->to_csv();
+      std::cout << "wrote trace stats CSV: " << path << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zc;
+
+  TraceOptions opt;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << a << " needs a value\n";
+        usage(1);
+      }
+      return args[++i];
+    };
+    if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--bench") opt.bench = value();
+    else if (a == "--experiment") opt.experiment = value();
+    else if (a == "--procs") {
+      const std::string v = value();
+      char* end = nullptr;
+      opt.procs = static_cast<int>(std::strtol(v.c_str(), &end, 10));
+      if (end == v.c_str() || *end != '\0' || opt.procs <= 0) {
+        std::cerr << "--procs needs a positive integer, got '" << v << "'\n";
+        usage(1);
+      }
+    }
+    else if (a == "--trace") { opt.trace_path = value(); opt.trace_requested = true; }
+    else if (a == "--trace-stats") { opt.print_stats = true; opt.trace_requested = true; }
+    else if (a == "--trace-stats-csv") { opt.stats_csv_path = value(); opt.trace_requested = true; }
+    else {
+      std::cerr << "unknown option: " << a << "\n";
+      usage(1);
+    }
+  }
+
+  try {
+    if (opt.trace_requested) return run_traced(opt);
+    const zir::Program program = parser::parse_program(kSource);
+    show_listings(program);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -48,9 +48,11 @@ Metrics run_experiment(const zir::Program& program, const Experiment& experiment
 
   Metrics m;
   m.static_count = plan.static_count();
+  trace::Recorder* recorder = config.recorder;
   m.run = sim::run_program(program, plan, std::move(config));
   m.dynamic_count = m.run.dynamic_count;
   m.execution_time = m.run.elapsed_seconds;
+  if (recorder != nullptr) m.trace_stats = trace::compute_stats(*recorder);
   return m;
 }
 

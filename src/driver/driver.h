@@ -18,6 +18,7 @@
 
 #include "src/comm/optimizer.h"
 #include "src/sim/engine.h"
+#include "src/trace/stats.h"
 #include "src/zir/program.h"
 
 namespace zc::driver {
@@ -55,11 +56,18 @@ struct Metrics {
   long long dynamic_count = 0;
   double execution_time = 0.0;  ///< simulated seconds
   sim::RunResult run;           ///< full detail
+
+  /// Trace analytics, present iff the run was traced (config.recorder set):
+  /// per-call wait/CPU split, exposed vs. overlapped wire time, channel
+  /// traffic, message-size histogram. See src/trace/stats.h.
+  std::optional<trace::Stats> trace_stats;
 };
 
 /// Compiles `program` under `experiment` and runs it on the T3D (or the
 /// machine in `config`, which must carry a library consistent with it —
-/// the experiment's library overrides config.library).
+/// the experiment's library overrides config.library). Attach a
+/// trace::Recorder to `config.recorder` to trace the run; Metrics then
+/// carries the computed trace::Stats.
 Metrics run_experiment(const zir::Program& program, const Experiment& experiment,
                        sim::RunConfig config);
 

@@ -56,6 +56,10 @@ Engine::Engine(const zir::Program& program, const comm::CommPlan& plan, RunConfi
       dist_(program, env_, mesh_),
       transport_(cfg_.machine, cfg_.library),
       evaluator_(program) {
+  if (cfg_.recorder != nullptr) {
+    ZC_ASSERT(cfg_.recorder->procs() >= mesh_.procs());
+    transport_.set_recorder(cfg_.recorder);
+  }
   const int procs = mesh_.procs();
   clock_.assign(procs, 0.0);
   counters_.assign(procs, CommCounters{});
@@ -117,6 +121,11 @@ void Engine::allreduce_clocks(double extra_per_stage) {
   double t = 0.0;
   for (double c : clock_) t = std::max(t, c);
   t += stages * (extra_per_stage + cfg_.machine.wire_latency);
+  if (cfg_.recorder != nullptr) {
+    for (std::size_t p = 0; p < clock_.size(); ++p) {
+      cfg_.recorder->record_barrier(static_cast<int>(p), clock_[p], t);
+    }
+  }
   std::fill(clock_.begin(), clock_.end(), t);
 }
 
@@ -372,7 +381,11 @@ void Engine::exec_array_assign(const zir::Stmt& stmt) {
     ctx.box = local;
     evaluator_.eval_vector(ctx, stmt.rhs, buf);
     lhs.write_box(local, buf.data());
+    const double t0 = clock_[proc];
     clock_[proc] += stmt_cost(stmt, local.count());
+    if (cfg_.recorder != nullptr) {
+      cfg_.recorder->record_compute(proc, local.count(), t0, clock_[proc]);
+    }
   }
 }
 
@@ -407,7 +420,13 @@ void Engine::exec_scalar_assign(const zir::Stmt& stmt) {
     for (std::size_t k = 0; k < ops.size(); ++k) {
       global[k] = rt::reduce_combine(ops[k], global[k], partials[k]);
     }
-    if (!local.empty()) clock_[proc] += stmt_cost(stmt, local.count());
+    if (!local.empty()) {
+      const double t0 = clock_[proc];
+      clock_[proc] += stmt_cost(stmt, local.count());
+      if (cfg_.recorder != nullptr) {
+        cfg_.recorder->record_compute(proc, local.count(), t0, clock_[proc]);
+      }
+    }
   }
 
   // Combine across processors: a log-tree allreduce that synchronizes all

@@ -20,6 +20,7 @@
 #include "src/runtime/eval.h"
 #include "src/runtime/layout.h"
 #include "src/sim/transport.h"
+#include "src/trace/recorder.h"
 #include "src/zir/program.h"
 
 namespace zc::sim {
@@ -30,6 +31,11 @@ struct RunConfig {
   int procs = 64;
   /// Override config constants by name (e.g. problem size / iterations).
   std::map<std::string, long long> config_overrides;
+  /// Optional trace recorder (see src/trace). nullptr — the default — means
+  /// tracing is off and the run does no event recording at all; the
+  /// recorder, when given, must cover at least `procs` processors. Tracing
+  /// never changes timing or numerics (golden-checked).
+  trace::Recorder* recorder = nullptr;
 };
 
 /// Per-processor communication counters.

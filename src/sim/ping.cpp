@@ -17,7 +17,8 @@ long long PingResult::knee_doubles() const {
 }
 
 PingResult run_ping(const machine::MachineModel& machine, ironman::CommLibrary library,
-                    const std::vector<long long>& sizes, int reps) {
+                    const std::vector<long long>& sizes, int reps,
+                    trace::Recorder* recorder) {
   PingResult result;
   result.machine = machine.kind;
   result.library = library;
@@ -25,6 +26,7 @@ PingResult run_ping(const machine::MachineModel& machine, ironman::CommLibrary l
   for (const long long doubles : sizes) {
     const long long bytes = doubles * static_cast<long long>(sizeof(double));
     Transport tx(machine, library);
+    tx.set_recorder(recorder);
     // A dedicated two-node partition (paper §3.1). clocks[0] sends to
     // clocks[1] on channel 0.
     std::vector<double> clocks(2, 0.0);

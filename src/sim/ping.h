@@ -9,6 +9,7 @@
 
 #include "src/ironman/ironman.h"
 #include "src/machine/model.h"
+#include "src/trace/recorder.h"
 
 namespace zc::sim {
 
@@ -29,9 +30,12 @@ struct PingResult {
   [[nodiscard]] long long knee_doubles() const;
 };
 
-/// Runs the two-node ping for each size in `sizes` (in doubles).
+/// Runs the two-node ping for each size in `sizes` (in doubles). An
+/// optional recorder (covering >= 2 processors) traces every exchange;
+/// sizes accumulate into the same recorder.
 PingResult run_ping(const machine::MachineModel& machine, ironman::CommLibrary library,
-                    const std::vector<long long>& sizes, int reps = 10000);
+                    const std::vector<long long>& sizes, int reps = 10000,
+                    trace::Recorder* recorder = nullptr);
 
 /// The paper's size sweep: powers of two from 1 to 4096 doubles.
 std::vector<long long> default_ping_sizes();

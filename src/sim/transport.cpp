@@ -22,6 +22,13 @@ Transport::Channel& Transport::channel(int64_t chan, int src, int dst) {
   return channels_[{chan, src, dst}];
 }
 
+void Transport::trace_send(Channel& ch, int64_t chan, int src, int dst, int64_t bytes,
+                           double t_posted, double t_on_wire, double t_arrived) {
+  const int64_t id =
+      recorder_->record_message(chan, src, dst, bytes, t_posted, t_on_wire, t_arrived);
+  ch.wire_records.push_back({id, t_on_wire, t_arrived});
+}
+
 double Transport::wire_time(int64_t bytes) const {
   return machine_.wire_latency +
          static_cast<double>(bytes) * machine_.channel_per_byte(library_);
@@ -29,6 +36,7 @@ double Transport::wire_time(int64_t bytes) const {
 
 void Transport::dr(int64_t chan, int src, int dst, int64_t bytes, double& t_dst) {
   const Primitive prim = ironman::binding(library_, IronmanCall::kDR);
+  const double begin = t_dst;
   switch (prim) {
     case Primitive::kNoOp:
       return;
@@ -37,31 +45,41 @@ void Transport::dr(int64_t chan, int src, int dst, int64_t bytes, double& t_dst)
       // Posting the receive costs CPU but creates no tracked state in this
       // model (arrival timing is independent of posting time).
       t_dst += machine_.primitive_cpu_cost(prim, bytes);
-      return;
+      break;
     case Primitive::kSynchPost: {
       // Destination announces buffer readiness to its source; the flag
       // crosses the wire and gates the source's shmem_put.
       t_dst += machine_.primitive_cpu_cost(prim, bytes);
       channel(chan, src, dst).readiness.push_back(t_dst + machine_.wire_latency);
-      return;
+      break;
     }
     default:
       ZC_ASSERT(false);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->record_call(dst, IronmanCall::kDR, prim, chan, src, dst, bytes, begin, begin,
+                           t_dst);
   }
 }
 
 void Transport::sr(int64_t chan, int src, int dst, int64_t bytes, double& t_src) {
   const Primitive prim = ironman::binding(library_, IronmanCall::kSR);
   Channel& ch = channel(chan, src, dst);
+  const double begin = t_src;
+  double unblocked = begin;  // when the call stopped waiting (gated sends)
+  double on_wire = 0.0;      // when the first byte leaves the source
+  double arrival = 0.0;
   switch (prim) {
     case Primitive::kCsend:
     case Primitive::kPvmSend: {
       // Blocking buffered send: the CPU copies/packs, then the message is
       // on the wire; the source may proceed immediately after the copy.
       t_src += machine_.primitive_cpu_cost(prim, bytes);
-      ch.arrivals.push_back(t_src + wire_time(bytes));
+      on_wire = t_src;
+      arrival = t_src + wire_time(bytes);
+      ch.arrivals.push_back(arrival);
       if (sv_waits_) ch.send_completes.push_back(t_src);
-      return;
+      break;
     }
     case Primitive::kIsend:
     case Primitive::kHsend: {
@@ -69,22 +87,32 @@ void Transport::sr(int64_t chan, int src, int dst, int64_t bytes, double& t_src)
       // the user buffer onto the wire; buffer reusable once drained.
       t_src += machine_.primitive_cpu_cost(prim, bytes);
       const double drained = t_src + static_cast<double>(bytes) * machine_.wire_per_byte;
-      ch.arrivals.push_back(t_src + wire_time(bytes));
+      on_wire = t_src;
+      arrival = t_src + wire_time(bytes);
+      ch.arrivals.push_back(arrival);
       if (sv_waits_) ch.send_completes.push_back(drained);
-      return;
+      break;
     }
     case Primitive::kShmemPut: {
       // One-sided put, gated on the destination's readiness flag.
       ZC_ASSERT(!ch.readiness.empty());
       const double ready = ch.readiness.front();
       ch.readiness.pop_front();
-      t_src = std::max(t_src, ready) + machine_.primitive_cpu_cost(prim, bytes);
-      ch.arrivals.push_back(t_src + machine_.wire_latency);
+      unblocked = std::max(t_src, ready);
+      t_src = unblocked + machine_.primitive_cpu_cost(prim, bytes);
+      on_wire = unblocked;  // the CPU store streams straight onto the wire
+      arrival = t_src + machine_.wire_latency;
+      ch.arrivals.push_back(arrival);
       if (sv_waits_) ch.send_completes.push_back(t_src);
-      return;
+      break;
     }
     default:
       ZC_ASSERT(false);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->record_call(src, IronmanCall::kSR, prim, chan, src, dst, bytes, begin,
+                           unblocked, t_src);
+    trace_send(ch, chan, src, dst, bytes, begin, on_wire, arrival);
   }
 }
 
@@ -94,20 +122,33 @@ void Transport::dn(int64_t chan, int src, int dst, int64_t bytes, double& t_dst)
   ZC_ASSERT(!ch.arrivals.empty());
   const double arrival = ch.arrivals.front();
   ch.arrivals.pop_front();
+  const double begin = t_dst;
+  const double unblocked = std::max(begin, arrival);
   switch (prim) {
     case Primitive::kCrecv:
     case Primitive::kPvmRecv:
       // Wait for arrival, then copy/unpack out of the system buffer.
-      t_dst = std::max(t_dst, arrival) + machine_.primitive_cpu_cost(prim, bytes);
-      return;
+      t_dst = unblocked + machine_.primitive_cpu_cost(prim, bytes);
+      break;
     case Primitive::kMsgwaitRecv:
     case Primitive::kHrecv:
     case Primitive::kSynchWait:
       // Completion wait; data was deposited directly (DMA / put).
-      t_dst = std::max(t_dst, arrival) + machine_.primitive_cpu_cost(prim, bytes);
-      return;
+      t_dst = unblocked + machine_.primitive_cpu_cost(prim, bytes);
+      break;
     default:
       ZC_ASSERT(false);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->record_call(dst, IronmanCall::kDN, prim, chan, src, dst, bytes, begin,
+                           unblocked, t_dst);
+    // The wire-record FIFO twins `arrivals`; it can be short only if the
+    // recorder was attached after traffic was already in flight.
+    if (!ch.wire_records.empty()) {
+      const WireRecord wr = ch.wire_records.front();
+      ch.wire_records.pop_front();
+      recorder_->record_consumed(wr.id, t_dst, unblocked - begin, wr.arrived - wr.on_wire);
+    }
   }
 }
 
@@ -121,7 +162,13 @@ void Transport::sv(int64_t chan, int src, int dst, int64_t bytes, double& t_src)
       ZC_ASSERT(!ch.send_completes.empty());
       const double complete = ch.send_completes.front();
       ch.send_completes.pop_front();
-      t_src = std::max(t_src, complete) + machine_.primitive_cpu_cost(prim, bytes);
+      const double begin = t_src;
+      const double unblocked = std::max(begin, complete);
+      t_src = unblocked + machine_.primitive_cpu_cost(prim, bytes);
+      if (recorder_ != nullptr) {
+        recorder_->record_call(src, IronmanCall::kSV, prim, chan, src, dst, bytes, begin,
+                               unblocked, t_src);
+      }
       return;
     }
     default:
@@ -140,6 +187,11 @@ void Transport::global_synch(std::vector<double>& clocks) const {
   const int stages = std::max(
       1, static_cast<int>(std::ceil(std::log2(static_cast<double>(clocks.size())))));
   t += machine_.synch_post.overhead + stages * machine_.synch_stage;
+  if (recorder_ != nullptr) {
+    for (std::size_t p = 0; p < clocks.size(); ++p) {
+      recorder_->record_barrier(static_cast<int>(p), clocks[p], t);
+    }
+  }
   std::fill(clocks.begin(), clocks.end(), t);
 }
 

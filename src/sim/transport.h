@@ -28,6 +28,7 @@
 
 #include "src/ironman/ironman.h"
 #include "src/machine/model.h"
+#include "src/trace/recorder.h"
 
 namespace zc::sim {
 
@@ -37,6 +38,12 @@ class Transport {
 
   [[nodiscard]] const machine::MachineModel& machine() const { return machine_; }
   [[nodiscard]] ironman::CommLibrary library() const { return library_; }
+
+  /// Attaches a trace recorder (nullptr = tracing off, the default; no
+  /// per-call work happens then). Every IRONMAN call and message lifecycle
+  /// is recorded while attached.
+  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
+  [[nodiscard]] trace::Recorder* recorder() const { return recorder_; }
 
   /// The four IRONMAN calls for one message of `bytes` on the channel
   /// `(chan, src, dst)`. `t_dst` / `t_src` are the endpoint clocks,
@@ -72,18 +79,31 @@ class Transport {
   [[nodiscard]] std::size_t in_flight() const;
 
  private:
+  /// Per-message trace state paralleling `arrivals` (recorder attached only).
+  struct WireRecord {
+    int64_t id = -1;  ///< Recorder message handle (-1 = record dropped)
+    double on_wire = 0.0;
+    double arrived = 0.0;
+  };
+
   struct Channel {
     std::deque<double> readiness;       ///< DR flags awaiting the source
     std::deque<double> arrivals;        ///< message arrival times for DN
     std::deque<double> send_completes;  ///< for SV = msgwait bindings
+    std::deque<WireRecord> wire_records;  ///< FIFO twin of `arrivals` when tracing
   };
 
   Channel& channel(int64_t chan, int src, int dst);
+
+  /// Records one sent message (SR side) with the recorder attached.
+  void trace_send(Channel& ch, int64_t chan, int src, int dst, int64_t bytes,
+                  double t_posted, double t_on_wire, double t_arrived);
 
   const machine::MachineModel machine_;
   const ironman::CommLibrary library_;
   const bool sv_waits_;
   std::map<std::tuple<int64_t, int, int>, Channel> channels_;
+  trace::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace zc::sim

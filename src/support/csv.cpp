@@ -52,4 +52,87 @@ void CsvWriter::write_file(const std::string& path) const {
   if (!out) throw Error("failed writing CSV output file: " + path);
 }
 
+const std::string& Csv::cell(std::size_t row, std::string_view column) const {
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    if (headers[c] == column) {
+      if (row >= rows.size()) throw Error("CSV row index out of range");
+      return rows[row].at(c);
+    }
+  }
+  throw Error("CSV has no column named '" + std::string(column) + "'");
+}
+
+Csv parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // the current record has at least one field
+  bool field_quoted = false;   // the pending field was quoted (may be empty)
+
+  const auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = true;
+    field_quoted = false;
+  };
+  const auto end_record = [&] {
+    if (field_started || field_quoted || !field.empty()) end_field();
+    if (!record.empty()) records.push_back(std::move(record));
+    record.clear();
+    field_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) throw Error("CSV quote in the middle of an unquoted field");
+        in_quotes = true;
+        field_quoted = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        if (i + 1 < text.size() && text[i + 1] == '\n') break;  // CRLF: LF ends it
+        end_record();
+        break;
+      case '\n':
+        end_record();
+        break;
+      default:
+        field += c;
+    }
+  }
+  if (in_quotes) throw Error("CSV ends inside a quoted field");
+  end_record();  // accept a missing final newline
+
+  if (records.empty()) throw Error("CSV has no header line");
+  Csv csv;
+  csv.headers = std::move(records.front());
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != csv.headers.size()) {
+      throw Error("CSV row " + std::to_string(r) + " has " +
+                  std::to_string(records[r].size()) + " fields, header has " +
+                  std::to_string(csv.headers.size()));
+    }
+    csv.rows.push_back(std::move(records[r]));
+  }
+  return csv;
+}
+
 }  // namespace zc

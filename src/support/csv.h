@@ -1,8 +1,10 @@
 // Minimal CSV writer used by bench harnesses to dump machine-readable
-// results alongside the ASCII tables.
+// results alongside the ASCII tables, plus the matching reader so outputs
+// can be round-tripped (trace stats CSV, smoke tests).
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace zc {
@@ -24,5 +26,19 @@ class CsvWriter {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// A parsed CSV document: the header line plus data rows, unescaped.
+struct Csv {
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+
+  /// The value in `column` of `row`; throws zc::Error for unknown columns.
+  [[nodiscard]] const std::string& cell(std::size_t row, std::string_view column) const;
+};
+
+/// Parses RFC-4180-ish CSV (the inverse of CsvWriter: quoted fields may
+/// contain commas, doubled quotes, and newlines; CRLF and a missing final
+/// newline are accepted). Throws zc::Error on malformed input.
+Csv parse_csv(std::string_view text);
 
 }  // namespace zc

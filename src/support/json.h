@@ -1,0 +1,40 @@
+// A lightweight JSON value parser, used to validate the trace subsystem's
+// Chrome trace-event output (tests and the trace_smoke ctest) without an
+// external dependency. Parsing only — serialization is the exporters' job.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zc::json {
+
+/// A parsed JSON value. Object member order is not preserved (members are
+/// keyed); numbers are doubles (adequate for trace timestamps/counters).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member access; throws zc::Error when not an object or missing.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+};
+
+/// Parses one JSON document (throws zc::Error on syntax errors or trailing
+/// garbage).
+Value parse(std::string_view text);
+
+}  // namespace zc::json

@@ -1,0 +1,156 @@
+#include "src/trace/chrome.h"
+
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "src/support/diag.h"
+
+namespace zc::trace {
+
+namespace {
+
+constexpr int kProcessorsPid = 1;
+constexpr int kWirePid = 2;
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes one complete ("X") event. `args` is pre-rendered JSON ("{...}").
+void emit_span(std::ostream& os, bool& first, int pid, std::int64_t tid,
+               const std::string& name, const std::string& cat, double t_begin_s,
+               double t_end_s, const std::string& args) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"ph":"X","pid":)" << pid << R"(,"tid":)" << tid << R"(,"name":")"
+     << json_escape(name) << R"(","cat":")" << cat << R"(","ts":)" << t_begin_s * 1e6
+     << R"(,"dur":)" << (t_end_s - t_begin_s) * 1e6;
+  if (!args.empty()) os << R"(,"args":)" << args;
+  os << "}";
+}
+
+void emit_metadata(std::ostream& os, bool& first, int pid, std::int64_t tid,
+                   const std::string& what, const std::string& name) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"ph":"M","pid":)" << pid << R"(,"tid":)" << tid << R"(,"name":")" << what
+     << R"(","args":{"name":")" << json_escape(name) << R"("}})";
+}
+
+std::string channel_label(std::int64_t chan, int src, int dst) {
+  std::ostringstream os;
+  os << "chan " << chan << ": " << src << "->" << dst;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_chrome_json(const Recorder& recorder) {
+  std::ostringstream os;
+  os << std::setprecision(15);
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+
+  // Track naming. The wire lanes are numbered in channel-key order so
+  // repeated exports of the same run are byte-identical.
+  emit_metadata(os, first, kProcessorsPid, 0, "process_name", "processors");
+  emit_metadata(os, first, kWirePid, 0, "process_name", "wire");
+  for (int proc = 0; proc < recorder.procs(); ++proc) {
+    emit_metadata(os, first, kProcessorsPid, proc, "thread_name",
+                  "proc " + std::to_string(proc));
+  }
+  std::map<std::tuple<std::int64_t, int, int>, std::int64_t> lanes;
+  for (const auto& [key, totals] : recorder.channel_totals()) {
+    const std::int64_t lane = static_cast<std::int64_t>(lanes.size());
+    lanes.emplace(key, lane);
+    const auto& [chan, src, dst] = key;
+    emit_metadata(os, first, kWirePid, lane, "thread_name", channel_label(chan, src, dst));
+  }
+
+  // Processor tracks: calls (with the wait part split out), compute spans,
+  // barriers. Events were recorded in per-processor clock order, so each
+  // track is already sorted and non-overlapping.
+  for (int proc = 0; proc < recorder.procs(); ++proc) {
+    for (const Event& e : recorder.events(proc)) {
+      std::ostringstream args;
+      args << std::setprecision(15);
+      switch (e.kind) {
+        case EventKind::kCall: {
+          const std::string name =
+              ironman::to_string(e.call) + " " + ironman::to_string(e.primitive);
+          if (e.wait_seconds() > 0.0) {
+            args << R"({"chan":)" << e.chan << R"(,"bytes":)" << e.amount << "}";
+            emit_span(os, first, kProcessorsPid, proc, "wait " + name, "wait", e.t_begin,
+                      e.t_unblocked, args.str());
+            args.str("");
+          }
+          args << R"({"chan":)" << e.chan << R"(,"src":)" << e.src << R"(,"dst":)" << e.dst
+               << R"(,"bytes":)" << e.amount << R"(,"wait_us":)" << e.wait_seconds() * 1e6
+               << "}";
+          emit_span(os, first, kProcessorsPid, proc, name, "ironman", e.t_unblocked, e.t_end,
+                    args.str());
+          break;
+        }
+        case EventKind::kCompute:
+          args << R"({"elems":)" << e.amount << "}";
+          emit_span(os, first, kProcessorsPid, proc, "compute", "compute", e.t_begin, e.t_end,
+                    args.str());
+          break;
+        case EventKind::kBarrier:
+          emit_span(os, first, kProcessorsPid, proc, "barrier", "sync", e.t_begin, e.t_end,
+                    "");
+          break;
+      }
+    }
+  }
+
+  // Wire lanes: one span per recorded message covering its transmission.
+  for (const MessageRecord& m : recorder.messages()) {
+    const auto lane = lanes.find({m.chan, m.src, m.dst});
+    if (lane == lanes.end()) continue;  // aggregates capped before this message
+    std::ostringstream args;
+    args << std::setprecision(15);
+    args << R"({"bytes":)" << m.bytes << R"(,"posted_us":)" << m.t_posted * 1e6
+         << R"(,"consumed_us":)" << (m.consumed ? m.t_consumed * 1e6 : -1.0) << "}";
+    emit_span(os, first, kWirePid, lane->second, std::to_string(m.bytes) + " B", "wire",
+              m.t_on_wire, m.t_arrived, args.str());
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ms\"";
+  if (recorder.dropped_events() > 0 || recorder.dropped_messages() > 0) {
+    os << ",\"otherData\":{\"dropped_events\":" << recorder.dropped_events()
+       << ",\"dropped_messages\":" << recorder.dropped_messages() << "}";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const Recorder& recorder, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open trace output file: " + path);
+  out << to_chrome_json(recorder);
+  if (!out) throw Error("failed writing trace output file: " + path);
+}
+
+}  // namespace zc::trace

@@ -1,0 +1,28 @@
+// Exports a Recorder's contents as Chrome trace-event JSON, loadable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Layout: one process per record family —
+//   pid 1 "processors"  one thread per simulated processor carrying its
+//                       IRONMAN call spans (wait + CPU), compute spans, and
+//                       barrier participations;
+//   pid 2 "wire"        one thread (lane) per channel (chan, src->dst)
+//                       carrying each message's transmission interval.
+// Timestamps are the simulator's virtual seconds rendered in microseconds
+// (the trace-event format's unit); all spans are complete ("X") events so
+// the file stays valid even for truncated traces.
+#pragma once
+
+#include <string>
+
+#include "src/trace/recorder.h"
+
+namespace zc::trace {
+
+/// Renders the whole trace as one JSON document.
+[[nodiscard]] std::string to_chrome_json(const Recorder& recorder);
+
+/// Writes to_chrome_json(recorder) to `path`; throws zc::Error on I/O
+/// failure.
+void write_chrome_trace(const Recorder& recorder, const std::string& path);
+
+}  // namespace zc::trace

@@ -1,0 +1,65 @@
+// Compact POD event records for the communication trace subsystem.
+//
+// Two record families cover everything the simulator can narrate:
+//   Event          one span on one simulated processor's timeline — an
+//                  IRONMAN call (DR/SR/DN/SV with its bound primitive), a
+//                  compute span (an array statement's local work), or a
+//                  barrier participation (global synch / reduction tree).
+//   MessageRecord  one point-to-point message's lifecycle on its channel:
+//                  posted (SR entered), on-wire (first byte leaves the
+//                  source), arrived (last byte at the destination),
+//                  consumed (DN completed).
+// All timestamps are the engine's virtual seconds; records are stamped with
+// the processor id and the channel identity (chan, src, dst) so exporters
+// can rebuild per-processor tracks and per-channel wire lanes.
+#pragma once
+
+#include <cstdint>
+
+#include "src/ironman/ironman.h"
+
+namespace zc::trace {
+
+enum class EventKind : std::uint8_t {
+  kCall,     ///< one IRONMAN call executed by one processor
+  kCompute,  ///< local compute span of one array/scalar statement
+  kBarrier,  ///< participation in a global synch or reduction combine
+};
+
+/// One span on a processor's timeline. For kCall, `t_unblocked` is the
+/// virtual time at which the call's blocking condition (message arrival,
+/// readiness flag, send completion) was satisfied; the interval
+/// [t_begin, t_unblocked] is wait time and [t_unblocked, t_end] is CPU
+/// (software overhead) time. Non-blocking calls have t_unblocked == t_begin.
+struct Event {
+  EventKind kind = EventKind::kCompute;
+  ironman::IronmanCall call = ironman::IronmanCall::kDR;       ///< kCall only
+  ironman::Primitive primitive = ironman::Primitive::kNoOp;    ///< kCall only
+  std::int32_t proc = 0;
+  std::int64_t chan = -1;  ///< channel id (kCall only; -1 otherwise)
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::int64_t amount = 0;  ///< bytes (kCall), elements (kCompute), 0 (kBarrier)
+  double t_begin = 0.0;
+  double t_unblocked = 0.0;
+  double t_end = 0.0;
+
+  [[nodiscard]] double wait_seconds() const { return t_unblocked - t_begin; }
+  [[nodiscard]] double cpu_seconds() const { return t_end - t_unblocked; }
+};
+
+/// One message's life on the wire. `t_consumed` stays 0 until the matching
+/// DN completes (a message still in flight when the trace is exported).
+struct MessageRecord {
+  std::int64_t chan = -1;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::int64_t bytes = 0;
+  double t_posted = 0.0;
+  double t_on_wire = 0.0;
+  double t_arrived = 0.0;
+  double t_consumed = 0.0;
+  bool consumed = false;
+};
+
+}  // namespace zc::trace

@@ -1,0 +1,129 @@
+#include "src/trace/recorder.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace zc::trace {
+
+Recorder::Recorder(int procs, RecorderOptions options) : options_(options) {
+  ZC_ASSERT(procs >= 1);
+  events_.resize(static_cast<std::size_t>(procs));
+}
+
+const std::vector<Event>& Recorder::events(int proc) const {
+  ZC_ASSERT(proc >= 0 && proc < procs());
+  return events_[static_cast<std::size_t>(proc)];
+}
+
+void Recorder::push_event(const Event& event) {
+  ZC_ASSERT(event.proc >= 0 && event.proc < procs());
+  std::vector<Event>& track = events_[static_cast<std::size_t>(event.proc)];
+  if (track.size() >= options_.max_events_per_proc) {
+    ++dropped_events_;
+    return;
+  }
+  track.push_back(event);
+}
+
+void Recorder::record_call(int proc, ironman::IronmanCall call, ironman::Primitive primitive,
+                           std::int64_t chan, int src, int dst, std::int64_t bytes,
+                           double t_begin, double t_unblocked, double t_end) {
+  CallTotals& by_call = call_totals_[static_cast<std::size_t>(call)];
+  ++by_call.calls;
+  by_call.wait_seconds += t_unblocked - t_begin;
+  by_call.cpu_seconds += t_end - t_unblocked;
+  CallTotals& by_prim = primitive_totals_[primitive];
+  ++by_prim.calls;
+  by_prim.wait_seconds += t_unblocked - t_begin;
+  by_prim.cpu_seconds += t_end - t_unblocked;
+
+  Event e;
+  e.kind = EventKind::kCall;
+  e.call = call;
+  e.primitive = primitive;
+  e.proc = proc;
+  e.chan = chan;
+  e.src = src;
+  e.dst = dst;
+  e.amount = bytes;
+  e.t_begin = t_begin;
+  e.t_unblocked = t_unblocked;
+  e.t_end = t_end;
+  push_event(e);
+}
+
+void Recorder::record_compute(int proc, std::int64_t elems, double t_begin, double t_end) {
+  compute_seconds_ += t_end - t_begin;
+  Event e;
+  e.kind = EventKind::kCompute;
+  e.proc = proc;
+  e.amount = elems;
+  e.t_begin = t_begin;
+  e.t_unblocked = t_begin;
+  e.t_end = t_end;
+  push_event(e);
+}
+
+void Recorder::record_barrier(int proc, double t_begin, double t_end) {
+  barrier_seconds_ += t_end - t_begin;
+  if (proc == 0) ++barrier_count_;  // count each barrier once, not per proc
+  Event e;
+  e.kind = EventKind::kBarrier;
+  e.proc = proc;
+  e.t_begin = t_begin;
+  e.t_unblocked = t_begin;
+  e.t_end = t_end;
+  push_event(e);
+}
+
+std::int64_t Recorder::size_bucket(std::int64_t bytes) {
+  for (std::int64_t upper = 16; upper <= (1 << 20); upper *= 2) {
+    if (bytes <= upper) return upper;
+  }
+  return kOverflowBucket;
+}
+
+std::int64_t Recorder::record_message(std::int64_t chan, int src, int dst, std::int64_t bytes,
+                                      double t_posted, double t_on_wire, double t_arrived) {
+  ++total_messages_;
+  total_bytes_ += bytes;
+  ChannelTotals& ct = channel_totals_[{chan, src, dst}];
+  ++ct.messages;
+  ct.bytes += bytes;
+  ChannelTotals& bucket = size_histogram_[size_bucket(bytes)];
+  ++bucket.messages;
+  bucket.bytes += bytes;
+
+  if (messages_.size() >= options_.max_messages) {
+    ++dropped_messages_;
+    return -1;
+  }
+  MessageRecord m;
+  m.chan = chan;
+  m.src = src;
+  m.dst = dst;
+  m.bytes = bytes;
+  m.t_posted = t_posted;
+  m.t_on_wire = t_on_wire;
+  m.t_arrived = t_arrived;
+  messages_.push_back(m);
+  return static_cast<std::int64_t>(messages_.size()) - 1;
+}
+
+void Recorder::record_consumed(std::int64_t message, double t_consumed, double wait_seconds,
+                               double wire_seconds) {
+  const double exposed = std::clamp(wait_seconds, 0.0, wire_seconds);
+  wire_totals_.wire_seconds += wire_seconds;
+  wire_totals_.exposed_seconds += exposed;
+  wire_totals_.overlapped_seconds += wire_seconds - exposed;
+  wire_totals_.dn_wait_seconds += std::max(wait_seconds, 0.0);
+
+  if (message < 0) return;  // detailed record was dropped at the cap
+  ZC_ASSERT(message < static_cast<std::int64_t>(messages_.size()));
+  MessageRecord& m = messages_[static_cast<std::size_t>(message)];
+  m.t_consumed = t_consumed;
+  m.consumed = true;
+}
+
+}  // namespace zc::trace

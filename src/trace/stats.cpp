@@ -1,0 +1,155 @@
+#include "src/trace/stats.h"
+
+#include <sstream>
+
+#include "src/support/csv.h"
+#include "src/support/str.h"
+
+namespace zc::trace {
+
+namespace {
+
+constexpr std::array<ironman::IronmanCall, 4> kCalls = {
+    ironman::IronmanCall::kDR, ironman::IronmanCall::kSR, ironman::IronmanCall::kDN,
+    ironman::IronmanCall::kSV};
+
+std::string seconds_str(double s) {
+  std::ostringstream os;
+  os.precision(17);
+  os << s;
+  return os.str();
+}
+
+std::string bucket_label(std::int64_t upper_bytes) {
+  if (upper_bytes == Recorder::kOverflowBucket) return ">1048576B";
+  return "<=" + std::to_string(upper_bytes) + "B";
+}
+
+}  // namespace
+
+std::string primitive_key(ironman::Primitive primitive) {
+  using ironman::Primitive;
+  switch (primitive) {
+    case Primitive::kMsgwaitSend: return "msgwait_send";
+    case Primitive::kMsgwaitRecv: return "msgwait_recv";
+    case Primitive::kSynchPost: return "synch_post";
+    case Primitive::kSynchWait: return "synch_wait";
+    default: return ironman::to_string(primitive);
+  }
+}
+
+double Stats::exposed_overhead_per_message() const {
+  if (total_messages == 0) return 0.0;
+  return exposed_overhead_seconds / static_cast<double>(total_messages);
+}
+
+double Stats::overlap_fraction() const {
+  if (wire.wire_seconds <= 0.0) return 0.0;
+  return wire.overlapped_seconds / wire.wire_seconds;
+}
+
+Stats compute_stats(const Recorder& recorder) {
+  Stats s;
+  s.procs = recorder.procs();
+  s.total_messages = recorder.total_messages();
+  s.total_bytes = recorder.total_bytes();
+  s.per_call = recorder.call_totals();
+  for (const auto& [prim, totals] : recorder.primitive_totals()) {
+    s.per_primitive.emplace_back(prim, totals);
+  }
+  for (const CallTotals& c : s.per_call) {
+    s.exposed_overhead_seconds += c.wait_seconds + c.cpu_seconds;
+  }
+  s.wire = recorder.wire_totals();
+  s.compute_seconds = recorder.compute_seconds();
+  s.barrier_seconds = recorder.barrier_seconds();
+  s.barrier_count = recorder.barrier_count();
+  for (const auto& [key, totals] : recorder.channel_totals()) {
+    const auto& [chan, src, dst] = key;
+    s.channels.push_back({chan, src, dst, totals.messages, totals.bytes});
+  }
+  for (const auto& [upper, totals] : recorder.size_histogram()) {
+    s.histogram.push_back({upper, totals.messages, totals.bytes});
+  }
+  s.dropped_events = recorder.dropped_events();
+  s.dropped_messages = recorder.dropped_messages();
+  return s;
+}
+
+std::string Stats::to_csv() const {
+  CsvWriter csv({"name", "value"});
+  auto row = [&csv](const std::string& name, const std::string& value) {
+    csv.add_row({name, value});
+  };
+  row("procs", std::to_string(procs));
+  row("total_messages", std::to_string(total_messages));
+  row("total_bytes", std::to_string(total_bytes));
+  row("exposed_overhead_seconds", seconds_str(exposed_overhead_seconds));
+  row("wire_seconds", seconds_str(wire.wire_seconds));
+  row("exposed_wire_seconds", seconds_str(wire.exposed_seconds));
+  row("overlapped_wire_seconds", seconds_str(wire.overlapped_seconds));
+  row("dn_wait_seconds", seconds_str(wire.dn_wait_seconds));
+  row("compute_seconds", seconds_str(compute_seconds));
+  row("barrier_seconds", seconds_str(barrier_seconds));
+  row("barrier_count", std::to_string(barrier_count));
+  row("dropped_events", std::to_string(dropped_events));
+  row("dropped_messages", std::to_string(dropped_messages));
+  for (std::size_t i = 0; i < per_call.size(); ++i) {
+    const std::string base = "call." + ironman::to_string(kCalls[i]);
+    row(base + ".calls", std::to_string(per_call[i].calls));
+    row(base + ".wait_seconds", seconds_str(per_call[i].wait_seconds));
+    row(base + ".cpu_seconds", seconds_str(per_call[i].cpu_seconds));
+  }
+  for (const auto& [prim, totals] : per_primitive) {
+    const std::string base = "primitive." + primitive_key(prim);
+    row(base + ".calls", std::to_string(totals.calls));
+    row(base + ".wait_seconds", seconds_str(totals.wait_seconds));
+    row(base + ".cpu_seconds", seconds_str(totals.cpu_seconds));
+  }
+  for (const ChannelStat& ch : channels) {
+    const std::string base = "channel." + std::to_string(ch.chan) + "." +
+                             std::to_string(ch.src) + "-" + std::to_string(ch.dst);
+    row(base + ".messages", std::to_string(ch.messages));
+    row(base + ".bytes", std::to_string(ch.bytes));
+  }
+  for (const SizeBucket& b : histogram) {
+    const std::string base = "hist." + bucket_label(b.upper_bytes);
+    row(base + ".messages", std::to_string(b.messages));
+    row(base + ".bytes", std::to_string(b.bytes));
+  }
+  return csv.to_string();
+}
+
+std::string Stats::to_string() const {
+  std::ostringstream os;
+  os << "trace stats: " << str::with_commas(total_messages) << " messages, "
+     << str::with_commas(total_bytes) << " bytes over " << channels.size()
+     << " channels on " << procs << " procs\n";
+  os << "  wire time " << str::format_f(wire.wire_seconds * 1e3, 3) << " ms: exposed "
+     << str::format_f(wire.exposed_seconds * 1e3, 3) << " ms, overlapped "
+     << str::format_f(wire.overlapped_seconds * 1e3, 3) << " ms ("
+     << str::percent(wire.overlapped_seconds, wire.wire_seconds) << " hidden)\n";
+  os << "  ironman overhead " << str::format_f(exposed_overhead_seconds * 1e3, 3)
+     << " ms; compute " << str::format_f(compute_seconds * 1e3, 3) << " ms; barriers "
+     << str::with_commas(barrier_count) << " taking "
+     << str::format_f(barrier_seconds * 1e3, 3) << " ms\n";
+  for (std::size_t i = 0; i < per_call.size(); ++i) {
+    if (per_call[i].calls == 0) continue;
+    os << "  " << ironman::to_string(kCalls[i]) << ": "
+       << str::with_commas(per_call[i].calls) << " calls, wait "
+       << str::format_f(per_call[i].wait_seconds * 1e3, 3) << " ms, cpu "
+       << str::format_f(per_call[i].cpu_seconds * 1e3, 3) << " ms\n";
+  }
+  os << "  message sizes:";
+  for (const SizeBucket& b : histogram) {
+    os << " " << bucket_label(b.upper_bytes) << ":" << b.messages;
+  }
+  os << "\n";
+  if (dropped_events > 0 || dropped_messages > 0) {
+    os << "  (truncated: " << dropped_events << " events, " << dropped_messages
+       << " message records dropped at the buffer cap)\n";
+  }
+  return os.str();
+}
+
+}  // namespace zc::trace

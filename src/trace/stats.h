@@ -1,0 +1,78 @@
+// Aggregate analytics over a recorded trace: where each IRONMAN call's time
+// went (wait vs. CPU), how much wire time was exposed vs. overlapped (the
+// paper's Figure 6 quantity, measured per real message instead of only the
+// synthetic ping), per-channel traffic, and a message-size histogram
+// bucketed around the 4 KB packet knee. Renders to a name,value CSV via
+// src/support/csv for machine consumption and to a human-readable summary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ironman/ironman.h"
+#include "src/trace/recorder.h"
+
+namespace zc::trace {
+
+struct ChannelStat {
+  std::int64_t chan = -1;
+  int src = -1;
+  int dst = -1;
+  long long messages = 0;
+  long long bytes = 0;
+};
+
+struct SizeBucket {
+  std::int64_t upper_bytes = 0;  ///< inclusive bound; Recorder::kOverflowBucket = rest
+  long long messages = 0;
+  long long bytes = 0;
+};
+
+struct Stats {
+  int procs = 0;
+  long long total_messages = 0;
+  long long total_bytes = 0;
+
+  /// Per IRONMAN call slot (indexed by ironman::IronmanCall) and per bound
+  /// primitive: call counts with wait/CPU decomposition.
+  std::array<CallTotals, 4> per_call{};
+  std::vector<std::pair<ironman::Primitive, CallTotals>> per_primitive;
+
+  /// Total processor time spent inside IRONMAN calls (wait + CPU) — the
+  /// measured counterpart of Transport::exposed_overhead when transmissions
+  /// are fully overlapped.
+  double exposed_overhead_seconds = 0.0;
+
+  WireTotals wire;  ///< wire time split into exposed vs. overlapped
+
+  double compute_seconds = 0.0;
+  double barrier_seconds = 0.0;
+  long long barrier_count = 0;
+
+  std::vector<ChannelStat> channels;
+  std::vector<SizeBucket> histogram;
+
+  long long dropped_events = 0;
+  long long dropped_messages = 0;
+
+  /// Exposed overhead per message (Figure 6's y axis for a traced run).
+  [[nodiscard]] double exposed_overhead_per_message() const;
+  /// Fraction of wire time hidden behind computation (0 when no traffic).
+  [[nodiscard]] double overlap_fraction() const;
+
+  /// name,value CSV (stable keys, one row per metric / channel / bucket).
+  [[nodiscard]] std::string to_csv() const;
+  /// Human-readable multi-line summary for terminals.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Snapshots the recorder's exact aggregates into a Stats.
+[[nodiscard]] Stats compute_stats(const Recorder& recorder);
+
+/// A unique, stable label per primitive (disambiguates the msgwait and
+/// synch pairs that share a user-facing name).
+[[nodiscard]] std::string primitive_key(ironman::Primitive primitive);
+
+}  // namespace zc::trace
