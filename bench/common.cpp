@@ -1,5 +1,7 @@
 #include "bench/common.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +9,8 @@
 #include <iostream>
 
 #include "src/parser/parser.h"
+#include "src/support/io.h"
+#include "src/support/json.h"
 #include "src/support/str.h"
 
 namespace zc::bench {
@@ -26,10 +30,78 @@ const std::map<std::string, std::map<std::string, long long>>& bench_scales() {
   return scales;
 }
 
+/// One perf sample per (benchmark, experiment) run: plan_communication
+/// timing distribution plus a single end-to-end sim sample. Accumulated
+/// across the process and flushed to BENCH_<name>.json at exit.
+struct PerfSample {
+  std::string name;                        // "tomcatv/pl"
+  std::map<std::string, long long> params; // procs + problem scale configs
+  double median_ns = 0;
+  double p10_ns = 0;
+  double p90_ns = 0;
+  int samples = 0;
+  double sim_run_ns = 0;
+};
+
+struct PerfFile {
+  std::string bench_name;
+  std::string path;
+  std::vector<PerfSample> results;
+
+  void flush() const {
+    json::Value doc = json::Value::make_object();
+    doc["schema"] = json::Value::make_str("zcomm-bench-perf");
+    doc["bench"] = json::Value::make_str(bench_name);
+    json::Value arr = json::Value::make_array();
+    for (const PerfSample& s : results) {
+      json::Value r = json::Value::make_object();
+      r["name"] = json::Value::make_str(s.name);
+      json::Value params = json::Value::make_object();
+      for (const auto& [k, v] : s.params) params[k] = json::Value::make_int(v);
+      r["params"] = std::move(params);
+      r["median_ns"] = json::Value::make_num(s.median_ns);
+      r["p10_ns"] = json::Value::make_num(s.p10_ns);
+      r["p90_ns"] = json::Value::make_num(s.p90_ns);
+      r["samples"] = json::Value::make_int(s.samples);
+      r["sim_run_ns"] = json::Value::make_num(s.sim_run_ns);
+      arr.push_back(std::move(r));
+    }
+    doc["results"] = std::move(arr);
+    io::write_text_file(path, doc.dump() + "\n");
+  }
+
+  ~PerfFile() {
+    if (path.empty() || results.empty()) return;
+    try {
+      flush();
+    } catch (const std::exception& e) {
+      std::cerr << "bench-json: " << e.what() << "\n";
+    }
+  }
+};
+
+PerfFile& perf_file() {
+  static PerfFile file;
+  return file;
+}
+
+/// nearest-rank percentile of an unsorted sample set (q in [0,1]).
+double percentile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(q * (static_cast<double>(v.size()) - 1) + 0.5);
+  return v[std::min(rank, v.size() - 1)];
+}
+
 }  // namespace
 
 Options parse_options(int argc, char** argv) {
   Options o;
+  // bench_fig08_counts -> fig08_counts; the default perf file name.
+  std::string base = argv[0];
+  if (const auto slash = base.rfind('/'); slash != std::string::npos) base = base.substr(slash + 1);
+  if (str::starts_with(base, "bench_")) base = base.substr(6);
+  o.bench_name = base;
+  o.bench_json_path = "BENCH_" + base + ".json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--paper") {
@@ -42,13 +114,21 @@ Options parse_options(int argc, char** argv) {
       }
     } else if (str::starts_with(arg, "--csv=")) {
       o.csv_path = arg.substr(6);
+    } else if (str::starts_with(arg, "--bench-json=")) {
+      o.bench_json_path = arg.substr(13);
+    } else if (arg == "--no-bench-json") {
+      o.bench_json_path = std::nullopt;
     } else if (arg == "--benchmark_format" || str::starts_with(arg, "--benchmark")) {
       // Ignore google-benchmark flags when shared runners see them.
     } else {
-      std::cerr << "usage: " << argv[0] << " [--paper] [--procs=N] [--csv=PATH]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--paper] [--procs=N] [--csv=PATH]"
+                   " [--bench-json=PATH] [--no-bench-json]\n";
       std::exit(2);
     }
   }
+  perf_file().bench_name = o.bench_name;
+  perf_file().path = o.bench_json_path.value_or("");
   return o;
 }
 
@@ -82,7 +162,38 @@ std::vector<Row> run_experiments(const programs::BenchmarkInfo& info,
       sim::RunConfig cfg;
       cfg.procs = options.procs;
       cfg.config_overrides = scale_for(info, options);
+
+      using Clock = std::chrono::steady_clock;
+      const Clock::time_point sim_start = Clock::now();
       const driver::Metrics m = driver::run_experiment(program, *exp, std::move(cfg));
+      const double sim_ns =
+          std::chrono::duration<double, std::nano>(Clock::now() - sim_start).count();
+
+      if (!perf_file().path.empty()) {
+        // Optimizer-time distribution: plan_communication is microseconds
+        // per call, so a short repeat gives stable percentiles. The full
+        // sim run is seconds-scale and sampled once, above.
+        constexpr int kSamples = 16;
+        std::vector<double> plan_ns;
+        plan_ns.reserve(kSamples);
+        for (int s = 0; s < kSamples; ++s) {
+          const Clock::time_point t0 = Clock::now();
+          const comm::CommPlan plan = comm::plan_communication(program, exp->opts);
+          plan_ns.push_back(std::chrono::duration<double, std::nano>(Clock::now() - t0).count());
+          if (plan.static_count() != m.static_count) throw Error("unstable plan while sampling");
+        }
+        PerfSample sample;
+        sample.name = info.name + "/" + name;
+        sample.params = scale_for(info, options);
+        sample.params["procs"] = options.procs;
+        sample.median_ns = percentile(plan_ns, 0.5);
+        sample.p10_ns = percentile(plan_ns, 0.1);
+        sample.p90_ns = percentile(plan_ns, 0.9);
+        sample.samples = kSamples;
+        sample.sim_run_ns = sim_ns;
+        perf_file().results.push_back(std::move(sample));
+      }
+
       Row row;
       row.benchmark = info.name;
       row.experiment = name;

@@ -7,6 +7,10 @@
 //                  iterations — counts scale linearly, shapes identical)
 //   --procs=N      processor count (default 64, the paper's partitions)
 //   --csv=PATH     also dump machine-readable results
+//   --bench-json=PATH / --no-bench-json
+//                  perf-sample JSON (default BENCH_<name>.json in the
+//                  working directory, <name> from argv[0]); each run is
+//                  sampled and written at exit as median/p10/p90 ns
 #pragma once
 
 #include <map>
@@ -24,6 +28,8 @@ struct Options {
   bool paper_scale = false;
   int procs = 64;
   std::optional<std::string> csv_path;
+  std::string bench_name;                     ///< argv[0] basename, "bench_" stripped
+  std::optional<std::string> bench_json_path; ///< none = --no-bench-json
 };
 
 /// Parses the common flags; exits with a usage message on unknown flags.

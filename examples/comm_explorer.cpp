@@ -1,11 +1,15 @@
 // Communication explorer: shows what the optimizer actually does to a
 // program — as annotated SPMD listings in the style of the paper's
-// Figure 1, and (with --trace) as Chrome trace-event timelines of the
-// simulated run, one track per processor plus wire lanes per channel.
+// Figure 1, as per-decision provenance (--explain), as machine-readable
+// run reports (--report, diffable with report_diff), and (with --trace) as
+// Chrome trace-event timelines of the simulated run, one track per
+// processor plus wire lanes per channel.
 //
 // Build & run:  cmake --build build && ./build/examples/comm_explorer
 //
 //   comm_explorer                      # the Figure 1 listings, every level
+//   comm_explorer --explain tomcatv    # why each rr/cc/pl decision was made
+//   comm_explorer --report r.json      # one JSON run report (see report_diff)
 //   comm_explorer --trace pl.json      # trace TOMCATV under `pl`, 16 procs
 //   comm_explorer --bench swm --experiment "pl with shmem" --trace-stats
 //   comm_explorer --experiment all --trace t.json --trace-stats-csv s.csv
@@ -14,7 +18,6 @@
 // runs show the wire lanes' transfer spans overlapping the processors'
 // compute spans, with the exposed remainder visible as "wait DN" slices.
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -22,8 +25,12 @@
 
 #include "src/comm/optimizer.h"
 #include "src/driver/driver.h"
+#include "src/driver/report.h"
 #include "src/parser/parser.h"
 #include "src/programs/programs.h"
+#include "src/report/passlog.h"
+#include "src/support/io.h"
+#include "src/support/metrics.h"
 #include "src/trace/chrome.h"
 #include "src/trace/stats.h"
 
@@ -92,6 +99,13 @@ struct TraceOptions {
   bool print_stats = false;      // --trace-stats
   std::string stats_csv_path;    // --trace-stats-csv <out.csv>
   bool trace_requested = false;
+  bool explain = false;          // --explain [bench]
+  std::string report_path;       // --report <out.json>
+  bool print_metrics = false;    // --metrics
+
+  [[nodiscard]] bool run_requested() const {
+    return trace_requested || explain || !report_path.empty() || print_metrics;
+  }
 };
 
 [[noreturn]] void usage(int code) {
@@ -103,6 +117,13 @@ struct TraceOptions {
       "  --experiment <name>          a Figure 9 experiment name, or 'all'\n"
       "                               (default pl)\n"
       "  --procs <N>                  simulated processors (default 16)\n"
+      "  --explain [bench]            print every optimizer decision with\n"
+      "                               source-block provenance (rr kills with\n"
+      "                               their covering transfer, cc merges with\n"
+      "                               heuristic and size, pl hoist distances)\n"
+      "  --report <out.json>          run and write a machine-readable run\n"
+      "                               report (compare two with report_diff)\n"
+      "  --metrics                    print the process metrics registry\n"
       "  --trace <out.json>           run and export a Chrome trace (open in\n"
       "                               Perfetto / chrome://tracing)\n"
       "  --trace-stats                print wait/CPU, exposed vs. overlapped\n"
@@ -129,7 +150,7 @@ std::string with_experiment_suffix(const std::string& path, const std::string& e
   return path.substr(0, dot) + "." + slug(experiment) + path.substr(dot);
 }
 
-int run_traced(const TraceOptions& opt) {
+int run_experiments_mode(const TraceOptions& opt) {
   using namespace zc;
 
   std::string_view source;
@@ -155,17 +176,32 @@ int run_traced(const TraceOptions& opt) {
     experiments.push_back(std::move(*e));
   }
 
-  for (const driver::Experiment& e : experiments) {
+  const bool want_provenance = opt.explain || !opt.report_path.empty();
+  for (driver::Experiment e : experiments) {
+    report::PassLog log;
+    if (want_provenance) e.opts.pass_log = &log;
+
     trace::Recorder recorder(opt.procs);
     sim::RunConfig cfg;
     cfg.procs = opt.procs;
     cfg.config_overrides = configs;
-    cfg.recorder = &recorder;
+    if (opt.trace_requested) cfg.recorder = &recorder;
     const driver::Metrics m = driver::run_experiment(program, e, cfg);
 
     std::cout << "== " << opt.bench << " / " << e.name << ": static " << m.static_count
               << ", dynamic " << m.dynamic_count << ", time "
               << m.execution_time * 1e3 << " ms ==\n";
+    if (opt.explain) std::cout << log.to_string();
+    if (!opt.report_path.empty()) {
+      const std::string path = experiments.size() > 1
+                                   ? with_experiment_suffix(opt.report_path, e.name)
+                                   : opt.report_path;
+      driver::ReportOptions ropts;
+      ropts.benchmark = opt.bench;
+      const json::Value doc = driver::build_report(m, e, opt.procs, &log, ropts);
+      io::write_text_file(path, doc.dump() + "\n");
+      std::cout << "wrote run report: " << path << "\n";
+    }
     if (!opt.trace_path.empty()) {
       const std::string path = experiments.size() > 1
                                    ? with_experiment_suffix(opt.trace_path, e.name)
@@ -178,15 +214,11 @@ int run_traced(const TraceOptions& opt) {
       const std::string path = experiments.size() > 1
                                    ? with_experiment_suffix(opt.stats_csv_path, e.name)
                                    : opt.stats_csv_path;
-      std::ofstream out(path);
-      if (!out) {
-        std::cerr << "cannot open " << path << "\n";
-        return 1;
-      }
-      out << m.trace_stats->to_csv();
+      io::write_text_file(path, m.trace_stats->to_csv());
       std::cout << "wrote trace stats CSV: " << path << "\n";
     }
   }
+  if (opt.print_metrics) std::cout << metrics::Registry::global().to_text();
   return 0;
 }
 
@@ -221,6 +253,13 @@ int main(int argc, char** argv) {
     else if (a == "--trace") { opt.trace_path = value(); opt.trace_requested = true; }
     else if (a == "--trace-stats") { opt.print_stats = true; opt.trace_requested = true; }
     else if (a == "--trace-stats-csv") { opt.stats_csv_path = value(); opt.trace_requested = true; }
+    else if (a == "--explain") {
+      opt.explain = true;
+      // Optional positional value: `--explain tomcatv` names the benchmark.
+      if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) opt.bench = args[++i];
+    }
+    else if (a == "--report") opt.report_path = value();
+    else if (a == "--metrics") opt.print_metrics = true;
     else {
       std::cerr << "unknown option: " << a << "\n";
       usage(1);
@@ -228,7 +267,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (opt.trace_requested) return run_traced(opt);
+    if (opt.run_requested()) return run_experiments_mode(opt);
     const zir::Program program = parser::parse_program(kSource);
     show_listings(program);
   } catch (const std::exception& e) {

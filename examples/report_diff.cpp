@@ -1,0 +1,122 @@
+// report_diff: compares two zcomm run reports (comm_explorer --report, or
+// driver::run_report) and flags regressions. "Old" is the baseline, "new"
+// is the candidate; a regression is a higher static or dynamic
+// communication count, or an execution time more than --time-tolerance
+// above the baseline.
+//
+//   report_diff old.json new.json
+//   report_diff --require-strict=static_count baseline.json rr.json
+//
+// Exit status: 0 = no regression, 1 = regression (or a --require-strict
+// field that failed to strictly improve), 2 = usage or I/O error. Wired
+// into ctest to assert rr strictly reduces SWM's static count.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/support/diag.h"
+#include "src/support/io.h"
+#include "src/support/json.h"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "usage: report_diff [options] <old.json> <new.json>\n"
+      "  --time-tolerance <frac>      allowed execution-time growth before\n"
+      "                               it counts as a regression (default 0.05)\n"
+      "  --require-strict=<field>     additionally require new.<field> to be\n"
+      "                               strictly lower than old.<field>\n"
+      "                               (e.g. static_count, dynamic_count)\n"
+      "exit status: 0 ok, 1 regression, 2 usage or I/O error\n";
+  std::exit(code);
+}
+
+double num_field(const zc::json::Value& doc, const std::string& key) {
+  const zc::json::Value& v = doc.at(key);
+  if (!v.is_number()) throw zc::Error("report field '" + key + "' is not a number");
+  return v.number;
+}
+
+zc::json::Value load_report(const std::string& path) {
+  const zc::json::Value doc = zc::json::parse(zc::io::read_text_file(path));
+  if (!doc.has("schema") || doc.at("schema").string != "zcomm-run-report") {
+    throw zc::Error(path + ": not a zcomm run report (missing/wrong \"schema\")");
+  }
+  return doc;
+}
+
+struct FieldDiff {
+  std::string name;
+  double before = 0;
+  double after = 0;
+  bool regressed = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double time_tolerance = 0.05;
+  std::vector<std::string> strict_fields;
+  std::vector<std::string> paths;
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") usage(0);
+    else if (a == "--time-tolerance") {
+      if (i + 1 >= args.size()) usage(2);
+      time_tolerance = std::strtod(args[++i].c_str(), nullptr);
+    }
+    else if (a.rfind("--require-strict=", 0) == 0) {
+      strict_fields.push_back(a.substr(std::string("--require-strict=").size()));
+    }
+    else if (a.rfind("--", 0) == 0) {
+      std::cerr << "unknown option: " << a << "\n";
+      usage(2);
+    }
+    else paths.push_back(a);
+  }
+  if (paths.size() != 2) usage(2);
+
+  try {
+    const zc::json::Value before = load_report(paths[0]);
+    const zc::json::Value after = load_report(paths[1]);
+
+    std::vector<FieldDiff> diffs;
+    for (const char* key : {"static_count", "dynamic_count"}) {
+      FieldDiff d{key, num_field(before, key), num_field(after, key), false};
+      d.regressed = d.after > d.before;
+      diffs.push_back(d);
+    }
+    {
+      FieldDiff d{"execution_time_seconds",
+                  num_field(before, "execution_time_seconds"),
+                  num_field(after, "execution_time_seconds"), false};
+      d.regressed = d.after > d.before * (1.0 + time_tolerance);
+      diffs.push_back(d);
+    }
+
+    bool failed = false;
+    std::cout << "report_diff: " << paths[0] << " -> " << paths[1] << "\n";
+    for (const FieldDiff& d : diffs) {
+      std::cout << "  " << d.name << ": " << d.before << " -> " << d.after
+                << " (delta " << d.after - d.before << ")"
+                << (d.regressed ? "  REGRESSION" : "") << "\n";
+      failed = failed || d.regressed;
+    }
+    for (const std::string& field : strict_fields) {
+      const double b = num_field(before, field);
+      const double a = num_field(after, field);
+      const bool ok = a < b;
+      std::cout << "  require-strict " << field << ": " << b << " -> " << a
+                << (ok ? "  improved" : "  NOT STRICTLY IMPROVED") << "\n";
+      failed = failed || !ok;
+    }
+    return failed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "report_diff: " << e.what() << "\n";
+    return 2;
+  }
+}

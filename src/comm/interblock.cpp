@@ -3,6 +3,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "src/comm/optimizer.h"
 #include "src/support/check.h"
 
 namespace zc::comm {
@@ -35,8 +36,16 @@ void mod_set_impl(const zir::Program& p, zir::ProcId proc, std::set<zir::ArrayId
   }
 }
 
+/// One cached slice: the communicated region plus the live transfer that
+/// communicated it (for provenance records).
+struct CachedSlice {
+  const zir::RegionSpec* spec;
+  int block;
+  int transfer;
+};
+
 /// The dataflow state: cached (array, direction) slices with their regions.
-using Cache = std::map<std::pair<int32_t, int32_t>, std::vector<const zir::RegionSpec*>>;
+using Cache = std::map<std::pair<int32_t, int32_t>, std::vector<CachedSlice>>;
 
 /// Region-coverage check shared with the intra-block pass (duplicated here
 /// deliberately: the intra pass is a paper-faithful standalone unit).
@@ -62,7 +71,8 @@ bool covers(const zir::Program& p, const zir::RegionSpec& cached, const zir::Reg
 
 class InterBlockAnalysis {
  public:
-  InterBlockAnalysis(const zir::Program& p, CommPlan& plan) : p_(p), plan_(plan) {
+  InterBlockAnalysis(const zir::Program& p, CommPlan& plan, report::PassLog* log)
+      : p_(p), plan_(plan), log_(log) {
     count_call_sites(p_.proc(p_.entry()).body);
   }
 
@@ -157,6 +167,7 @@ class InterBlockAnalysis {
   }
 
   void flow_block(BlockPlan& bp, Cache& cache) {
+    const int block_index = static_cast<int>(&bp - plan_.blocks.data());
     std::size_t next = 0;
     for (int s = 0; s < static_cast<int>(bp.stmts.size()); ++s) {
       const zir::Stmt& stmt = p_.stmt(bp.stmts[s]);
@@ -165,14 +176,30 @@ class InterBlockAnalysis {
         const auto key = std::make_pair(t.array.value, t.direction.value);
         ZC_ASSERT(stmt.region.has_value());
         if (!t.redundant) {
-          bool covered = false;
-          for (const zir::RegionSpec* prior : cache[key]) {
-            covered = covered || covers(p_, *prior, *stmt.region);
+          const CachedSlice* coverer = nullptr;
+          for (const CachedSlice& prior : cache[key]) {
+            if (covers(p_, *prior.spec, *stmt.region)) {
+              coverer = &prior;
+              break;
+            }
           }
-          if (covered) {
+          if (coverer != nullptr) {
             t.redundant = true;
+            if (log_ != nullptr) {
+              report::RRDecision d;
+              d.where = block_provenance(p_, bp.proc, bp.stmts, block_index);
+              d.transfer = static_cast<int>(next);
+              d.array = p_.array(t.array).name;
+              d.direction = p_.direction(t.direction).name;
+              d.use_stmt = s;
+              d.use_line = stmt.loc.line;
+              d.inter_block = true;
+              d.covering_block = coverer->block;
+              d.covering_transfer = coverer->transfer;
+              log_->rr.push_back(std::move(d));
+            }
           } else {
-            cache[key].push_back(&*stmt.region);
+            cache[key].push_back({&*stmt.region, block_index, static_cast<int>(next)});
           }
         }
         // Intra-block-redundant transfers ride on an earlier cached slice;
@@ -189,6 +216,7 @@ class InterBlockAnalysis {
 
   const zir::Program& p_;
   CommPlan& plan_;
+  report::PassLog* log_;
   std::unordered_set<int32_t> analyzed_;
   std::map<int32_t, int> call_sites_;
 };
@@ -202,8 +230,9 @@ std::set<zir::ArrayId> mod_set(const zir::Program& program, zir::ProcId proc) {
   return out;
 }
 
-void apply_inter_block_removal(const zir::Program& program, CommPlan& plan) {
-  InterBlockAnalysis(program, plan).run();
+void apply_inter_block_removal(const zir::Program& program, CommPlan& plan,
+                               report::PassLog* log) {
+  InterBlockAnalysis(program, plan, log).run();
 }
 
 }  // namespace zc::comm

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/comm/plan.h"
+#include "src/report/passlog.h"
 
 namespace zc::comm {
 
@@ -29,7 +30,9 @@ std::set<zir::ArrayId> mod_set(const zir::Program& program, zir::ProcId proc);
 
 /// Marks additional transfers redundant across block boundaries. Must run
 /// after per-block generation and intra-block removal, before grouping;
-/// `plan.rebuild_index()` must have been called.
-void apply_inter_block_removal(const zir::Program& program, CommPlan& plan);
+/// `plan.rebuild_index()` must have been called. `log`, when given, records
+/// one RRDecision (inter_block = true) per kill.
+void apply_inter_block_removal(const zir::Program& program, CommPlan& plan,
+                               report::PassLog* log = nullptr);
 
 }  // namespace zc::comm

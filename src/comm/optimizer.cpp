@@ -6,8 +6,18 @@
 
 #include "src/comm/interblock.h"
 #include "src/support/check.h"
+#include "src/support/metrics.h"
 
 namespace zc::comm {
+
+report::BlockRef block_provenance(const zir::Program& program, zir::ProcId proc,
+                                  const std::vector<zir::StmtId>& stmts, int block_index) {
+  report::BlockRef ref;
+  ref.block = block_index;
+  ref.proc = program.proc(proc).name;
+  if (!stmts.empty()) ref.first_line = program.stmt(stmts.front()).loc.line;
+  return ref;
+}
 
 std::string to_string(OptLevel level) {
   switch (level) {
@@ -156,26 +166,46 @@ const zir::RegionSpec& stmt_region(const zir::Program& program, const Block& blo
 }  // namespace
 
 void apply_redundant_removal(const zir::Program& program, const Block& block,
-                             std::vector<Transfer>& transfers) {
+                             std::vector<Transfer>& transfers, report::PassLog* log,
+                             int block_index) {
   // Sweep the block: a transfer is redundant iff the same (array, direction)
   // slice was communicated earlier over a region covering this use, and the
   // array has not been written since (paper §2 / §3.1). Caching state resets
   // at block boundaries because the analysis is intra-block.
-  std::map<std::pair<int32_t, int32_t>, std::vector<const zir::RegionSpec*>> cached;
+  struct CachedSlice {
+    const zir::RegionSpec* spec;
+    int transfer;  ///< index of the transfer that communicated the slice
+  };
+  std::map<std::pair<int32_t, int32_t>, std::vector<CachedSlice>> cached;
   std::size_t next = 0;
   for (int s = 0; s < static_cast<int>(block.stmts.size()); ++s) {
     for (; next < transfers.size() && transfers[next].use_stmt == s; ++next) {
       Transfer& t = transfers[next];
       const auto key = std::make_pair(t.array.value, t.direction.value);
       const zir::RegionSpec& use = stmt_region(program, block, s);
-      bool covered = false;
-      for (const zir::RegionSpec* prior : cached[key]) {
-        covered = covered || region_covers(program, *prior, use);
+      const CachedSlice* coverer = nullptr;
+      for (const CachedSlice& prior : cached[key]) {
+        if (region_covers(program, *prior.spec, use)) {
+          coverer = &prior;
+          break;
+        }
       }
-      if (covered) {
+      if (coverer != nullptr) {
         t.redundant = true;
+        if (log != nullptr) {
+          report::RRDecision d;
+          d.where = block_provenance(program, block.proc, block.stmts, block_index);
+          d.transfer = static_cast<int>(next);
+          d.array = program.array(t.array).name;
+          d.direction = program.direction(t.direction).name;
+          d.use_stmt = s;
+          d.use_line = program.stmt(block.stmts[s]).loc.line;
+          d.covering_block = block_index;
+          d.covering_transfer = coverer->transfer;
+          log->rr.push_back(std::move(d));
+        }
       } else {
-        cached[key].push_back(&use);
+        cached[key].push_back({&use, static_cast<int>(next)});
       }
     }
     const zir::ArrayId w = written_array(program, block.stmts[s]);
@@ -236,7 +266,7 @@ const zir::RegionSpec& use_region(const zir::Program& p, const Block& block, con
 
 std::vector<CommGroup> form_groups(const zir::Program& program, const Block& block,
                                    const std::vector<Transfer>& transfers,
-                                   const OptOptions& options) {
+                                   const OptOptions& options, int block_index) {
   std::vector<OpenGroup> open;
 
   for (const Transfer& t : transfers) {
@@ -299,6 +329,19 @@ std::vector<CommGroup> form_groups(const zir::Program& program, const Block& blo
       host->group.first_use = std::min(host->group.first_use, t.use_stmt);
       host->est_elems += t_elems;
       host->max_member_window = std::max(host->max_member_window, transfer_window(t));
+      if (options.pass_log != nullptr) {
+        report::CCMerge m;
+        m.where = block_provenance(program, block.proc, block.stmts, block_index);
+        m.group = static_cast<int>(host - open.data());
+        m.heuristic = to_string(options.heuristic);
+        m.array = program.array(t.array).name;
+        m.use_stmt = t.use_stmt;
+        m.use_line = program.stmt(block.stmts[t.use_stmt]).loc.line;
+        m.est_elems = t_elems;
+        m.group_est_elems = host->est_elems;
+        m.members_after = static_cast<int>(host->group.members.size());
+        options.pass_log->cc.push_back(std::move(m));
+      }
     } else {
       OpenGroup g;
       g.group.direction = t.direction;
@@ -318,8 +361,10 @@ std::vector<CommGroup> form_groups(const zir::Program& program, const Block& blo
 }
 
 void place_groups(const zir::Program& program, const Block& block,
-                  std::vector<CommGroup>& groups, bool pipeline) {
-  for (CommGroup& g : groups) {
+                  std::vector<CommGroup>& groups, bool pipeline, report::PassLog* log,
+                  int block_index) {
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    CommGroup& g = groups[gi];
     g.sr_pos = pipeline ? g.earliest_send : g.first_use;
     g.dn_pos = g.first_use;
     g.dr_pos = g.sr_pos;
@@ -337,32 +382,79 @@ void place_groups(const zir::Program& program, const Block& block,
       }
     }
     g.sv_pos = sv;
+
+    if (log != nullptr) {
+      report::PLPlacement p;
+      p.where = block_provenance(program, block.proc, block.stmts, block_index);
+      p.group = static_cast<int>(gi);
+      p.direction = program.direction(g.direction).name;
+      p.earliest_send = g.earliest_send;
+      p.first_use = g.first_use;
+      p.sr_pos = g.sr_pos;
+      p.dn_pos = g.dn_pos;
+      p.sv_pos = g.sv_pos;
+      p.sr_hoist = g.first_use - g.sr_pos;
+      p.pipelined = pipeline;
+      log->pl.push_back(std::move(p));
+    }
   }
 }
 
 CommPlan plan_communication(const zir::Program& program, const OptOptions& options) {
+  report::PassLog* log = options.pass_log;
+  if (log != nullptr) log->clear();
+
   CommPlan plan;
   std::vector<Block> blocks = find_blocks(program);
-  for (Block& block : blocks) {
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    Block& block = blocks[i];
     BlockPlan bp;
     bp.proc = block.proc;
     bp.stmts = block.stmts;
     bp.transfers = generate_transfers(program, block);
-    if (options.remove_redundant) apply_redundant_removal(program, block, bp.transfers);
+    if (log != nullptr) {
+      report::GenRecord g;
+      g.where = block_provenance(program, block.proc, block.stmts, static_cast<int>(i));
+      g.stmts = static_cast<int>(block.stmts.size());
+      g.transfers = static_cast<int>(bp.transfers.size());
+      log->generated.push_back(std::move(g));
+    }
+    if (options.remove_redundant) {
+      apply_redundant_removal(program, block, bp.transfers, log, static_cast<int>(i));
+    }
     plan.blocks.push_back(std::move(bp));
   }
   plan.rebuild_index();
 
   if (options.remove_redundant && options.inter_block) {
-    apply_inter_block_removal(program, plan);
+    apply_inter_block_removal(program, plan, log);
   }
 
   int next_id = 0;
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     BlockPlan& bp = plan.blocks[i];
-    bp.groups = form_groups(program, blocks[i], bp.transfers, options);
-    place_groups(program, blocks[i], bp.groups, options.pipeline);
+    bp.groups = form_groups(program, blocks[i], bp.transfers, options, static_cast<int>(i));
+    place_groups(program, blocks[i], bp.groups, options.pipeline, log, static_cast<int>(i));
     for (CommGroup& g : bp.groups) g.id = next_id++;
+  }
+
+  // An inter-block kill may have removed a transfer an intra-block decision
+  // named as its coverer; re-point every decision at the live chain root.
+  if (log != nullptr) log->resolve_rr_coverers();
+
+  auto& reg = metrics::Registry::global();
+  reg.count("opt.plans");
+  reg.count("opt.transfers_generated", plan.total_transfer_count());
+  int live = 0;
+  for (const BlockPlan& bp : plan.blocks) live += bp.live_transfer_count();
+  reg.count("opt.transfers_removed", plan.total_transfer_count() - live);
+  reg.count("opt.groups_formed", plan.static_count());
+  if (options.pipeline) {
+    for (const BlockPlan& bp : plan.blocks) {
+      for (const CommGroup& g : bp.groups) {
+        reg.observe("opt.sr_hoist_stmts", static_cast<double>(g.first_use - g.sr_pos));
+      }
+    }
   }
   return plan;
 }

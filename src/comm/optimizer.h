@@ -21,6 +21,7 @@
 #include "src/comm/blocks.h"
 #include "src/comm/options.h"
 #include "src/comm/plan.h"
+#include "src/report/passlog.h"
 
 namespace zc::comm {
 
@@ -32,21 +33,32 @@ bool needs_comm(const zir::DirectionDecl& direction);
 /// Pass 1: transfers in statement order with feasible send intervals.
 std::vector<Transfer> generate_transfers(const zir::Program& program, const Block& block);
 
-/// Pass 2: marks redundant transfers (in place).
+/// Pass 2: marks redundant transfers (in place). `log`, when given, records
+/// one RRDecision per kill (with `block_index` as the block's plan index).
 void apply_redundant_removal(const zir::Program& program, const Block& block,
-                             std::vector<Transfer>& transfers);
+                             std::vector<Transfer>& transfers,
+                             report::PassLog* log = nullptr, int block_index = -1);
 
-/// Pass 3: groups live transfers into communications.
+/// Pass 3: groups live transfers into communications. Merge events go to
+/// options.pass_log when set (`block_index` anchors them in the plan).
 std::vector<CommGroup> form_groups(const zir::Program& program, const Block& block,
                                    const std::vector<Transfer>& transfers,
-                                   const OptOptions& options);
+                                   const OptOptions& options, int block_index = -1);
 
-/// Pass 4: assigns DR/SR/DN/SV positions (in place).
+/// Pass 4: assigns DR/SR/DN/SV positions (in place). `log`, when given,
+/// records one PLPlacement per group.
 void place_groups(const zir::Program& program, const Block& block,
-                  std::vector<CommGroup>& groups, bool pipeline);
+                  std::vector<CommGroup>& groups, bool pipeline,
+                  report::PassLog* log = nullptr, int block_index = -1);
 
 /// Full pipeline over every reachable basic block.
 CommPlan plan_communication(const zir::Program& program, const OptOptions& options);
+
+/// Source anchor for provenance records: the block's plan index, enclosing
+/// procedure name, and first statement's source line (shared by the
+/// intra-block passes and the inter-block dataflow pass).
+report::BlockRef block_provenance(const zir::Program& program, zir::ProcId proc,
+                                  const std::vector<zir::StmtId>& stmts, int block_index);
 
 /// Static per-processor element estimate for one member slice of a
 /// communication in `direction` over a use region `spec` (used by the hybrid

@@ -3,6 +3,10 @@
 
 #include <string>
 
+namespace zc::report {
+class PassLog;
+}  // namespace zc::report
+
 namespace zc::comm {
 
 /// Cumulative optimization levels exactly as in the paper (Figure 9):
@@ -53,6 +57,12 @@ struct OptOptions {
   /// Nominal processor-grid edge used for static size estimates.
   int est_mesh_rows = 8;
   int est_mesh_cols = 8;
+
+  /// Optional pass-provenance sink (src/report/passlog.h): when set, every
+  /// pass records its decisions here. Null by default; the passes do no
+  /// recording at all then, and the produced plan is bit-identical whether
+  /// or not a log is attached.
+  report::PassLog* pass_log = nullptr;
 
   [[nodiscard]] static OptOptions for_level(OptLevel level) {
     OptOptions o;

@@ -2,6 +2,7 @@
 
 #include "src/parser/parser.h"
 #include "src/support/check.h"
+#include "src/support/metrics.h"
 
 namespace zc::driver {
 
@@ -53,6 +54,12 @@ Metrics run_experiment(const zir::Program& program, const Experiment& experiment
   m.dynamic_count = m.run.dynamic_count;
   m.execution_time = m.run.elapsed_seconds;
   if (recorder != nullptr) m.trace_stats = trace::compute_stats(*recorder);
+
+  auto& reg = metrics::Registry::global();
+  reg.count("driver.experiments");
+  reg.gauge("driver.last_static_count", static_cast<double>(m.static_count));
+  reg.gauge("driver.last_dynamic_count", static_cast<double>(m.dynamic_count));
+  reg.gauge("driver.last_execution_seconds", m.execution_time);
   return m;
 }
 

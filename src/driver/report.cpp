@@ -1,0 +1,81 @@
+#include "src/driver/report.h"
+
+#include <utility>
+
+#include "src/support/metrics.h"
+#include "src/trace/stats.h"
+
+namespace zc::driver {
+
+namespace {
+
+using json::Value;
+
+Value options_json(const comm::OptOptions& o) {
+  Value v = Value::make_object();
+  v["remove_redundant"] = Value::make_bool(o.remove_redundant);
+  v["combine"] = Value::make_bool(o.combine);
+  v["pipeline"] = Value::make_bool(o.pipeline);
+  v["heuristic"] = Value::make_str(comm::to_string(o.heuristic));
+  v["inter_block"] = Value::make_bool(o.inter_block);
+  return v;
+}
+
+Value trace_json(const trace::Stats& s) {
+  Value v = Value::make_object();
+  v["total_messages"] = Value::make_int(s.total_messages);
+  v["total_bytes"] = Value::make_int(s.total_bytes);
+  v["exposed_overhead_seconds"] = Value::make_num(s.exposed_overhead_seconds);
+  v["wire_seconds"] = Value::make_num(s.wire.wire_seconds);
+  v["exposed_wire_seconds"] = Value::make_num(s.wire.exposed_seconds);
+  v["overlap_fraction"] = Value::make_num(s.overlap_fraction());
+  v["compute_seconds"] = Value::make_num(s.compute_seconds);
+  v["barrier_seconds"] = Value::make_num(s.barrier_seconds);
+  v["barrier_count"] = Value::make_int(s.barrier_count);
+  v["channels"] = Value::make_int(static_cast<long long>(s.channels.size()));
+  v["dropped_events"] = Value::make_int(s.dropped_events);
+  v["dropped_messages"] = Value::make_int(s.dropped_messages);
+  return v;
+}
+
+}  // namespace
+
+Value build_report(const Metrics& metrics, const Experiment& experiment, int procs,
+                   const report::PassLog* log, const ReportOptions& ropts) {
+  Value doc = Value::make_object();
+  doc["schema"] = Value::make_str("zcomm-run-report");
+  doc["schema_version"] = Value::make_int(1);
+  doc["benchmark"] = Value::make_str(ropts.benchmark);
+  doc["experiment"] = Value::make_str(experiment.name);
+  doc["library"] = Value::make_str(ironman::to_string(experiment.library));
+  doc["procs"] = Value::make_int(procs);
+  doc["options"] = options_json(experiment.opts);
+
+  doc["static_count"] = Value::make_int(metrics.static_count);
+  doc["dynamic_count"] = Value::make_int(metrics.dynamic_count);
+  doc["execution_time_seconds"] = Value::make_num(metrics.execution_time);
+  doc["total_messages"] = Value::make_int(metrics.run.total_messages);
+  doc["total_bytes"] = Value::make_int(metrics.run.total_bytes);
+  doc["reduction_count"] = Value::make_int(metrics.run.reduction_count);
+
+  if (log != nullptr) doc["passes"] = log->to_json(ropts.max_decisions_per_pass);
+  if (metrics.trace_stats.has_value()) doc["trace"] = trace_json(*metrics.trace_stats);
+  if (ropts.metrics_snapshot) doc["metrics"] = metrics::Registry::global().to_json();
+  return doc;
+}
+
+Value run_report(const zir::Program& program, const Experiment& experiment,
+                 sim::RunConfig config, const ReportOptions& ropts) {
+  ReportOptions opts = ropts;
+  if (opts.benchmark.empty()) opts.benchmark = program.name();
+
+  Experiment e = experiment;
+  report::PassLog log;
+  if (opts.provenance) e.opts.pass_log = &log;
+
+  const int procs = config.procs;
+  const Metrics m = run_experiment(program, e, std::move(config));
+  return build_report(m, e, procs, opts.provenance ? &log : nullptr, opts);
+}
+
+}  // namespace zc::driver

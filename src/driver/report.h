@@ -1,0 +1,49 @@
+// Machine-readable run reports: one JSON document per (program, experiment)
+// run, carrying everything the paper's Tables 1-4 / Figure 8 report — the
+// static and dynamic communication counts and execution time — plus the
+// optimizer's pass-provenance decisions (src/report/passlog.h), trace
+// analytics when the run was traced, and a snapshot of the process metrics
+// registry. `report_diff` (examples/report_diff.cpp) compares two such
+// documents and flags count or time regressions, which is how the perf
+// trajectory is tracked across PRs.
+//
+// Schema (validated by tests/report_schema_test.cpp):
+//   schema               "zcomm-run-report"
+//   schema_version       1
+//   benchmark            caller's label (defaults to the program name)
+//   program, experiment, library, procs
+//   options              {remove_redundant, combine, pipeline, heuristic,
+//                         inter_block}
+//   static_count, dynamic_count, execution_time_seconds
+//   total_messages, total_bytes, reduction_count
+//   passes               PassLog::to_json() (summary + per-pass decisions)
+//   trace                present iff the run was traced
+//   metrics              present unless disabled: Registry::to_json()
+#pragma once
+
+#include "src/driver/driver.h"
+#include "src/report/passlog.h"
+#include "src/support/json.h"
+
+namespace zc::driver {
+
+struct ReportOptions {
+  std::string benchmark;             ///< label; empty = the program's name
+  bool provenance = true;            ///< attach a PassLog, include "passes"
+  bool metrics_snapshot = true;      ///< include the global metrics registry
+  int max_decisions_per_pass = 2000; ///< per-pass cap in the document
+};
+
+/// Assembles the report for an already-executed run. `log` may be null
+/// (the "passes" block is omitted); `procs` is the processor count the run
+/// used (RunConfig is consumed by run_experiment, so the caller passes it).
+json::Value build_report(const Metrics& metrics, const Experiment& experiment, int procs,
+                         const report::PassLog* log, const ReportOptions& ropts = {});
+
+/// Runs `experiment` on `program` (attaching a PassLog when
+/// ropts.provenance) and assembles the report. config.recorder, when set,
+/// adds the "trace" block.
+json::Value run_report(const zir::Program& program, const Experiment& experiment,
+                       sim::RunConfig config, const ReportOptions& ropts = {});
+
+}  // namespace zc::driver

@@ -1,0 +1,186 @@
+#include "src/report/passlog.h"
+
+#include <map>
+#include <utility>
+
+namespace zc::report {
+
+std::string BlockRef::to_string() const {
+  std::string s = "block " + std::to_string(block) + " @ " + proc;
+  if (first_line > 0) s += ":" + std::to_string(first_line);
+  return s;
+}
+
+void PassLog::clear() {
+  generated.clear();
+  rr.clear();
+  cc.clear();
+  pl.clear();
+}
+
+void PassLog::resolve_rr_coverers() {
+  std::map<std::pair<int, int>, const RRDecision*> killed;
+  for (const RRDecision& d : rr) killed[{d.where.block, d.transfer}] = &d;
+  for (RRDecision& d : rr) {
+    // Coverage chains always point strictly earlier in flow order, so this
+    // terminates; the root of the chain is a transfer no decision killed.
+    auto key = std::make_pair(d.covering_block, d.covering_transfer);
+    for (auto it = killed.find(key); it != killed.end(); it = killed.find(key)) {
+      key = {it->second->covering_block, it->second->covering_transfer};
+    }
+    d.covering_block = key.first;
+    d.covering_transfer = key.second;
+  }
+}
+
+long long PassLog::total_sr_hoist() const {
+  long long total = 0;
+  for (const PLPlacement& p : pl) total += p.sr_hoist;
+  return total;
+}
+
+std::string PassLog::to_string() const {
+  std::string out;
+  long long transfers = 0;
+  for (const GenRecord& g : generated) transfers += g.transfers;
+  out += "generate: " + std::to_string(transfers) + " transfers in " +
+         std::to_string(generated.size()) + " blocks\n";
+
+  out += "rr: " + std::to_string(rr.size()) + " transfers removed\n";
+  for (const RRDecision& d : rr) {
+    out += "  [" + d.where.to_string() + "] " + d.array + "@" + d.direction + " at stmt " +
+           std::to_string(d.use_stmt);
+    if (d.use_line > 0) out += " (line " + std::to_string(d.use_line) + ")";
+    out += " covered by transfer #" + std::to_string(d.covering_transfer) + " of block " +
+           std::to_string(d.covering_block);
+    out += d.inter_block ? " -- inter-block\n" : "\n";
+  }
+
+  out += "cc: " + std::to_string(cc.size()) + " merges\n";
+  for (const CCMerge& m : cc) {
+    out += "  [" + m.where.to_string() + "] " + m.array + " at stmt " +
+           std::to_string(m.use_stmt);
+    if (m.use_line > 0) out += " (line " + std::to_string(m.use_line) + ")";
+    out += " joined group " + std::to_string(m.group) + " under " + m.heuristic + ": " +
+           std::to_string(m.members_after) + " members, ~" +
+           std::to_string(m.group_est_elems) + " elems/proc\n";
+  }
+
+  out += "pl: " + std::to_string(pl.size()) + " placements, total SR hoist " +
+         std::to_string(total_sr_hoist()) + " stmts\n";
+  for (const PLPlacement& p : pl) {
+    out += "  [" + p.where.to_string() + "] group " + std::to_string(p.group) + " dir " +
+           p.direction + ": SR at " + std::to_string(p.sr_pos) + ", DN at " +
+           std::to_string(p.dn_pos) + ", hoist " + std::to_string(p.sr_hoist) +
+           " (feasible [" + std::to_string(p.earliest_send) + ", " +
+           std::to_string(p.first_use) + "])\n";
+  }
+  return out;
+}
+
+namespace {
+
+json::Value ref_json(const BlockRef& ref) {
+  json::Value v = json::Value::make_object();
+  v["block"] = json::Value::make_int(ref.block);
+  v["proc"] = json::Value::make_str(ref.proc);
+  v["first_line"] = json::Value::make_int(ref.first_line);
+  return v;
+}
+
+/// How many of `n` records to emit under the cap (negative cap = all).
+std::size_t capped(std::size_t n, int max_per_pass) {
+  if (max_per_pass < 0) return n;
+  return std::min(n, static_cast<std::size_t>(max_per_pass));
+}
+
+}  // namespace
+
+json::Value PassLog::to_json(int max_per_pass) const {
+  using json::Value;
+  Value doc = Value::make_object();
+
+  long long transfers = 0;
+  for (const GenRecord& g : generated) transfers += g.transfers;
+  Value summary = Value::make_object();
+  summary["blocks"] = Value::make_int(static_cast<long long>(generated.size()));
+  summary["transfers_generated"] = Value::make_int(transfers);
+  summary["rr_removed"] = Value::make_int(static_cast<long long>(rr.size()));
+  summary["cc_merges"] = Value::make_int(static_cast<long long>(cc.size()));
+  summary["pl_placements"] = Value::make_int(static_cast<long long>(pl.size()));
+  summary["total_sr_hoist"] = Value::make_int(total_sr_hoist());
+  doc["summary"] = std::move(summary);
+
+  Value gen = Value::make_array();
+  for (std::size_t i = 0; i < capped(generated.size(), max_per_pass); ++i) {
+    const GenRecord& g = generated[i];
+    Value v = ref_json(g.where);
+    v["stmts"] = Value::make_int(g.stmts);
+    v["transfers"] = Value::make_int(g.transfers);
+    gen.push_back(std::move(v));
+  }
+  doc["generate"] = std::move(gen);
+
+  Value rrs = Value::make_array();
+  for (std::size_t i = 0; i < capped(rr.size(), max_per_pass); ++i) {
+    const RRDecision& d = rr[i];
+    Value v = Value::make_object();
+    v["where"] = ref_json(d.where);
+    v["transfer"] = Value::make_int(d.transfer);
+    v["array"] = Value::make_str(d.array);
+    v["direction"] = Value::make_str(d.direction);
+    v["use_stmt"] = Value::make_int(d.use_stmt);
+    v["use_line"] = Value::make_int(d.use_line);
+    v["inter_block"] = Value::make_bool(d.inter_block);
+    v["covering_block"] = Value::make_int(d.covering_block);
+    v["covering_transfer"] = Value::make_int(d.covering_transfer);
+    rrs.push_back(std::move(v));
+  }
+  doc["rr"] = std::move(rrs);
+
+  Value ccs = Value::make_array();
+  for (std::size_t i = 0; i < capped(cc.size(), max_per_pass); ++i) {
+    const CCMerge& m = cc[i];
+    Value v = Value::make_object();
+    v["where"] = ref_json(m.where);
+    v["group"] = Value::make_int(m.group);
+    v["heuristic"] = Value::make_str(m.heuristic);
+    v["array"] = Value::make_str(m.array);
+    v["use_stmt"] = Value::make_int(m.use_stmt);
+    v["use_line"] = Value::make_int(m.use_line);
+    v["est_elems"] = Value::make_int(m.est_elems);
+    v["group_est_elems"] = Value::make_int(m.group_est_elems);
+    v["members_after"] = Value::make_int(m.members_after);
+    ccs.push_back(std::move(v));
+  }
+  doc["cc"] = std::move(ccs);
+
+  Value pls = Value::make_array();
+  for (std::size_t i = 0; i < capped(pl.size(), max_per_pass); ++i) {
+    const PLPlacement& p = pl[i];
+    Value v = Value::make_object();
+    v["where"] = ref_json(p.where);
+    v["group"] = Value::make_int(p.group);
+    v["direction"] = Value::make_str(p.direction);
+    v["earliest_send"] = Value::make_int(p.earliest_send);
+    v["first_use"] = Value::make_int(p.first_use);
+    v["sr_pos"] = Value::make_int(p.sr_pos);
+    v["dn_pos"] = Value::make_int(p.dn_pos);
+    v["sv_pos"] = Value::make_int(p.sv_pos);
+    v["sr_hoist"] = Value::make_int(p.sr_hoist);
+    v["pipelined"] = Value::make_bool(p.pipelined);
+    pls.push_back(std::move(v));
+  }
+  doc["pl"] = std::move(pls);
+
+  const bool truncated =
+      max_per_pass >= 0 &&
+      (generated.size() > static_cast<std::size_t>(max_per_pass) ||
+       rr.size() > static_cast<std::size_t>(max_per_pass) ||
+       cc.size() > static_cast<std::size_t>(max_per_pass) ||
+       pl.size() > static_cast<std::size_t>(max_per_pass));
+  doc["truncated"] = Value::make_bool(truncated);
+  return doc;
+}
+
+}  // namespace zc::report

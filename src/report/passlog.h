@@ -1,0 +1,120 @@
+// Pass provenance: structured records of *why* the optimizer did what it
+// did, one record per decision, collected while `plan_communication` runs.
+//
+// The log answers the attribution questions the counts alone cannot:
+//   rr — which earlier (live) transfer's slice covered the killed one;
+//   cc — which transfers were merged into which group, under which
+//        heuristic, and at what estimated per-processor message size;
+//   pl — how far each communication's SR was hoisted above its DN, and
+//        within which feasible send interval.
+//
+// A PassLog is attached through OptOptions::pass_log (null by default).
+// The contract mirrors src/trace: with no log attached the passes do no
+// recording at all, and the produced CommPlan is bit-identical whether or
+// not a log is attached (golden-checked by tests/report_test.cpp).
+//
+// Records reference plan structure by index (block index in
+// CommPlan::blocks, transfer index in BlockPlan::transfers, group index in
+// BlockPlan::groups) plus source anchors (procedure name, source line), so
+// the log is plain data with no dependency on the IR.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+
+namespace zc::report {
+
+/// Where a decision applies: the plan block plus its source anchor.
+struct BlockRef {
+  int block = -1;       ///< index into CommPlan::blocks
+  std::string proc;     ///< enclosing procedure name
+  int first_line = 0;   ///< source line of the block's first statement (0 = none)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Pass 1 (generation): per-block transfer counts before any optimization.
+struct GenRecord {
+  BlockRef where;
+  int stmts = 0;      ///< statements in the block
+  int transfers = 0;  ///< transfers generated (message vectorization only)
+};
+
+/// Pass 2 (redundant removal): one record per killed transfer, naming the
+/// covering transfer whose communicated slice makes it redundant. After
+/// `resolve_rr_coverers()` the named coverer is always live in the plan.
+struct RRDecision {
+  BlockRef where;             ///< block of the killed transfer
+  int transfer = -1;          ///< index into that block's transfers (the killed one)
+  std::string array;          ///< array of the killed transfer
+  std::string direction;      ///< direction of the killed transfer
+  int use_stmt = 0;           ///< block-relative statement index of the use
+  int use_line = 0;           ///< source line of the use statement
+  bool inter_block = false;   ///< killed by the inter-block dataflow pass
+  int covering_block = -1;    ///< block index of the covering transfer
+  int covering_transfer = -1; ///< transfer index within the covering block
+};
+
+/// Pass 3 (combination): one record per merge event — a transfer joining an
+/// already-open group. Groups that never absorb a second member produce no
+/// record (nothing was combined).
+struct CCMerge {
+  BlockRef where;
+  int group = -1;                ///< index into the block's groups
+  std::string heuristic;         ///< combine heuristic in force
+  std::string array;             ///< the member that joined
+  int use_stmt = 0;              ///< block-relative index of its use
+  int use_line = 0;              ///< source line of its use
+  long long est_elems = 0;       ///< joining member's per-proc slice estimate
+  long long group_est_elems = 0; ///< group total estimate after the merge
+  int members_after = 0;         ///< member count after the merge
+};
+
+/// Pass 4 (placement): one record per communication. `sr_hoist` is the
+/// paper's pipelining distance — how many statements the SR moved up from
+/// its unpipelined position (the first use, where DN stays).
+struct PLPlacement {
+  BlockRef where;
+  int group = -1;          ///< index into the block's groups
+  std::string direction;
+  int earliest_send = 0;   ///< feasible interval lower bound (from generation)
+  int first_use = 0;       ///< feasible interval upper bound
+  int sr_pos = 0;
+  int dn_pos = 0;
+  int sv_pos = 0;
+  int sr_hoist = 0;        ///< first_use - sr_pos (0 when not pipelined)
+  bool pipelined = false;
+};
+
+/// The per-plan decision log. Cleared and refilled by one
+/// `plan_communication` call when attached via OptOptions::pass_log.
+class PassLog {
+ public:
+  std::vector<GenRecord> generated;
+  std::vector<RRDecision> rr;
+  std::vector<CCMerge> cc;
+  std::vector<PLPlacement> pl;
+
+  void clear();
+
+  /// Re-points each rr decision at a live coverer by following kill chains:
+  /// the inter-block pass can kill a transfer that an earlier intra-block
+  /// decision named as its coverer. Called once at the end of planning.
+  void resolve_rr_coverers();
+
+  /// Aggregates for summaries: total SR hoist distance over all placements.
+  [[nodiscard]] long long total_sr_hoist() const;
+
+  /// Human-readable explanation, one line per decision (comm_explorer
+  /// --explain).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Machine-readable form for run reports. At most `max_per_pass` records
+  /// per pass are emitted (negative = no cap); a "truncated" flag records
+  /// whether any were dropped.
+  [[nodiscard]] json::Value to_json(int max_per_pass = -1) const;
+};
+
+}  // namespace zc::report

@@ -1,0 +1,40 @@
+#include "src/support/io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/support/diag.h"
+
+namespace zc::io {
+
+namespace {
+
+std::string os_reason() {
+  const int err = errno;
+  return err != 0 ? std::strerror(err) : "unknown I/O error";
+}
+
+}  // namespace
+
+void write_text_file(const std::string& path, std::string_view content) {
+  errno = 0;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open '" + path + "' for writing: " + os_reason());
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) throw Error("cannot write '" + path + "': " + os_reason());
+}
+
+std::string read_text_file(const std::string& path) {
+  errno = 0;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "' for reading: " + os_reason());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw Error("cannot read '" + path + "': " + os_reason());
+  return std::move(buf).str();
+}
+
+}  // namespace zc::io

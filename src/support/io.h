@@ -1,0 +1,20 @@
+// Whole-file I/O with loud failures: every writer in the CLI surfaces
+// (trace CSV, run reports, bench perf JSON) goes through here so an
+// unwritable path raises zc::Error with the OS reason instead of silently
+// producing nothing.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace zc::io {
+
+/// Writes `content` to `path` (truncating); throws zc::Error naming the
+/// path and the OS reason when the file cannot be opened or fully written.
+void write_text_file(const std::string& path, std::string_view content);
+
+/// Reads the whole file; throws zc::Error naming the path and the OS
+/// reason when it cannot be opened or read.
+std::string read_text_file(const std::string& path);
+
+}  // namespace zc::io

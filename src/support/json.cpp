@@ -1,6 +1,9 @@
 #include "src/support/json.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "src/support/diag.h"
@@ -209,6 +212,151 @@ const Value& Value::at(const std::string& key) const {
 
 bool Value::has(const std::string& key) const {
   return kind == Kind::kObject && object.count(key) > 0;
+}
+
+Value Value::make_null() { return Value{}; }
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind = Kind::kBool;
+  v.boolean = b;
+  return v;
+}
+
+Value Value::make_num(double value) {
+  Value v;
+  v.kind = Kind::kNumber;
+  v.number = value;
+  return v;
+}
+
+Value Value::make_int(long long value) { return make_num(static_cast<double>(value)); }
+
+Value Value::make_str(std::string s) {
+  Value v;
+  v.kind = Kind::kString;
+  v.string = std::move(s);
+  return v;
+}
+
+Value Value::make_array() {
+  Value v;
+  v.kind = Kind::kArray;
+  return v;
+}
+
+Value Value::make_object() {
+  Value v;
+  v.kind = Kind::kObject;
+  return v;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (kind == Kind::kNull) kind = Kind::kObject;
+  if (kind != Kind::kObject) throw Error("JSON value is not an object (key '" + key + "')");
+  return object[key];
+}
+
+void Value::push_back(Value v) {
+  if (kind == Kind::kNull) kind = Kind::kArray;
+  if (kind != Kind::kArray) throw Error("JSON value is not an array");
+  array.push_back(std::move(v));
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  // Integral values within the exact-double range print as integers.
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    out += std::to_string(static_cast<long long>(v));
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void dump_value(const Value& v, std::string& out, int indent, int depth) {
+  const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (v.kind) {
+    case Value::Kind::kNull: out += "null"; break;
+    case Value::Kind::kBool: out += v.boolean ? "true" : "false"; break;
+    case Value::Kind::kNumber: append_number(out, v.number); break;
+    case Value::Kind::kString: append_escaped(out, v.string); break;
+    case Value::Kind::kArray: {
+      if (v.array.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        out += pad;
+        dump_value(v.array[i], out, indent, depth + 1);
+        if (i + 1 < v.array.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      if (v.object.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      std::size_t i = 0;
+      for (const auto& [key, member] : v.object) {
+        out += pad;
+        append_escaped(out, key);
+        out += indent > 0 ? ": " : ":";
+        dump_value(member, out, indent, depth + 1);
+        if (++i < v.object.size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
 }
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }

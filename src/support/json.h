@@ -1,6 +1,7 @@
-// A lightweight JSON value parser, used to validate the trace subsystem's
-// Chrome trace-event output (tests and the trace_smoke ctest) without an
-// external dependency. Parsing only — serialization is the exporters' job.
+// A lightweight JSON value: parser plus builder/serializer. Parsing is used
+// to validate the trace subsystem's Chrome trace-event output; building and
+// `dump` back the machine-readable run reports (src/driver/report) and the
+// bench perf files (bench/common) without an external dependency.
 #pragma once
 
 #include <map>
@@ -31,6 +32,28 @@ struct Value {
   /// Object member access; throws zc::Error when not an object or missing.
   [[nodiscard]] const Value& at(const std::string& key) const;
   [[nodiscard]] bool has(const std::string& key) const;
+
+  // --- construction (exporters: run reports, bench perf JSON) ------------
+  [[nodiscard]] static Value make_null();
+  [[nodiscard]] static Value make_bool(bool b);
+  [[nodiscard]] static Value make_num(double v);
+  [[nodiscard]] static Value make_int(long long v);
+  [[nodiscard]] static Value make_str(std::string s);
+  [[nodiscard]] static Value make_array();
+  [[nodiscard]] static Value make_object();
+
+  /// Builder member access: creates the member (null) if absent. A null
+  /// value silently becomes an object; any other non-object kind throws.
+  Value& operator[](const std::string& key);
+
+  /// Array append; a null value silently becomes an array.
+  void push_back(Value v);
+
+  /// Serializes: object keys sorted (map order), shortest round-trip
+  /// numbers (integral values print without a decimal point), `indent`
+  /// spaces per nesting level (0 = compact single line). Non-finite
+  /// numbers render as null — JSON has no NaN/Inf.
+  [[nodiscard]] std::string dump(int indent = 2) const;
 };
 
 /// Parses one JSON document (throws zc::Error on syntax errors or trailing

@@ -1,0 +1,153 @@
+#include "src/support/metrics.h"
+
+#include <algorithm>
+
+#include "src/support/str.h"
+
+namespace zc::metrics {
+
+void Histogram::observe(double value) {
+  if (buckets.empty()) buckets.assign(bounds.size() + 1, 0);
+  std::size_t i = 0;
+  while (i < bounds.size() && value > bounds[i]) ++i;
+  ++buckets[i];
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+}
+
+void Registry::count(std::string_view name, long long delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Registry::gauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Registry::observe(std::string_view name, double value, std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    Histogram h;
+    if (bounds.empty()) {
+      for (double b = 1.0; b <= 1048576.0; b *= 2.0) h.bounds.push_back(b);
+    } else {
+      std::sort(bounds.begin(), bounds.end());
+      h.bounds = std::move(bounds);
+    }
+    it = histograms_.emplace(std::string(name), std::move(h)).first;
+  }
+  it->second.observe(value);
+}
+
+long long Registry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge_value(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+bool Registry::empty() const {
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void Registry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+namespace {
+
+/// Gauge/histogram values render with enough precision to round-trip the
+/// magnitudes the simulator produces (seconds, counts).
+std::string render(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return str::format_f(v, 9);
+}
+
+}  // namespace
+
+std::string Registry::to_text() const {
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += "counter " + name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges_) {
+    out += "gauge " + name + " " + render(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "hist " + name + " count " + std::to_string(h.count) + " sum " + render(h.sum);
+    if (h.count > 0) out += " min " + render(h.min) + " max " + render(h.max);
+    out += "\n";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      const std::string bound = i < h.bounds.size() ? render(h.bounds[i]) : "+inf";
+      out += "hist " + name + " le " + bound + " " + std::to_string(h.buckets[i]) + "\n";
+    }
+  }
+  return out;
+}
+
+json::Value Registry::to_json() const {
+  using json::Value;
+  Value doc = Value::make_object();
+  Value counters = Value::make_object();
+  for (const auto& [name, value] : counters_) counters[name] = Value::make_int(value);
+  doc["counters"] = std::move(counters);
+
+  Value gauges = Value::make_object();
+  for (const auto& [name, value] : gauges_) gauges[name] = Value::make_num(value);
+  doc["gauges"] = std::move(gauges);
+
+  Value hists = Value::make_object();
+  for (const auto& [name, h] : histograms_) {
+    Value v = Value::make_object();
+    Value bounds = Value::make_array();
+    for (double b : h.bounds) bounds.push_back(Value::make_num(b));
+    v["bounds"] = std::move(bounds);
+    Value buckets = Value::make_array();
+    for (long long b : h.buckets) buckets.push_back(Value::make_int(b));
+    v["buckets"] = std::move(buckets);
+    v["count"] = Value::make_int(h.count);
+    v["sum"] = Value::make_num(h.sum);
+    if (h.count > 0) {
+      v["min"] = Value::make_num(h.min);
+      v["max"] = Value::make_num(h.max);
+    }
+    hists[name] = std::move(v);
+  }
+  doc["histograms"] = std::move(hists);
+  return doc;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace zc::metrics

@@ -1,0 +1,72 @@
+// A small in-process metrics registry: named counters (monotonic),
+// gauges (last value wins), and fixed-bucket histograms, published into by
+// the driver, the simulation engine, and the optimizer passes, and exposed
+// as text (`name value` lines) or JSON for run reports.
+//
+// The registry is deliberately simple: single-threaded (like the rest of
+// the simulator), no label sets, no time series — it answers "what has this
+// process done so far", which is what the run reports snapshot. Publishing
+// happens at per-plan / per-run granularity, never per message, so the cost
+// is negligible and the simulation's timing and numerics are untouched.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/json.h"
+
+namespace zc::metrics {
+
+/// A fixed-bucket histogram: counts per inclusive upper bound plus an
+/// overflow bucket, with exact count/sum/min/max.
+struct Histogram {
+  std::vector<double> bounds;    ///< sorted inclusive upper bounds
+  std::vector<long long> buckets;///< bounds.size() + 1 (last = overflow)
+  long long count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< valid when count > 0
+  double max = 0.0;  ///< valid when count > 0
+
+  void observe(double value);
+};
+
+class Registry {
+ public:
+  /// Adds `delta` (default 1) to the named counter, creating it at 0.
+  void count(std::string_view name, long long delta = 1);
+
+  /// Sets the named gauge to `value` (last write wins).
+  void gauge(std::string_view name, double value);
+
+  /// Records `value` into the named histogram. The first observation fixes
+  /// the bucket bounds: the given `bounds` if non-empty, else powers of two
+  /// 1..2^20. Later `bounds` arguments are ignored.
+  void observe(std::string_view name, double value, std::vector<double> bounds = {});
+
+  [[nodiscard]] long long counter(std::string_view name) const;  ///< 0 if absent
+  [[nodiscard]] double gauge_value(std::string_view name) const; ///< 0 if absent
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+  [[nodiscard]] bool empty() const;
+
+  void reset();
+
+  /// Text exposition: one deterministic `kind name value` line per metric
+  /// (histograms expand to their aggregate plus one line per bucket).
+  [[nodiscard]] std::string to_text() const;
+
+  /// JSON exposition: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {bounds, buckets, count, sum, min, max}}}.
+  [[nodiscard]] json::Value to_json() const;
+
+  /// The process-wide registry the subsystems publish into.
+  static Registry& global();
+
+ private:
+  std::map<std::string, long long, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace zc::metrics
