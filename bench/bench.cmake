@@ -42,3 +42,13 @@ add_executable(bench_trace_overhead bench/bench_trace_overhead.cpp)
 target_link_libraries(bench_trace_overhead PRIVATE zc_bench benchmark::benchmark)
 set_target_properties(bench_trace_overhead PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+add_executable(bench_blame_overhead bench/bench_blame_overhead.cpp)
+target_link_libraries(bench_blame_overhead PRIVATE zc_bench zc_analysis benchmark::benchmark)
+set_target_properties(bench_blame_overhead PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Smoke-run the attribution guard bench in ctest (tiny min_time: this checks
+# it runs and the analyses agree with themselves, not the timings).
+add_test(NAME bench_blame_overhead_smoke
+  COMMAND bench_blame_overhead --benchmark_min_time=0.01)

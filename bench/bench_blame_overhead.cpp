@@ -1,0 +1,102 @@
+// Guard benchmark for the attribution engine's cost, mirroring
+// bench_trace_overhead one layer up: attribution is pure post-processing on
+// a Recorder, so the engine numbers with attribution "off" are by
+// construction the tracing-off/on numbers next door — what this binary
+// guards is the analysis itself. Blame, the critical-path walk, and the
+// differential join should all stay linear in the trace and far below the
+// cost of the traced run that produced it.
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/blame.h"
+#include "src/analysis/critpath.h"
+#include "src/analysis/diff.h"
+#include "src/comm/optimizer.h"
+#include "src/parser/parser.h"
+#include "src/programs/programs.h"
+#include "src/sim/engine.h"
+#include "src/trace/recorder.h"
+
+namespace {
+
+using namespace zc;
+
+const zir::Program& jacobi_program() {
+  static const zir::Program p = parser::parse_program(programs::kernel_source("jacobi"));
+  return p;
+}
+
+const comm::CommPlan& jacobi_plan(comm::OptLevel level) {
+  static const comm::CommPlan baseline = comm::plan_communication(
+      jacobi_program(), comm::OptOptions::for_level(comm::OptLevel::kBaseline));
+  static const comm::CommPlan pl = comm::plan_communication(
+      jacobi_program(), comm::OptOptions::for_level(comm::OptLevel::kPL));
+  return level == comm::OptLevel::kBaseline ? baseline : pl;
+}
+
+sim::RunConfig jacobi_config(int procs) {
+  sim::RunConfig cfg;
+  cfg.procs = procs;
+  cfg.config_overrides = {{"n", 64}, {"iters", 4}};
+  return cfg;
+}
+
+const trace::Recorder& traced_run(comm::OptLevel level) {
+  static trace::Recorder baseline = [] {
+    trace::Recorder rec(16);
+    sim::RunConfig cfg = jacobi_config(16);
+    cfg.recorder = &rec;
+    sim::run_program(jacobi_program(), jacobi_plan(comm::OptLevel::kBaseline), cfg);
+    return rec;
+  }();
+  static trace::Recorder pl = [] {
+    trace::Recorder rec(16);
+    sim::RunConfig cfg = jacobi_config(16);
+    cfg.recorder = &rec;
+    sim::run_program(jacobi_program(), jacobi_plan(comm::OptLevel::kPL), cfg);
+    return rec;
+  }();
+  return level == comm::OptLevel::kBaseline ? baseline : pl;
+}
+
+void BM_ComputeBlame(benchmark::State& state) {
+  const trace::Recorder& rec = traced_run(comm::OptLevel::kPL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compute_blame(
+        rec, jacobi_program(), jacobi_plan(comm::OptLevel::kPL)));
+  }
+}
+BENCHMARK(BM_ComputeBlame);
+
+void BM_ComputeCriticalPath(benchmark::State& state) {
+  const trace::Recorder& rec = traced_run(comm::OptLevel::kPL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compute_critical_path(
+        rec, jacobi_program(), jacobi_plan(comm::OptLevel::kPL)));
+  }
+}
+BENCHMARK(BM_ComputeCriticalPath);
+
+void BM_DiffBlame(benchmark::State& state) {
+  const analysis::BlameReport before = analysis::compute_blame(
+      traced_run(comm::OptLevel::kBaseline), jacobi_program(),
+      jacobi_plan(comm::OptLevel::kBaseline));
+  const analysis::BlameReport after = analysis::compute_blame(
+      traced_run(comm::OptLevel::kPL), jacobi_program(), jacobi_plan(comm::OptLevel::kPL));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::diff_blame(before, after));
+  }
+}
+BENCHMARK(BM_DiffBlame);
+
+void BM_BlameToJson(benchmark::State& state) {
+  const analysis::BlameReport report = analysis::compute_blame(
+      traced_run(comm::OptLevel::kPL), jacobi_program(), jacobi_plan(comm::OptLevel::kPL));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(report.to_json().dump());
+  }
+}
+BENCHMARK(BM_BlameToJson);
+
+}  // namespace
+
+BENCHMARK_MAIN();

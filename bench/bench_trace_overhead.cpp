@@ -60,7 +60,8 @@ void BM_RecorderRecordCall(benchmark::State& state) {
   double t = 0.0;
   for (auto _ : state) {
     recorder.record_call(0, ironman::IronmanCall::kSR, ironman::Primitive::kPvmSend,
-                         /*chan=*/1, /*src=*/0, /*dst=*/1, /*bytes=*/1024, t, t, t + 1e-6);
+                         /*chan=*/1, /*transfer=*/0, /*src=*/0, /*dst=*/1, /*bytes=*/1024,
+                         t, t, t + 1e-6);
     t += 2e-6;
   }
   benchmark::DoNotOptimize(recorder.call_totals());

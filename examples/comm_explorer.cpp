@@ -23,6 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/blame.h"
+#include "src/analysis/critpath.h"
+#include "src/analysis/diff.h"
 #include "src/comm/optimizer.h"
 #include "src/driver/driver.h"
 #include "src/driver/report.h"
@@ -102,6 +105,10 @@ struct TraceOptions {
   bool explain = false;          // --explain [bench]
   std::string report_path;       // --report <out.json>
   bool print_metrics = false;    // --metrics
+  bool blame = false;            // --blame
+  bool critical_path = false;    // --critical-path
+  std::string attribute_vs;      // --attribute-vs <experiment>
+  int top = 20;                  // --top <N> rows in attribution tables
 
   [[nodiscard]] bool run_requested() const {
     return trace_requested || explain || !report_path.empty() || print_metrics;
@@ -128,7 +135,16 @@ struct TraceOptions {
       "                               Perfetto / chrome://tracing)\n"
       "  --trace-stats                print wait/CPU, exposed vs. overlapped\n"
       "                               wire time, channels, size histogram\n"
-      "  --trace-stats-csv <out.csv>  write the same stats as name,value CSV\n";
+      "  --trace-stats-csv <out.csv>  write the same stats as name,value CSV\n"
+      "  --blame                      per-transfer time attribution: each\n"
+      "                               communication's wait/cpu split and its\n"
+      "                               exposed vs. overlapped wire time\n"
+      "  --critical-path              walk the run's longest dependence chain\n"
+      "                               and print per-transfer path time + slack\n"
+      "  --attribute-vs <experiment>  run <experiment> too and attribute the\n"
+      "                               exposed-overhead delta to individual\n"
+      "                               optimizer decisions (rr/cc/pl)\n"
+      "  --top <N>                    rows shown in attribution tables (20)\n";
   std::exit(code);
 }
 
@@ -198,9 +214,36 @@ int run_experiments_mode(const TraceOptions& opt) {
                                    : opt.report_path;
       driver::ReportOptions ropts;
       ropts.benchmark = opt.bench;
-      const json::Value doc = driver::build_report(m, e, opt.procs, &log, ropts);
+      json::Value doc = driver::build_report(m, e, opt.procs, &log, ropts);
+      if (opt.trace_requested) {
+        driver::attach_attribution(doc, recorder, program, m.plan, ropts.max_attribution_rows);
+      }
       io::write_text_file(path, doc.dump() + "\n");
       std::cout << "wrote run report: " << path << "\n";
+    }
+    if (opt.blame) {
+      std::cout << analysis::compute_blame(recorder, program, m.plan).to_string(opt.top);
+    }
+    if (opt.critical_path) {
+      std::cout << analysis::compute_critical_path(recorder, program, m.plan)
+                       .to_string(opt.top);
+    }
+    if (!opt.attribute_vs.empty()) {
+      auto vs = driver::find_experiment(opt.attribute_vs);
+      if (!vs) {
+        std::cerr << "unknown --attribute-vs experiment '" << opt.attribute_vs << "'\n";
+        return 1;
+      }
+      trace::Recorder vs_recorder(opt.procs);
+      sim::RunConfig vs_cfg;
+      vs_cfg.procs = opt.procs;
+      vs_cfg.config_overrides = configs;
+      vs_cfg.recorder = &vs_recorder;
+      const driver::Metrics vm = driver::run_experiment(program, *vs, vs_cfg);
+      const analysis::BlameDiff diff = analysis::diff_blame(
+          analysis::compute_blame(vs_recorder, program, vm.plan),
+          analysis::compute_blame(recorder, program, m.plan), vs->name, e.name);
+      std::cout << diff.to_string(opt.top);
     }
     if (!opt.trace_path.empty()) {
       const std::string path = experiments.size() > 1
@@ -260,6 +303,22 @@ int main(int argc, char** argv) {
     }
     else if (a == "--report") opt.report_path = value();
     else if (a == "--metrics") opt.print_metrics = true;
+    else if (a == "--blame") { opt.blame = true; opt.trace_requested = true; }
+    else if (a == "--critical-path") { opt.critical_path = true; opt.trace_requested = true; }
+    else if (a == "--attribute-vs") { opt.attribute_vs = value(); opt.trace_requested = true; }
+    else if (a.rfind("--attribute-vs=", 0) == 0) {
+      opt.attribute_vs = a.substr(std::string("--attribute-vs=").size());
+      opt.trace_requested = true;
+    }
+    else if (a == "--top") {
+      const std::string v = value();
+      char* end = nullptr;
+      opt.top = static_cast<int>(std::strtol(v.c_str(), &end, 10));
+      if (end == v.c_str() || *end != '\0' || opt.top < 0) {
+        std::cerr << "--top needs a non-negative integer, got '" << v << "'\n";
+        usage(1);
+      }
+    }
     else {
       std::cerr << "unknown option: " << a << "\n";
       usage(1);

@@ -6,6 +6,11 @@
 //
 //   report_diff old.json new.json
 //   report_diff --require-strict=static_count baseline.json rr.json
+//   report_diff --json old.json new.json > diff.json
+//
+// The comparison itself lives in driver::diff_run_reports, so --json emits
+// the same verdicts the text path prints (round-trip-tested by
+// tests/report_schema_test.cpp).
 //
 // Exit status: 0 = no regression, 1 = regression (or a --require-strict
 // field that failed to strictly improve), 2 = usage or I/O error. Wired
@@ -15,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/driver/report.h"
 #include "src/support/diag.h"
 #include "src/support/io.h"
 #include "src/support/json.h"
@@ -29,14 +35,10 @@ namespace {
       "  --require-strict=<field>     additionally require new.<field> to be\n"
       "                               strictly lower than old.<field>\n"
       "                               (e.g. static_count, dynamic_count)\n"
+      "  --json                       emit the comparison as JSON on stdout\n"
+      "                               instead of the text table\n"
       "exit status: 0 ok, 1 regression, 2 usage or I/O error\n";
   std::exit(code);
-}
-
-double num_field(const zc::json::Value& doc, const std::string& key) {
-  const zc::json::Value& v = doc.at(key);
-  if (!v.is_number()) throw zc::Error("report field '" + key + "' is not a number");
-  return v.number;
 }
 
 zc::json::Value load_report(const std::string& path) {
@@ -47,19 +49,13 @@ zc::json::Value load_report(const std::string& path) {
   return doc;
 }
 
-struct FieldDiff {
-  std::string name;
-  double before = 0;
-  double after = 0;
-  bool regressed = false;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
   double time_tolerance = 0.05;
   std::vector<std::string> strict_fields;
   std::vector<std::string> paths;
+  bool as_json = false;
 
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -72,6 +68,7 @@ int main(int argc, char** argv) {
     else if (a.rfind("--require-strict=", 0) == 0) {
       strict_fields.push_back(a.substr(std::string("--require-strict=").size()));
     }
+    else if (a == "--json") as_json = true;
     else if (a.rfind("--", 0) == 0) {
       std::cerr << "unknown option: " << a << "\n";
       usage(2);
@@ -83,36 +80,26 @@ int main(int argc, char** argv) {
   try {
     const zc::json::Value before = load_report(paths[0]);
     const zc::json::Value after = load_report(paths[1]);
+    const zc::json::Value diff =
+        zc::driver::diff_run_reports(before, after, time_tolerance, strict_fields);
+    const bool failed = diff.at("regressed").boolean;
 
-    std::vector<FieldDiff> diffs;
-    for (const char* key : {"static_count", "dynamic_count"}) {
-      FieldDiff d{key, num_field(before, key), num_field(after, key), false};
-      d.regressed = d.after > d.before;
-      diffs.push_back(d);
-    }
-    {
-      FieldDiff d{"execution_time_seconds",
-                  num_field(before, "execution_time_seconds"),
-                  num_field(after, "execution_time_seconds"), false};
-      d.regressed = d.after > d.before * (1.0 + time_tolerance);
-      diffs.push_back(d);
+    if (as_json) {
+      std::cout << diff.dump() << "\n";
+      return failed ? 1 : 0;
     }
 
-    bool failed = false;
     std::cout << "report_diff: " << paths[0] << " -> " << paths[1] << "\n";
-    for (const FieldDiff& d : diffs) {
-      std::cout << "  " << d.name << ": " << d.before << " -> " << d.after
-                << " (delta " << d.after - d.before << ")"
-                << (d.regressed ? "  REGRESSION" : "") << "\n";
-      failed = failed || d.regressed;
+    for (const zc::json::Value& f : diff.at("fields").array) {
+      std::cout << "  " << f.at("name").string << ": " << f.at("before").number << " -> "
+                << f.at("after").number << " (delta " << f.at("delta").number << ")"
+                << (f.at("regressed").boolean ? "  REGRESSION" : "") << "\n";
     }
-    for (const std::string& field : strict_fields) {
-      const double b = num_field(before, field);
-      const double a = num_field(after, field);
-      const bool ok = a < b;
-      std::cout << "  require-strict " << field << ": " << b << " -> " << a
-                << (ok ? "  improved" : "  NOT STRICTLY IMPROVED") << "\n";
-      failed = failed || !ok;
+    for (const zc::json::Value& f : diff.at("strict").array) {
+      std::cout << "  require-strict " << f.at("name").string << ": " << f.at("before").number
+                << " -> " << f.at("after").number
+                << (f.at("improved").boolean ? "  improved" : "  NOT STRICTLY IMPROVED")
+                << "\n";
     }
     return failed ? 1 : 0;
   } catch (const std::exception& e) {

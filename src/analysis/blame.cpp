@@ -1,0 +1,218 @@
+#include "src/analysis/blame.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/csv.h"
+#include "src/support/str.h"
+#include "src/trace/stats.h"
+
+namespace zc::analysis {
+
+namespace {
+
+constexpr std::array<ironman::IronmanCall, 4> kCalls = {
+    ironman::IronmanCall::kDR, ironman::IronmanCall::kSR, ironman::IronmanCall::kDN,
+    ironman::IronmanCall::kSV};
+
+std::string seconds_str(double s) {
+  std::ostringstream os;
+  os.precision(17);
+  os << s;
+  return os.str();
+}
+
+void sort_rows(std::vector<BlameRow>& rows) {
+  std::sort(rows.begin(), rows.end(), [](const BlameRow& a, const BlameRow& b) {
+    const double ea = a.exposed_overhead_seconds();
+    const double eb = b.exposed_overhead_seconds();
+    if (ea != eb) return ea > eb;
+    return a.transfer < b.transfer;
+  });
+}
+
+BlameReport finish(std::vector<BlameRow> rows) {
+  BlameReport report;
+  for (const BlameRow& row : rows) {
+    report.total_exposed_seconds += row.exposed_overhead_seconds();
+    if (row.transfer < 0) report.untagged_exposed_seconds += row.exposed_overhead_seconds();
+    report.wire.wire_seconds += row.totals.wire.wire_seconds;
+    report.wire.exposed_seconds += row.totals.wire.exposed_seconds;
+    report.wire.overlapped_seconds += row.totals.wire.overlapped_seconds;
+    report.wire.dn_wait_seconds += row.totals.wire.dn_wait_seconds;
+  }
+  sort_rows(rows);
+  report.rows = std::move(rows);
+  return report;
+}
+
+}  // namespace
+
+double BlameRow::wait_seconds() const {
+  double total = 0.0;
+  for (const trace::CallTotals& c : totals.per_call) total += c.wait_seconds;
+  return total;
+}
+
+double BlameRow::cpu_seconds() const {
+  double total = 0.0;
+  for (const trace::CallTotals& c : totals.per_call) total += c.cpu_seconds;
+  return total;
+}
+
+BlameReport compute_blame(const trace::Recorder& recorder) {
+  std::vector<BlameRow> rows;
+  rows.reserve(recorder.transfer_totals().size());
+  for (const auto& [transfer, totals] : recorder.transfer_totals()) {
+    BlameRow row;
+    row.transfer = transfer;
+    row.label = transfer < 0 ? "(untagged)" : recorder.transfer_label(transfer);
+    row.totals = totals;
+    rows.push_back(std::move(row));
+  }
+  return finish(std::move(rows));
+}
+
+std::map<std::int64_t, Anchor> plan_anchors(const zir::Program& program,
+                                            const comm::CommPlan& plan) {
+  std::map<std::int64_t, Anchor> anchors;
+  for (std::size_t b = 0; b < plan.blocks.size(); ++b) {
+    const comm::BlockPlan& block = plan.blocks[b];
+    for (const comm::CommGroup& group : block.groups) {
+      Anchor a;
+      a.block = static_cast<int>(b);
+      a.proc = program.proc(block.proc).name;
+      if (group.first_use >= 0 && group.first_use < static_cast<int>(block.stmts.size())) {
+        a.use_line = program.stmt(block.stmts[static_cast<std::size_t>(group.first_use)]).loc.line;
+      }
+      anchors[group.transfer_id] = std::move(a);
+    }
+  }
+  return anchors;
+}
+
+BlameReport compute_blame(const trace::Recorder& recorder, const zir::Program& program,
+                          const comm::CommPlan& plan) {
+  BlameReport report = compute_blame(recorder);
+  const std::map<std::int64_t, Anchor> anchors = plan_anchors(program, plan);
+
+  // Member ids per lead id, from the plan.
+  std::map<std::int64_t, std::vector<int>> members;
+  for (const comm::BlockPlan& block : plan.blocks) {
+    for (const comm::CommGroup& group : block.groups) {
+      std::vector<int>& ids = members[group.transfer_id];
+      for (const comm::Member& m : group.members) ids.push_back(m.transfer_id);
+    }
+  }
+  for (BlameRow& row : report.rows) {
+    if (const auto it = anchors.find(row.transfer); it != anchors.end()) row.anchor = it->second;
+    if (const auto it = members.find(row.transfer); it != members.end()) row.members = it->second;
+  }
+  return report;
+}
+
+std::string BlameReport::to_string(int top_n) const {
+  std::ostringstream os;
+  os << "blame: " << rows.size() << " communications, exposed overhead "
+     << str::format_f(total_exposed_seconds * 1e3, 3) << " ms (wire exposed "
+     << str::format_f(wire.exposed_seconds * 1e3, 3) << " ms of "
+     << str::format_f(wire.wire_seconds * 1e3, 3) << " ms)\n";
+  std::size_t shown = rows.size();
+  if (top_n >= 0) shown = std::min(shown, static_cast<std::size_t>(top_n));
+  for (std::size_t i = 0; i < shown; ++i) {
+    const BlameRow& row = rows[i];
+    os << "  #" << row.transfer;
+    if (!row.label.empty()) os << " " << row.label;
+    if (!row.anchor.proc.empty()) {
+      os << " (" << row.anchor.proc;
+      if (row.anchor.use_line > 0) os << ":" << row.anchor.use_line;
+      os << ")";
+    }
+    os << ": " << str::format_f(row.exposed_overhead_seconds() * 1e3, 3) << " ms exposed ("
+       << str::format_f(row.wait_seconds() * 1e3, 3) << " wait + "
+       << str::format_f(row.cpu_seconds() * 1e3, 3) << " cpu), wire exposed "
+       << str::format_f(row.totals.wire.exposed_seconds * 1e3, 3) << " / "
+       << str::format_f(row.totals.wire.wire_seconds * 1e3, 3) << " ms, "
+       << str::with_commas(row.totals.messages) << " msgs, "
+       << str::with_commas(row.totals.bytes) << " B";
+    if (row.members.size() > 1) os << ", " << row.members.size() << " members";
+    os << "\n";
+  }
+  if (shown < rows.size()) {
+    os << "  ... " << rows.size() - shown << " more (see --blame with a larger top count)\n";
+  }
+  return os.str();
+}
+
+std::string BlameReport::to_csv() const {
+  CsvWriter csv({"transfer", "label", "proc", "use_line", "members", "messages", "bytes",
+                 "exposed_overhead_seconds", "wait_seconds", "cpu_seconds", "wire_seconds",
+                 "exposed_wire_seconds", "overlapped_wire_seconds"});
+  for (const BlameRow& row : rows) {
+    std::vector<std::string> ids;
+    ids.reserve(row.members.size());
+    for (int id : row.members) ids.push_back(std::to_string(id));
+    csv.add_row({std::to_string(row.transfer), row.label, row.anchor.proc,
+                 std::to_string(row.anchor.use_line), str::join(ids, "+"),
+                 std::to_string(row.totals.messages), std::to_string(row.totals.bytes),
+                 seconds_str(row.exposed_overhead_seconds()), seconds_str(row.wait_seconds()),
+                 seconds_str(row.cpu_seconds()), seconds_str(row.totals.wire.wire_seconds),
+                 seconds_str(row.totals.wire.exposed_seconds),
+                 seconds_str(row.totals.wire.overlapped_seconds)});
+  }
+  return csv.to_string();
+}
+
+json::Value BlameReport::to_json(int top_n) const {
+  json::Value v = json::Value::make_object();
+  v["total_exposed_seconds"] = json::Value::make_num(total_exposed_seconds);
+  v["untagged_exposed_seconds"] = json::Value::make_num(untagged_exposed_seconds);
+  v["wire_seconds"] = json::Value::make_num(wire.wire_seconds);
+  v["exposed_wire_seconds"] = json::Value::make_num(wire.exposed_seconds);
+  v["overlapped_wire_seconds"] = json::Value::make_num(wire.overlapped_seconds);
+  v["communications"] = json::Value::make_int(static_cast<long long>(rows.size()));
+  std::size_t shown = rows.size();
+  if (top_n >= 0) shown = std::min(shown, static_cast<std::size_t>(top_n));
+  v["truncated"] = json::Value::make_bool(shown < rows.size());
+  json::Value arr = json::Value::make_array();
+  for (std::size_t i = 0; i < shown; ++i) {
+    const BlameRow& row = rows[i];
+    json::Value r = json::Value::make_object();
+    r["transfer"] = json::Value::make_int(row.transfer);
+    r["label"] = json::Value::make_str(row.label);
+    if (!row.anchor.proc.empty()) {
+      r["proc"] = json::Value::make_str(row.anchor.proc);
+      r["block"] = json::Value::make_int(row.anchor.block);
+      r["use_line"] = json::Value::make_int(row.anchor.use_line);
+    }
+    if (!row.members.empty()) {
+      json::Value ids = json::Value::make_array();
+      for (int id : row.members) ids.push_back(json::Value::make_int(id));
+      r["members"] = std::move(ids);
+    }
+    r["messages"] = json::Value::make_int(row.totals.messages);
+    r["bytes"] = json::Value::make_int(row.totals.bytes);
+    r["exposed_overhead_seconds"] = json::Value::make_num(row.exposed_overhead_seconds());
+    r["wait_seconds"] = json::Value::make_num(row.wait_seconds());
+    r["cpu_seconds"] = json::Value::make_num(row.cpu_seconds());
+    r["wire_seconds"] = json::Value::make_num(row.totals.wire.wire_seconds);
+    r["exposed_wire_seconds"] = json::Value::make_num(row.totals.wire.exposed_seconds);
+    r["overlapped_wire_seconds"] = json::Value::make_num(row.totals.wire.overlapped_seconds);
+    json::Value calls = json::Value::make_object();
+    for (std::size_t c = 0; c < kCalls.size(); ++c) {
+      const trace::CallTotals& ct = row.totals.per_call[c];
+      if (ct.calls == 0) continue;
+      json::Value cv = json::Value::make_object();
+      cv["calls"] = json::Value::make_int(ct.calls);
+      cv["wait_seconds"] = json::Value::make_num(ct.wait_seconds);
+      cv["cpu_seconds"] = json::Value::make_num(ct.cpu_seconds);
+      calls[ironman::to_string(kCalls[c])] = std::move(cv);
+    }
+    r["per_call"] = std::move(calls);
+    arr.push_back(std::move(r));
+  }
+  v["rows"] = std::move(arr);
+  return v;
+}
+
+}  // namespace zc::analysis

@@ -1,0 +1,95 @@
+// Per-transfer blame: an exact decomposition of where communication time
+// went, joined from two layers that each know half the story — the trace
+// (what the simulated run actually did) and the comm plan (which source
+// transfer caused it).
+//
+// A blame row is one communication (CommGroup) keyed by its lead
+// transfer_id, with the wait / software-overhead split per IRONMAN call
+// slot and the exposed-vs-overlapped wire decomposition for its messages.
+// Rows come from the Recorder's exact per-transfer aggregates, so the
+// report's conservation law holds even on truncated traces:
+//
+//   sum over rows of exposed_overhead_seconds == Stats::exposed_overhead_seconds
+//
+// (checked to 1e-9 relative by tests/analysis_test.cpp on all four paper
+// benchmarks). Untagged records — direct Transport use without a plan —
+// land in a single row with transfer == -1 so nothing escapes the sum.
+//
+// Attribution is opt-in like everything in src/trace: it reads a Recorder
+// after the fact and adds no hooks of its own, so runs without a recorder
+// pay nothing and traced runs pay only the recording they already paid.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/comm/plan.h"
+#include "src/support/json.h"
+#include "src/trace/recorder.h"
+#include "src/zir/program.h"
+
+namespace zc::analysis {
+
+/// Where a transfer lives in the plan and the source: filled when the
+/// program + plan are available, default-empty otherwise.
+struct Anchor {
+  int block = -1;       ///< index into CommPlan::blocks (-1 = unknown)
+  std::string proc;     ///< enclosing procedure name
+  int use_line = 0;     ///< source line of the group's first use (0 = none)
+};
+
+/// One communication's share of the run's communication time.
+struct BlameRow {
+  std::int64_t transfer = -1;  ///< group lead transfer id (-1 = untagged row)
+  std::string label;           ///< member arrays + direction ("" if unknown)
+  std::vector<int> members;    ///< member transfer ids (empty without a plan)
+  Anchor anchor;
+  trace::TransferTotals totals;
+
+  /// This row's share of Stats::exposed_overhead_seconds (wait + CPU over
+  /// the four call slots).
+  [[nodiscard]] double exposed_overhead_seconds() const {
+    return totals.exposed_overhead_seconds();
+  }
+  [[nodiscard]] double wait_seconds() const;
+  [[nodiscard]] double cpu_seconds() const;
+};
+
+struct BlameReport {
+  /// All rows, sorted by exposed overhead descending (ties by transfer id).
+  std::vector<BlameRow> rows;
+
+  /// Sum over rows — equals trace::Stats::exposed_overhead_seconds exactly
+  /// (the rows partition every recorded call).
+  double total_exposed_seconds = 0.0;
+  /// The untagged (transfer == -1) row's share of the total, 0 if none.
+  double untagged_exposed_seconds = 0.0;
+  /// Wire decomposition summed over rows == Recorder::wire_totals().
+  trace::WireTotals wire;
+
+  /// Human-readable table, biggest offenders first (`top_n` < 0 = all).
+  [[nodiscard]] std::string to_string(int top_n = -1) const;
+  /// One row per transfer, stable columns.
+  [[nodiscard]] std::string to_csv() const;
+  /// Machine-readable block for run reports (`top_n` < 0 = all rows).
+  [[nodiscard]] json::Value to_json(int top_n = -1) const;
+};
+
+/// Blame from the recorder alone: rows carry labels registered by the
+/// engine but no plan anchors / member lists.
+[[nodiscard]] BlameReport compute_blame(const trace::Recorder& recorder);
+
+/// Blame joined with the plan: rows additionally carry member transfer ids
+/// (the differential layer's matching key) and source anchors.
+[[nodiscard]] BlameReport compute_blame(const trace::Recorder& recorder,
+                                        const zir::Program& program,
+                                        const comm::CommPlan& plan);
+
+/// Plan-side join table: group lead transfer id -> source anchor. Shared by
+/// blame, the critical path, and the differential renders.
+[[nodiscard]] std::map<std::int64_t, Anchor> plan_anchors(const zir::Program& program,
+                                                          const comm::CommPlan& plan);
+
+}  // namespace zc::analysis

@@ -1,0 +1,230 @@
+#include "src/analysis/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/support/csv.h"
+#include "src/support/str.h"
+
+namespace zc::analysis {
+
+namespace {
+
+std::string seconds_str(double s) {
+  std::ostringstream os;
+  os.precision(17);
+  os << s;
+  return os.str();
+}
+
+/// Plain union-find over transfer ids.
+class UnionFind {
+ public:
+  int find(int x) {
+    auto [it, inserted] = parent_.emplace(x, x);
+    if (it->second == x) return x;
+    return it->second = find(it->second);
+  }
+  void unite(int a, int b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::map<int, int> parent_;
+};
+
+/// The ids a row contributes to the join: its members, or its lead id when
+/// the report was built without a plan (baseline runs have one member per
+/// group anyway).
+std::vector<int> row_ids(const BlameRow& row) {
+  if (!row.members.empty()) return row.members;
+  return {static_cast<int>(row.transfer)};
+}
+
+}  // namespace
+
+const char* to_string(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kRemoved: return "removed";
+    case ComponentKind::kMerged: return "merged";
+    case ComponentKind::kRepositioned: return "repositioned";
+    case ComponentKind::kUnchanged: return "unchanged";
+    case ComponentKind::kAppeared: return "appeared";
+  }
+  return "?";
+}
+
+BlameDiff diff_blame(const BlameReport& before, const BlameReport& after,
+                     std::string name_before, std::string name_after) {
+  BlameDiff diff;
+  diff.name_before = std::move(name_before);
+  diff.name_after = std::move(name_after);
+  diff.before_total_seconds = before.total_exposed_seconds;
+  diff.after_total_seconds = after.total_exposed_seconds;
+  diff.untagged_savings_seconds =
+      before.untagged_exposed_seconds - after.untagged_exposed_seconds;
+
+  // Union member ids within every tagged row of both runs, so each
+  // component covers whole communications on both sides.
+  UnionFind uf;
+  for (const BlameReport* report : {&before, &after}) {
+    for (const BlameRow& row : report->rows) {
+      if (row.transfer < 0) continue;
+      const std::vector<int> ids = row_ids(row);
+      for (std::size_t i = 1; i < ids.size(); ++i) uf.unite(ids[0], ids[i]);
+    }
+  }
+
+  struct Acc {
+    DiffComponent component;
+    std::set<int> ids;
+    std::set<int> ids_before;  ///< ids live (communicated) in the before run
+    std::set<int> ids_after;
+  };
+  std::map<int, Acc> by_root;
+  auto accumulate = [&](const BlameReport& report, bool is_before) {
+    for (const BlameRow& row : report.rows) {
+      if (row.transfer < 0) continue;
+      const std::vector<int> ids = row_ids(row);
+      Acc& acc = by_root[uf.find(ids[0])];
+      acc.ids.insert(ids.begin(), ids.end());
+      if (is_before) {
+        acc.ids_before.insert(ids.begin(), ids.end());
+        ++acc.component.rows_before;
+        acc.component.before_seconds += row.exposed_overhead_seconds();
+        if (acc.component.label.empty()) acc.component.label = row.label;
+        if (acc.component.anchor.proc.empty()) acc.component.anchor = row.anchor;
+      } else {
+        acc.ids_after.insert(ids.begin(), ids.end());
+        ++acc.component.rows_after;
+        acc.component.after_seconds += row.exposed_overhead_seconds();
+        if (acc.component.label.empty()) acc.component.label = row.label;
+        if (acc.component.anchor.proc.empty()) acc.component.anchor = row.anchor;
+      }
+    }
+  };
+  accumulate(before, /*is_before=*/true);
+  accumulate(after, /*is_before=*/false);
+
+  for (auto& [root, acc] : by_root) {
+    DiffComponent& c = acc.component;
+    c.transfers.assign(acc.ids.begin(), acc.ids.end());
+    const bool any_removed = [&acc] {
+      for (int id : acc.ids_before) {
+        if (acc.ids_after.count(id) == 0) return true;
+      }
+      return false;
+    }();
+    constexpr double kTol = 1e-15;
+    if (acc.component.rows_before == 0) {
+      c.kind = ComponentKind::kAppeared;
+    } else if (any_removed) {
+      c.kind = ComponentKind::kRemoved;
+    } else if (c.rows_after < c.rows_before) {
+      c.kind = ComponentKind::kMerged;
+    } else if (std::abs(c.savings_seconds()) >
+               kTol * std::max(std::abs(c.before_seconds), 1.0)) {
+      c.kind = ComponentKind::kRepositioned;
+    } else {
+      c.kind = ComponentKind::kUnchanged;
+    }
+    diff.components.push_back(std::move(c));
+  }
+  std::sort(diff.components.begin(), diff.components.end(),
+            [](const DiffComponent& a, const DiffComponent& b) {
+              if (a.savings_seconds() != b.savings_seconds()) {
+                return a.savings_seconds() > b.savings_seconds();
+              }
+              return a.transfers < b.transfers;
+            });
+  return diff;
+}
+
+std::string BlameDiff::to_string(int top_n) const {
+  std::ostringstream os;
+  os << "differential attribution: " << name_before << " -> " << name_after << "\n";
+  os << "  exposed overhead " << str::format_f(before_total_seconds * 1e3, 3) << " ms -> "
+     << str::format_f(after_total_seconds * 1e3, 3) << " ms (saved "
+     << str::format_f(total_savings_seconds() * 1e3, 3) << " ms, "
+     << str::percent(total_savings_seconds(), before_total_seconds) << ")\n";
+  std::size_t shown = components.size();
+  if (top_n >= 0) shown = std::min(shown, static_cast<std::size_t>(top_n));
+  for (std::size_t i = 0; i < shown; ++i) {
+    const DiffComponent& c = components[i];
+    os << "  [" << analysis::to_string(c.kind) << "] ";
+    if (!c.label.empty()) os << c.label << " ";
+    os << "{";
+    for (std::size_t k = 0; k < c.transfers.size(); ++k) {
+      if (k > 0) os << ",";
+      os << "#" << c.transfers[k];
+    }
+    os << "}";
+    if (!c.anchor.proc.empty()) {
+      os << " (" << c.anchor.proc;
+      if (c.anchor.use_line > 0) os << ":" << c.anchor.use_line;
+      os << ")";
+    }
+    os << ": " << str::format_f(c.before_seconds * 1e3, 3) << " -> "
+       << str::format_f(c.after_seconds * 1e3, 3) << " ms, saved "
+       << str::format_f(c.savings_seconds() * 1e3, 3) << " ms (" << c.rows_before << " -> "
+       << c.rows_after << " comms)\n";
+  }
+  if (shown < components.size()) os << "  ... " << components.size() - shown << " more\n";
+  if (untagged_savings_seconds != 0.0) {
+    os << "  untagged delta " << str::format_f(untagged_savings_seconds * 1e3, 3) << " ms\n";
+  }
+  return os.str();
+}
+
+std::string BlameDiff::to_csv() const {
+  CsvWriter csv({"kind", "transfers", "label", "proc", "use_line", "rows_before", "rows_after",
+                 "before_seconds", "after_seconds", "savings_seconds"});
+  for (const DiffComponent& c : components) {
+    std::vector<std::string> ids;
+    ids.reserve(c.transfers.size());
+    for (int id : c.transfers) ids.push_back(std::to_string(id));
+    csv.add_row({analysis::to_string(c.kind), str::join(ids, "+"), c.label, c.anchor.proc,
+                 std::to_string(c.anchor.use_line), std::to_string(c.rows_before),
+                 std::to_string(c.rows_after), seconds_str(c.before_seconds),
+                 seconds_str(c.after_seconds), seconds_str(c.savings_seconds())});
+  }
+  return csv.to_string();
+}
+
+json::Value BlameDiff::to_json(int top_n) const {
+  json::Value v = json::Value::make_object();
+  v["before"] = json::Value::make_str(name_before);
+  v["after"] = json::Value::make_str(name_after);
+  v["before_exposed_seconds"] = json::Value::make_num(before_total_seconds);
+  v["after_exposed_seconds"] = json::Value::make_num(after_total_seconds);
+  v["savings_seconds"] = json::Value::make_num(total_savings_seconds());
+  v["untagged_savings_seconds"] = json::Value::make_num(untagged_savings_seconds);
+  std::size_t shown = components.size();
+  if (top_n >= 0) shown = std::min(shown, static_cast<std::size_t>(top_n));
+  v["truncated"] = json::Value::make_bool(shown < components.size());
+  json::Value arr = json::Value::make_array();
+  for (std::size_t i = 0; i < shown; ++i) {
+    const DiffComponent& c = components[i];
+    json::Value r = json::Value::make_object();
+    r["kind"] = json::Value::make_str(analysis::to_string(c.kind));
+    json::Value ids = json::Value::make_array();
+    for (int id : c.transfers) ids.push_back(json::Value::make_int(id));
+    r["transfers"] = std::move(ids);
+    r["label"] = json::Value::make_str(c.label);
+    if (!c.anchor.proc.empty()) {
+      r["proc"] = json::Value::make_str(c.anchor.proc);
+      r["use_line"] = json::Value::make_int(c.anchor.use_line);
+    }
+    r["rows_before"] = json::Value::make_int(c.rows_before);
+    r["rows_after"] = json::Value::make_int(c.rows_after);
+    r["before_seconds"] = json::Value::make_num(c.before_seconds);
+    r["after_seconds"] = json::Value::make_num(c.after_seconds);
+    r["savings_seconds"] = json::Value::make_num(c.savings_seconds());
+    arr.push_back(std::move(r));
+  }
+  v["components"] = std::move(arr);
+  return v;
+}
+
+}  // namespace zc::analysis

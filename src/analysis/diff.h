@@ -1,0 +1,85 @@
+// Differential attribution: run the same program twice at different
+// optimization settings, blame both traces, and decompose the end-to-end
+// exposed-overhead delta into per-decision savings.
+//
+// Matching is exact, not fuzzy: transfer ids are assigned by the generation
+// pass, which is option-independent, so the same program yields the same
+// ids at every OptLevel. Two runs' blame rows are joined into connected
+// components (union-find over member transfer ids: each row links its
+// members), and every component is classified by what the optimizer did
+// between the two settings:
+//
+//   removed       ids communicated before, absent after (redundant removal)
+//   merged        several communications before, fewer after (combination)
+//   repositioned  same communications, different cost (pipelining /
+//                 placement / library changes)
+//   unchanged     same communications, same cost
+//   appeared      communicated after but not before (does not arise
+//                 between levels of the paper's pipeline)
+//
+// Because the components partition the rows of both reports, per-component
+// savings plus the untagged delta sum exactly to the end-to-end exposed
+// delta — the conservation law tests/analysis_test.cpp pins for mv vs.
+// mv+rr+cc+pl on the paper benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/analysis/blame.h"
+#include "src/support/json.h"
+
+namespace zc::analysis {
+
+enum class ComponentKind {
+  kRemoved,
+  kMerged,
+  kRepositioned,
+  kUnchanged,
+  kAppeared,
+};
+
+[[nodiscard]] const char* to_string(ComponentKind kind);
+
+/// One connected set of transfers across the two runs.
+struct DiffComponent {
+  ComponentKind kind = ComponentKind::kUnchanged;
+  std::vector<int> transfers;  ///< sorted member transfer ids
+  std::string label;           ///< representative label (before side preferred)
+  Anchor anchor;               ///< representative anchor (before side preferred)
+  int rows_before = 0;         ///< communications in the before run
+  int rows_after = 0;          ///< communications in the after run
+  double before_seconds = 0.0; ///< exposed overhead in the before run
+  double after_seconds = 0.0;  ///< exposed overhead in the after run
+
+  [[nodiscard]] double savings_seconds() const { return before_seconds - after_seconds; }
+};
+
+struct BlameDiff {
+  std::string name_before;
+  std::string name_after;
+  double before_total_seconds = 0.0;  ///< BlameReport::total_exposed_seconds
+  double after_total_seconds = 0.0;
+  double untagged_savings_seconds = 0.0;  ///< before-after delta of untagged rows
+
+  /// Components sorted by savings descending. Their savings plus the
+  /// untagged delta equal total_savings_seconds() exactly (partition).
+  std::vector<DiffComponent> components;
+
+  [[nodiscard]] double total_savings_seconds() const {
+    return before_total_seconds - after_total_seconds;
+  }
+
+  [[nodiscard]] std::string to_string(int top_n = -1) const;
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] json::Value to_json(int top_n = -1) const;
+};
+
+/// Joins two blame reports of the SAME program (ids must come from the same
+/// generation pass; both reports need plan-joined member lists).
+[[nodiscard]] BlameDiff diff_blame(const BlameReport& before, const BlameReport& after,
+                                   std::string name_before = "before",
+                                   std::string name_after = "after");
+
+}  // namespace zc::analysis

@@ -324,7 +324,7 @@ std::vector<CommGroup> form_groups(const zir::Program& program, const Block& blo
     }
 
     if (host != nullptr) {
-      host->group.members.push_back({t.array, t.use_stmt});
+      host->group.members.push_back({t.array, t.use_stmt, t.transfer_id});
       host->group.earliest_send = std::max(host->group.earliest_send, t.earliest_send);
       host->group.first_use = std::min(host->group.first_use, t.use_stmt);
       host->est_elems += t_elems;
@@ -344,8 +344,9 @@ std::vector<CommGroup> form_groups(const zir::Program& program, const Block& blo
       }
     } else {
       OpenGroup g;
+      g.group.transfer_id = t.transfer_id;
       g.group.direction = t.direction;
-      g.group.members = {{t.array, t.use_stmt}};
+      g.group.members = {{t.array, t.use_stmt, t.transfer_id}};
       g.group.earliest_send = t.earliest_send;
       g.group.first_use = t.use_stmt;
       g.est_elems = t_elems;
@@ -406,12 +407,16 @@ CommPlan plan_communication(const zir::Program& program, const OptOptions& optio
 
   CommPlan plan;
   std::vector<Block> blocks = find_blocks(program);
+  int next_transfer_id = 0;
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     Block& block = blocks[i];
     BlockPlan bp;
     bp.proc = block.proc;
     bp.stmts = block.stmts;
     bp.transfers = generate_transfers(program, block);
+    // Identity is assigned before any optimization touches the transfers:
+    // generation is option-independent, so ids line up across OptLevels.
+    for (Transfer& t : bp.transfers) t.transfer_id = next_transfer_id++;
     if (log != nullptr) {
       report::GenRecord g;
       g.where = block_provenance(program, block.proc, block.stmts, static_cast<int>(i));

@@ -20,6 +20,12 @@ namespace zc::comm {
 struct Transfer {
   zir::ArrayId array;
   zir::DirectionId direction;
+  /// Plan-unique identity, assigned in generation order (block-major) before
+  /// any optimization runs. Generation is option-independent, so the same
+  /// program yields the same ids at every OptLevel — this is what lets the
+  /// attribution layer (src/analysis) match transfers across two runs and
+  /// map trace records back to the plan.
+  int transfer_id = -1;
   int use_stmt = 0;       ///< block-relative index of the first use
   int earliest_send = 0;  ///< block-relative insertion point (0 = block top)
   bool redundant = false; ///< removed by redundant-communication removal
@@ -32,7 +38,8 @@ struct Transfer {
 /// statement whose region defines that slice.
 struct Member {
   zir::ArrayId array;
-  int use_stmt = 0;  ///< block-relative index of the defining use
+  int use_stmt = 0;      ///< block-relative index of the defining use
+  int transfer_id = -1;  ///< the member's originating Transfer::transfer_id
 };
 
 /// One actual communication: DR/SR/DN/SV call positions plus the member
@@ -41,6 +48,10 @@ struct Member {
 /// means end of block).
 struct CommGroup {
   int id = 0;  ///< program-unique, for tracing and tests
+  /// The lead (first) member's Transfer::transfer_id — the stable identity
+  /// the simulator stamps into trace records. Unique per group: a transfer
+  /// joins at most one group.
+  int transfer_id = -1;
   zir::DirectionId direction;
   std::vector<Member> members;
   int dr_pos = 0;

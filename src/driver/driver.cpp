@@ -53,6 +53,7 @@ Metrics run_experiment(const zir::Program& program, const Experiment& experiment
   m.run = sim::run_program(program, plan, std::move(config));
   m.dynamic_count = m.run.dynamic_count;
   m.execution_time = m.run.elapsed_seconds;
+  m.plan = std::move(plan);
   if (recorder != nullptr) m.trace_stats = trace::compute_stats(*recorder);
 
   auto& reg = metrics::Registry::global();

@@ -57,6 +57,11 @@ struct Metrics {
   double execution_time = 0.0;  ///< simulated seconds
   sim::RunResult run;           ///< full detail
 
+  /// The communication plan the run executed — kept so callers can join
+  /// trace records back to plan structure (per-transfer blame, critical
+  /// path, differential attribution; see src/analysis).
+  comm::CommPlan plan;
+
   /// Trace analytics, present iff the run was traced (config.recorder set):
   /// per-call wait/CPU split, exposed vs. overlapped wire time, channel
   /// traffic, message-size histogram. See src/trace/stats.h.

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "src/analysis/blame.h"
+#include "src/analysis/critpath.h"
+#include "src/support/diag.h"
 #include "src/support/metrics.h"
 #include "src/trace/stats.h"
 
@@ -44,7 +47,7 @@ Value build_report(const Metrics& metrics, const Experiment& experiment, int pro
                    const report::PassLog* log, const ReportOptions& ropts) {
   Value doc = Value::make_object();
   doc["schema"] = Value::make_str("zcomm-run-report");
-  doc["schema_version"] = Value::make_int(1);
+  doc["schema_version"] = Value::make_int(2);
   doc["benchmark"] = Value::make_str(ropts.benchmark);
   doc["experiment"] = Value::make_str(experiment.name);
   doc["library"] = Value::make_str(ironman::to_string(experiment.library));
@@ -74,8 +77,81 @@ Value run_report(const zir::Program& program, const Experiment& experiment,
   if (opts.provenance) e.opts.pass_log = &log;
 
   const int procs = config.procs;
+  const trace::Recorder* recorder = config.recorder;
   const Metrics m = run_experiment(program, e, std::move(config));
-  return build_report(m, e, procs, opts.provenance ? &log : nullptr, opts);
+  Value doc = build_report(m, e, procs, opts.provenance ? &log : nullptr, opts);
+  if (recorder != nullptr && opts.attribution) {
+    attach_attribution(doc, *recorder, program, m.plan, opts.max_attribution_rows);
+  }
+  return doc;
+}
+
+void attach_attribution(json::Value& doc, const trace::Recorder& recorder,
+                        const zir::Program& program, const comm::CommPlan& plan,
+                        int max_rows) {
+  doc["blame"] = analysis::compute_blame(recorder, program, plan).to_json(max_rows);
+  doc["critical_path"] =
+      analysis::compute_critical_path(recorder, program, plan).to_json(max_rows);
+}
+
+json::Value diff_run_reports(const json::Value& before, const json::Value& after,
+                             double time_tolerance,
+                             const std::vector<std::string>& strict_fields) {
+  const auto num_field = [](const Value& doc, const std::string& key) {
+    const Value& v = doc.at(key);
+    if (!v.is_number()) throw Error("report field '" + key + "' is not a number");
+    return v.number;
+  };
+  const auto label = [](const Value& doc) {
+    std::string s;
+    if (doc.has("benchmark")) s = doc.at("benchmark").string;
+    if (doc.has("experiment")) {
+      if (!s.empty()) s += "/";
+      s += doc.at("experiment").string;
+    }
+    return s;
+  };
+
+  Value diff = Value::make_object();
+  diff["before"] = Value::make_str(label(before));
+  diff["after"] = Value::make_str(label(after));
+  bool regressed = false;
+
+  Value fields = Value::make_array();
+  const auto add_field = [&](const std::string& name, double allowed_growth) {
+    const double b = num_field(before, name);
+    const double a = num_field(after, name);
+    const bool bad = a > b * (1.0 + allowed_growth);
+    Value f = Value::make_object();
+    f["name"] = Value::make_str(name);
+    f["before"] = Value::make_num(b);
+    f["after"] = Value::make_num(a);
+    f["delta"] = Value::make_num(a - b);
+    f["regressed"] = Value::make_bool(bad);
+    fields.push_back(std::move(f));
+    regressed = regressed || bad;
+  };
+  add_field("static_count", 0.0);
+  add_field("dynamic_count", 0.0);
+  add_field("execution_time_seconds", time_tolerance);
+  diff["fields"] = std::move(fields);
+
+  Value strict = Value::make_array();
+  for (const std::string& name : strict_fields) {
+    const double b = num_field(before, name);
+    const double a = num_field(after, name);
+    const bool ok = a < b;
+    Value f = Value::make_object();
+    f["name"] = Value::make_str(name);
+    f["before"] = Value::make_num(b);
+    f["after"] = Value::make_num(a);
+    f["improved"] = Value::make_bool(ok);
+    strict.push_back(std::move(f));
+    regressed = regressed || !ok;
+  }
+  diff["strict"] = std::move(strict);
+  diff["regressed"] = Value::make_bool(regressed);
+  return diff;
 }
 
 }  // namespace zc::driver

@@ -9,7 +9,7 @@
 //
 // Schema (validated by tests/report_schema_test.cpp):
 //   schema               "zcomm-run-report"
-//   schema_version       1
+//   schema_version       2
 //   benchmark            caller's label (defaults to the program name)
 //   program, experiment, library, procs
 //   options              {remove_redundant, combine, pipeline, heuristic,
@@ -18,12 +18,21 @@
 //   total_messages, total_bytes, reduction_count
 //   passes               PassLog::to_json() (summary + per-pass decisions)
 //   trace                present iff the run was traced
+//   blame                present iff traced: per-transfer attribution
+//                        (analysis::BlameReport::to_json)
+//   critical_path        present iff traced: longest dependence chain and
+//                        per-transfer slack (analysis::CriticalPathReport)
 //   metrics              present unless disabled: Registry::to_json()
+//
+// Version history: v1 had everything above except blame / critical_path.
 #pragma once
+
+#include <vector>
 
 #include "src/driver/driver.h"
 #include "src/report/passlog.h"
 #include "src/support/json.h"
+#include "src/trace/recorder.h"
 
 namespace zc::driver {
 
@@ -32,6 +41,8 @@ struct ReportOptions {
   bool provenance = true;            ///< attach a PassLog, include "passes"
   bool metrics_snapshot = true;      ///< include the global metrics registry
   int max_decisions_per_pass = 2000; ///< per-pass cap in the document
+  bool attribution = true;           ///< include "blame"/"critical_path" when traced
+  int max_attribution_rows = 200;    ///< row cap in those blocks (-1 = all)
 };
 
 /// Assembles the report for an already-executed run. `log` may be null
@@ -42,8 +53,25 @@ json::Value build_report(const Metrics& metrics, const Experiment& experiment, i
 
 /// Runs `experiment` on `program` (attaching a PassLog when
 /// ropts.provenance) and assembles the report. config.recorder, when set,
-/// adds the "trace" block.
+/// adds the "trace" block plus (ropts.attribution) "blame"/"critical_path".
 json::Value run_report(const zir::Program& program, const Experiment& experiment,
                        sim::RunConfig config, const ReportOptions& ropts = {});
+
+/// Attaches the "blame" and "critical_path" blocks to an assembled report
+/// from a traced run's recorder (exposed for callers that hold their own
+/// recorder, e.g. comm_explorer).
+void attach_attribution(json::Value& doc, const trace::Recorder& recorder,
+                        const zir::Program& program, const comm::CommPlan& plan,
+                        int max_rows = 200);
+
+/// Machine-readable comparison of two run reports — the same content the
+/// report_diff tool prints: per-field before/after/delta with a regression
+/// verdict (counts must not grow; execution time may grow by up to
+/// `time_tolerance`), plus optional strictly-must-improve fields. Returns
+///   {before, after, regressed, fields: [{name, before, after, delta,
+///    regressed}...], strict: [{name, before, after, improved}...]}.
+json::Value diff_run_reports(const json::Value& before, const json::Value& after,
+                             double time_tolerance = 0.05,
+                             const std::vector<std::string>& strict_fields = {});
 
 }  // namespace zc::driver

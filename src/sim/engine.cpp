@@ -60,6 +60,20 @@ Engine::Engine(const zir::Program& program, const comm::CommPlan& plan, RunConfi
   if (cfg_.recorder != nullptr) {
     ZC_ASSERT(cfg_.recorder->procs() >= mesh_.procs());
     transport_.set_recorder(cfg_.recorder);
+    // Register human-readable labels for every group's transfer id up front
+    // so exporters / analysis can name spans without the plan in hand.
+    for (const comm::BlockPlan& block : plan_.blocks) {
+      for (const comm::CommGroup& group : block.groups) {
+        std::string label;
+        for (const comm::Member& m : group.members) {
+          if (!label.empty()) label += "+";
+          label += p_.array(m.array).name;
+        }
+        label += "@";
+        label += p_.direction(group.direction).name;
+        cfg_.recorder->set_transfer_label(group.transfer_id, std::move(label));
+      }
+    }
   }
   const int procs = mesh_.procs();
   clock_.assign(procs, 0.0);
@@ -283,6 +297,7 @@ Engine::GroupExec Engine::build_group_exec(const comm::BlockPlan& block,
 }
 
 void Engine::comm_dr(const comm::CommGroup& group, GroupExec& exec) {
+  transport_.set_transfer(group.transfer_id);
   if (transport_.dr_is_global_synch()) {
     // SHMEM prototype: the DR synch is a global barrier executed by every
     // processor, with data to move or not — the heavyweight behaviour the
@@ -299,6 +314,7 @@ void Engine::comm_dr(const comm::CommGroup& group, GroupExec& exec) {
 }
 
 void Engine::comm_sr(const comm::CommGroup& group, GroupExec& exec) {
+  transport_.set_transfer(group.transfer_id);
   for (GroupExec::Msg& msg : exec.msgs) {
     // Capture the payload now: pipelining is only correct if the data at SR
     // equals the data at use, which the optimizer's legality rules
@@ -317,6 +333,7 @@ void Engine::comm_sr(const comm::CommGroup& group, GroupExec& exec) {
 }
 
 void Engine::comm_dn(const comm::CommGroup& group, GroupExec& exec) {
+  transport_.set_transfer(group.transfer_id);
   for (GroupExec::Msg& msg : exec.msgs) {
     transport_.dn(group.id, msg.src, msg.dst, msg.bytes, clock_[msg.dst]);
     std::size_t at = 0;
@@ -332,6 +349,7 @@ void Engine::comm_dn(const comm::CommGroup& group, GroupExec& exec) {
 }
 
 void Engine::comm_sv(const comm::CommGroup& group, GroupExec& exec) {
+  transport_.set_transfer(group.transfer_id);
   for (const GroupExec::Msg& msg : exec.msgs) {
     transport_.sv(group.id, msg.src, msg.dst, msg.bytes, clock_[msg.src]);
   }

@@ -24,9 +24,9 @@ Transport::Channel& Transport::channel(int64_t chan, int src, int dst) {
 
 void Transport::trace_send(Channel& ch, int64_t chan, int src, int dst, int64_t bytes,
                            double t_posted, double t_on_wire, double t_arrived) {
-  const int64_t id =
-      recorder_->record_message(chan, src, dst, bytes, t_posted, t_on_wire, t_arrived);
-  ch.wire_records.push_back({id, t_on_wire, t_arrived});
+  const int64_t id = recorder_->record_message(chan, transfer_, src, dst, bytes, t_posted,
+                                               t_on_wire, t_arrived);
+  ch.wire_records.push_back({id, transfer_, t_on_wire, t_arrived});
 }
 
 double Transport::wire_time(int64_t bytes) const {
@@ -57,8 +57,8 @@ void Transport::dr(int64_t chan, int src, int dst, int64_t bytes, double& t_dst)
       ZC_ASSERT(false);
   }
   if (recorder_ != nullptr) {
-    recorder_->record_call(dst, IronmanCall::kDR, prim, chan, src, dst, bytes, begin, begin,
-                           t_dst);
+    recorder_->record_call(dst, IronmanCall::kDR, prim, chan, transfer_, src, dst, bytes,
+                           begin, begin, t_dst);
   }
 }
 
@@ -110,8 +110,8 @@ void Transport::sr(int64_t chan, int src, int dst, int64_t bytes, double& t_src)
       ZC_ASSERT(false);
   }
   if (recorder_ != nullptr) {
-    recorder_->record_call(src, IronmanCall::kSR, prim, chan, src, dst, bytes, begin,
-                           unblocked, t_src);
+    recorder_->record_call(src, IronmanCall::kSR, prim, chan, transfer_, src, dst, bytes,
+                           begin, unblocked, t_src);
     trace_send(ch, chan, src, dst, bytes, begin, on_wire, arrival);
   }
 }
@@ -140,14 +140,18 @@ void Transport::dn(int64_t chan, int src, int dst, int64_t bytes, double& t_dst)
       ZC_ASSERT(false);
   }
   if (recorder_ != nullptr) {
-    recorder_->record_call(dst, IronmanCall::kDN, prim, chan, src, dst, bytes, begin,
-                           unblocked, t_dst);
+    recorder_->record_call(dst, IronmanCall::kDN, prim, chan, transfer_, src, dst, bytes,
+                           begin, unblocked, t_dst);
     // The wire-record FIFO twins `arrivals`; it can be short only if the
-    // recorder was attached after traffic was already in flight.
+    // recorder was attached after traffic was already in flight. The
+    // transfer id comes from the wire record (stamped at send time), not
+    // from transfer_: the consuming DN may belong to a different group's
+    // call slot only in hand-driven tests, never in engine runs.
     if (!ch.wire_records.empty()) {
       const WireRecord wr = ch.wire_records.front();
       ch.wire_records.pop_front();
-      recorder_->record_consumed(wr.id, t_dst, unblocked - begin, wr.arrived - wr.on_wire);
+      recorder_->record_consumed(wr.id, wr.transfer, t_dst, unblocked - begin,
+                                 wr.arrived - wr.on_wire);
     }
   }
 }
@@ -166,8 +170,8 @@ void Transport::sv(int64_t chan, int src, int dst, int64_t bytes, double& t_src)
       const double unblocked = std::max(begin, complete);
       t_src = unblocked + machine_.primitive_cpu_cost(prim, bytes);
       if (recorder_ != nullptr) {
-        recorder_->record_call(src, IronmanCall::kSV, prim, chan, src, dst, bytes, begin,
-                               unblocked, t_src);
+        recorder_->record_call(src, IronmanCall::kSV, prim, chan, transfer_, src, dst, bytes,
+                               begin, unblocked, t_src);
       }
       return;
     }

@@ -45,6 +45,13 @@ class Transport {
   void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
   [[nodiscard]] trace::Recorder* recorder() const { return recorder_; }
 
+  /// Sets the plan transfer id stamped into subsequently recorded calls and
+  /// message lifecycles (the engine sets it per CommGroup before issuing the
+  /// group's calls). -1 — the default — marks records as untagged; callers
+  /// without a plan (ping, direct tests) never need to touch this.
+  void set_transfer(std::int64_t transfer) { transfer_ = transfer; }
+  [[nodiscard]] std::int64_t transfer() const { return transfer_; }
+
   /// The four IRONMAN calls for one message of `bytes` on the channel
   /// `(chan, src, dst)`. `t_dst` / `t_src` are the endpoint clocks,
   /// advanced in place. Calls for one message must be issued in DR, SR,
@@ -81,7 +88,8 @@ class Transport {
  private:
   /// Per-message trace state paralleling `arrivals` (recorder attached only).
   struct WireRecord {
-    int64_t id = -1;  ///< Recorder message handle (-1 = record dropped)
+    int64_t id = -1;        ///< Recorder message handle (-1 = record dropped)
+    int64_t transfer = -1;  ///< transfer id at send time (survives the cap)
     double on_wire = 0.0;
     double arrived = 0.0;
   };
@@ -104,6 +112,7 @@ class Transport {
   const bool sv_waits_;
   std::map<std::tuple<int64_t, int, int>, Channel> channels_;
   trace::Recorder* recorder_ = nullptr;
+  int64_t transfer_ = -1;  ///< stamped into trace records (see set_transfer)
 };
 
 }  // namespace zc::sim

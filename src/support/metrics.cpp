@@ -22,6 +22,24 @@ void Histogram::observe(double value) {
   sum += value;
 }
 
+double Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double n = static_cast<double>(buckets[i]);
+    if (n > 0.0 && cum + n >= target) {
+      const double lo = std::clamp(i == 0 ? min : bounds[i - 1], min, max);
+      const double hi = std::clamp(i < bounds.size() ? bounds[i] : max, min, max);
+      const double frac = (target - cum) / n;
+      return std::clamp(lo + (hi - lo) * frac, min, max);
+    }
+    cum += n;
+  }
+  return max;
+}
+
 void Registry::count(std::string_view name, long long delta) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
@@ -103,7 +121,11 @@ std::string Registry::to_text() const {
   }
   for (const auto& [name, h] : histograms_) {
     out += "hist " + name + " count " + std::to_string(h.count) + " sum " + render(h.sum);
-    if (h.count > 0) out += " min " + render(h.min) + " max " + render(h.max);
+    if (h.count > 0) {
+      out += " min " + render(h.min) + " max " + render(h.max);
+      out += " p50 " + render(h.quantile(0.50)) + " p90 " + render(h.quantile(0.90)) +
+             " p99 " + render(h.quantile(0.99));
+    }
     out += "\n";
     for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       const std::string bound = i < h.bounds.size() ? render(h.bounds[i]) : "+inf";
@@ -138,6 +160,9 @@ json::Value Registry::to_json() const {
     if (h.count > 0) {
       v["min"] = Value::make_num(h.min);
       v["max"] = Value::make_num(h.max);
+      v["p50"] = Value::make_num(h.quantile(0.50));
+      v["p90"] = Value::make_num(h.quantile(0.90));
+      v["p99"] = Value::make_num(h.quantile(0.99));
     }
     hists[name] = std::move(v);
   }

@@ -30,6 +30,12 @@ struct Histogram {
   double max = 0.0;  ///< valid when count > 0
 
   void observe(double value);
+
+  /// Estimates the q-quantile (q in [0, 1]) by linear interpolation within
+  /// the bucket holding the target rank, clamped to [min, max] so the
+  /// overflow bucket and sparse edges cannot extrapolate beyond observed
+  /// values. Exact when samples are spread one per bucket; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 class Registry {

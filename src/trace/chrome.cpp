@@ -99,15 +99,19 @@ std::string to_chrome_json(const Recorder& recorder) {
         case EventKind::kCall: {
           const std::string name =
               ironman::to_string(e.call) + " " + ironman::to_string(e.primitive);
+          std::ostringstream common;
+          common << R"("primitive":")" << ironman::to_string(e.primitive) << R"(","chan":)"
+                 << e.chan << R"(,"bytes":)" << e.amount << R"(,"transfer":)" << e.transfer;
+          const std::string& label = recorder.transfer_label(e.transfer);
+          if (!label.empty()) common << R"(,"transfer_label":")" << json_escape(label) << '"';
           if (e.wait_seconds() > 0.0) {
-            args << R"({"chan":)" << e.chan << R"(,"bytes":)" << e.amount << "}";
+            args << "{" << common.str() << "}";
             emit_span(os, first, kProcessorsPid, proc, "wait " + name, "wait", e.t_begin,
                       e.t_unblocked, args.str());
             args.str("");
           }
-          args << R"({"chan":)" << e.chan << R"(,"src":)" << e.src << R"(,"dst":)" << e.dst
-               << R"(,"bytes":)" << e.amount << R"(,"wait_us":)" << e.wait_seconds() * 1e6
-               << "}";
+          args << std::setprecision(15) << "{" << common.str() << R"(,"src":)" << e.src
+               << R"(,"dst":)" << e.dst << R"(,"wait_us":)" << e.wait_seconds() * 1e6 << "}";
           emit_span(os, first, kProcessorsPid, proc, name, "ironman", e.t_unblocked, e.t_end,
                     args.str());
           break;
@@ -126,13 +130,20 @@ std::string to_chrome_json(const Recorder& recorder) {
   }
 
   // Wire lanes: one span per recorded message covering its transmission.
+  // Messages still in flight when the trace was cut (never consumed, and
+  // possibly without a computed arrival) would render as zero-length or
+  // negative slices, which Perfetto rejects — skip those.
   for (const MessageRecord& m : recorder.messages()) {
+    if (!m.consumed && !(m.t_arrived > m.t_on_wire)) continue;
     const auto lane = lanes.find({m.chan, m.src, m.dst});
     if (lane == lanes.end()) continue;  // aggregates capped before this message
     std::ostringstream args;
     args << std::setprecision(15);
-    args << R"({"bytes":)" << m.bytes << R"(,"posted_us":)" << m.t_posted * 1e6
-         << R"(,"consumed_us":)" << (m.consumed ? m.t_consumed * 1e6 : -1.0) << "}";
+    args << R"({"bytes":)" << m.bytes << R"(,"transfer":)" << m.transfer;
+    const std::string& label = recorder.transfer_label(m.transfer);
+    if (!label.empty()) args << R"(,"transfer_label":")" << json_escape(label) << '"';
+    args << R"(,"posted_us":)" << m.t_posted * 1e6 << R"(,"consumed_us":)"
+         << (m.consumed ? m.t_consumed * 1e6 : -1.0) << "}";
     emit_span(os, first, kWirePid, lane->second, std::to_string(m.bytes) + " B", "wire",
               m.t_on_wire, m.t_arrived, args.str());
   }

@@ -10,8 +10,11 @@
 //                  source), arrived (last byte at the destination),
 //                  consumed (DN completed).
 // All timestamps are the engine's virtual seconds; records are stamped with
-// the processor id and the channel identity (chan, src, dst) so exporters
-// can rebuild per-processor tracks and per-channel wire lanes.
+// the processor id, the channel identity (chan, src, dst), and — for records
+// produced by the SPMD engine — the plan-unique transfer id, so exporters
+// can rebuild per-processor tracks and per-channel wire lanes and the
+// attribution layer (src/analysis) can map every record back to the
+// communication plan that caused it.
 #pragma once
 
 #include <cstdint>
@@ -36,7 +39,8 @@ struct Event {
   ironman::IronmanCall call = ironman::IronmanCall::kDR;       ///< kCall only
   ironman::Primitive primitive = ironman::Primitive::kNoOp;    ///< kCall only
   std::int32_t proc = 0;
-  std::int64_t chan = -1;  ///< channel id (kCall only; -1 otherwise)
+  std::int64_t chan = -1;      ///< channel id (kCall only; -1 otherwise)
+  std::int64_t transfer = -1;  ///< comm::Transfer::transfer_id (-1 = untagged)
   std::int32_t src = -1;
   std::int32_t dst = -1;
   std::int64_t amount = 0;  ///< bytes (kCall), elements (kCompute), 0 (kBarrier)
@@ -52,6 +56,7 @@ struct Event {
 /// DN completes (a message still in flight when the trace is exported).
 struct MessageRecord {
   std::int64_t chan = -1;
+  std::int64_t transfer = -1;  ///< comm::Transfer::transfer_id (-1 = untagged)
   std::int32_t src = -1;
   std::int32_t dst = -1;
   std::int64_t bytes = 0;

@@ -27,8 +27,9 @@ void Recorder::push_event(const Event& event) {
 }
 
 void Recorder::record_call(int proc, ironman::IronmanCall call, ironman::Primitive primitive,
-                           std::int64_t chan, int src, int dst, std::int64_t bytes,
-                           double t_begin, double t_unblocked, double t_end) {
+                           std::int64_t chan, std::int64_t transfer, int src, int dst,
+                           std::int64_t bytes, double t_begin, double t_unblocked,
+                           double t_end) {
   CallTotals& by_call = call_totals_[static_cast<std::size_t>(call)];
   ++by_call.calls;
   by_call.wait_seconds += t_unblocked - t_begin;
@@ -37,6 +38,10 @@ void Recorder::record_call(int proc, ironman::IronmanCall call, ironman::Primiti
   ++by_prim.calls;
   by_prim.wait_seconds += t_unblocked - t_begin;
   by_prim.cpu_seconds += t_end - t_unblocked;
+  CallTotals& by_transfer = transfer_totals_[transfer].per_call[static_cast<std::size_t>(call)];
+  ++by_transfer.calls;
+  by_transfer.wait_seconds += t_unblocked - t_begin;
+  by_transfer.cpu_seconds += t_end - t_unblocked;
 
   Event e;
   e.kind = EventKind::kCall;
@@ -44,6 +49,7 @@ void Recorder::record_call(int proc, ironman::IronmanCall call, ironman::Primiti
   e.primitive = primitive;
   e.proc = proc;
   e.chan = chan;
+  e.transfer = transfer;
   e.src = src;
   e.dst = dst;
   e.amount = bytes;
@@ -84,8 +90,9 @@ std::int64_t Recorder::size_bucket(std::int64_t bytes) {
   return kOverflowBucket;
 }
 
-std::int64_t Recorder::record_message(std::int64_t chan, int src, int dst, std::int64_t bytes,
-                                      double t_posted, double t_on_wire, double t_arrived) {
+std::int64_t Recorder::record_message(std::int64_t chan, std::int64_t transfer, int src,
+                                      int dst, std::int64_t bytes, double t_posted,
+                                      double t_on_wire, double t_arrived) {
   ++total_messages_;
   total_bytes_ += bytes;
   ChannelTotals& ct = channel_totals_[{chan, src, dst}];
@@ -94,6 +101,9 @@ std::int64_t Recorder::record_message(std::int64_t chan, int src, int dst, std::
   ChannelTotals& bucket = size_histogram_[size_bucket(bytes)];
   ++bucket.messages;
   bucket.bytes += bytes;
+  TransferTotals& tt = transfer_totals_[transfer];
+  ++tt.messages;
+  tt.bytes += bytes;
 
   if (messages_.size() >= options_.max_messages) {
     ++dropped_messages_;
@@ -101,6 +111,7 @@ std::int64_t Recorder::record_message(std::int64_t chan, int src, int dst, std::
   }
   MessageRecord m;
   m.chan = chan;
+  m.transfer = transfer;
   m.src = src;
   m.dst = dst;
   m.bytes = bytes;
@@ -111,19 +122,34 @@ std::int64_t Recorder::record_message(std::int64_t chan, int src, int dst, std::
   return static_cast<std::int64_t>(messages_.size()) - 1;
 }
 
-void Recorder::record_consumed(std::int64_t message, double t_consumed, double wait_seconds,
-                               double wire_seconds) {
+void Recorder::record_consumed(std::int64_t message, std::int64_t transfer, double t_consumed,
+                               double wait_seconds, double wire_seconds) {
   const double exposed = std::clamp(wait_seconds, 0.0, wire_seconds);
   wire_totals_.wire_seconds += wire_seconds;
   wire_totals_.exposed_seconds += exposed;
   wire_totals_.overlapped_seconds += wire_seconds - exposed;
   wire_totals_.dn_wait_seconds += std::max(wait_seconds, 0.0);
+  WireTotals& tw = transfer_totals_[transfer].wire;
+  tw.wire_seconds += wire_seconds;
+  tw.exposed_seconds += exposed;
+  tw.overlapped_seconds += wire_seconds - exposed;
+  tw.dn_wait_seconds += std::max(wait_seconds, 0.0);
 
   if (message < 0) return;  // detailed record was dropped at the cap
   ZC_ASSERT(message < static_cast<std::int64_t>(messages_.size()));
   MessageRecord& m = messages_[static_cast<std::size_t>(message)];
   m.t_consumed = t_consumed;
   m.consumed = true;
+}
+
+void Recorder::set_transfer_label(std::int64_t transfer, std::string label) {
+  transfer_labels_[transfer] = std::move(label);
+}
+
+const std::string& Recorder::transfer_label(std::int64_t transfer) const {
+  static const std::string kEmpty;
+  const auto it = transfer_labels_.find(transfer);
+  return it == transfer_labels_.end() ? kEmpty : it->second;
 }
 
 }  // namespace zc::trace

@@ -56,6 +56,26 @@ struct ChannelTotals {
   long long bytes = 0;
 };
 
+/// Exact per-transfer aggregates, keyed by the plan's transfer id (the
+/// attribution unit of src/analysis). Never capped: updated on every record
+/// like the other aggregates, so per-transfer blame reconciles with
+/// trace::Stats even on truncated traces. Key -1 collects untagged records
+/// (direct Transport use, e.g. the synthetic ping).
+struct TransferTotals {
+  std::array<CallTotals, 4> per_call{};  ///< indexed by IronmanCall
+  WireTotals wire;
+  long long messages = 0;
+  long long bytes = 0;
+
+  /// Processor time inside this transfer's IRONMAN calls (wait + CPU) —
+  /// the transfer's share of Stats::exposed_overhead_seconds.
+  [[nodiscard]] double exposed_overhead_seconds() const {
+    double total = 0.0;
+    for (const CallTotals& c : per_call) total += c.wait_seconds + c.cpu_seconds;
+    return total;
+  }
+};
+
 class Recorder {
  public:
   explicit Recorder(int procs, RecorderOptions options = {});
@@ -63,10 +83,12 @@ class Recorder {
   // ---- hook points (called by src/sim when a recorder is attached) ----
 
   /// One IRONMAN call span on `proc`'s timeline. No-op primitives are not
-  /// recorded (the simulator never calls this for them).
+  /// recorded (the simulator never calls this for them). `transfer` is the
+  /// plan's transfer id for the communication the call belongs to (-1 when
+  /// the caller has no plan, e.g. the synthetic ping).
   void record_call(int proc, ironman::IronmanCall call, ironman::Primitive primitive,
-                   std::int64_t chan, int src, int dst, std::int64_t bytes, double t_begin,
-                   double t_unblocked, double t_end);
+                   std::int64_t chan, std::int64_t transfer, int src, int dst,
+                   std::int64_t bytes, double t_begin, double t_unblocked, double t_end);
 
   /// Local compute span of one statement execution on `proc`.
   void record_compute(int proc, std::int64_t elems, double t_begin, double t_end);
@@ -76,15 +98,17 @@ class Recorder {
 
   /// A message put on the wire. Returns a handle for record_consumed, or
   /// -1 if the detailed record was dropped (aggregates still counted).
-  std::int64_t record_message(std::int64_t chan, int src, int dst, std::int64_t bytes,
-                              double t_posted, double t_on_wire, double t_arrived);
+  std::int64_t record_message(std::int64_t chan, std::int64_t transfer, int src, int dst,
+                              std::int64_t bytes, double t_posted, double t_on_wire,
+                              double t_arrived);
 
   /// The matching DN completed. `wait_seconds` is the destination's full
   /// wait inside DN; `wire_seconds` the message's transmission time — both
-  /// passed explicitly so the exposure aggregates stay exact even when the
-  /// detailed record was dropped (`message` == -1).
-  void record_consumed(std::int64_t message, double t_consumed, double wait_seconds,
-                       double wire_seconds);
+  /// passed explicitly (along with the transfer id) so the exposure
+  /// aggregates stay exact even when the detailed record was dropped
+  /// (`message` == -1).
+  void record_consumed(std::int64_t message, std::int64_t transfer, double t_consumed,
+                       double wait_seconds, double wire_seconds);
 
   // ---- accessors ----
 
@@ -122,6 +146,17 @@ class Recorder {
   /// The histogram bucket a message of `bytes` lands in.
   static std::int64_t size_bucket(std::int64_t bytes);
 
+  /// Exact per-transfer aggregates (see TransferTotals), keyed by transfer id.
+  [[nodiscard]] const std::map<std::int64_t, TransferTotals>& transfer_totals() const {
+    return transfer_totals_;
+  }
+
+  /// Human-readable label for a transfer id (member arrays + direction),
+  /// registered by the engine when tracing starts so exporters can name
+  /// spans without reaching back into the plan. Unknown ids yield "".
+  void set_transfer_label(std::int64_t transfer, std::string label);
+  [[nodiscard]] const std::string& transfer_label(std::int64_t transfer) const;
+
  private:
   void push_event(const Event& event);
 
@@ -142,6 +177,8 @@ class Recorder {
   long long barrier_count_ = 0;
   std::map<std::tuple<std::int64_t, int, int>, ChannelTotals> channel_totals_;
   std::map<std::int64_t, ChannelTotals> size_histogram_;
+  std::map<std::int64_t, TransferTotals> transfer_totals_;
+  std::map<std::int64_t, std::string> transfer_labels_;
 };
 
 }  // namespace zc::trace

@@ -47,7 +47,7 @@ TEST(ReportSchemaTest, RoundTripValidatesRequiredKeys) {
   expect_string(doc, "schema");
   EXPECT_EQ(doc.at("schema").string, "zcomm-run-report");
   expect_number(doc, "schema_version");
-  EXPECT_EQ(doc.at("schema_version").number, 1.0);
+  EXPECT_EQ(doc.at("schema_version").number, 2.0);
   expect_string(doc, "benchmark");
   EXPECT_EQ(doc.at("benchmark").string, "tomcatv");
   expect_string(doc, "experiment");
@@ -108,6 +108,8 @@ TEST(ReportSchemaTest, PassProvenanceIsPresentAndNonEmpty) {
 TEST(ReportSchemaTest, TraceBlockPresentOnlyWhenTraced) {
   const json::Value untraced = json::parse(generate_report(/*traced=*/false).dump());
   EXPECT_FALSE(untraced.has("trace"));
+  EXPECT_FALSE(untraced.has("blame"));
+  EXPECT_FALSE(untraced.has("critical_path"));
 
   const json::Value traced = json::parse(generate_report(/*traced=*/true).dump());
   ASSERT_TRUE(traced.has("trace"));
@@ -116,6 +118,44 @@ TEST(ReportSchemaTest, TraceBlockPresentOnlyWhenTraced) {
   EXPECT_GT(t.at("wire_seconds").number, 0.0);
   ASSERT_TRUE(traced.has("metrics"));
   EXPECT_TRUE(traced.at("metrics").at("counters").is_object());
+}
+
+TEST(ReportSchemaTest, AttributionBlocksPresentWhenTraced) {
+  const json::Value doc = json::parse(generate_report(/*traced=*/true).dump());
+
+  ASSERT_TRUE(doc.has("blame"));
+  const json::Value& blame = doc.at("blame");
+  EXPECT_GT(blame.at("communications").number, 0.0);
+  ASSERT_FALSE(blame.at("rows").array.empty());
+  // The rows partition the trace's exposed overhead (full law pinned by
+  // tests/analysis_test.cpp; here: the totals agree across blocks).
+  EXPECT_NEAR(blame.at("total_exposed_seconds").number,
+              doc.at("trace").at("exposed_overhead_seconds").number,
+              1e-9 * doc.at("trace").at("exposed_overhead_seconds").number);
+  for (const json::Value& row : blame.at("rows").array) {
+    EXPECT_TRUE(row.at("transfer").is_number());
+    EXPECT_TRUE(row.at("exposed_overhead_seconds").is_number());
+  }
+
+  ASSERT_TRUE(doc.has("critical_path"));
+  const json::Value& cp = doc.at("critical_path");
+  EXPECT_TRUE(cp.at("exact").boolean);
+  EXPECT_GT(cp.at("makespan_seconds").number, 0.0);
+  EXPECT_FALSE(cp.at("transfers").array.empty());
+}
+
+TEST(ReportSchemaTest, DiffRunReportsMatchesToolVerdicts) {
+  const json::Value report = generate_report(/*traced=*/false);
+  // Identical reports: no regression, strict improvement impossible.
+  const json::Value same = driver::diff_run_reports(report, report);
+  EXPECT_FALSE(same.at("regressed").boolean);
+  const json::Value strict =
+      driver::diff_run_reports(report, report, 0.05, {"static_count"});
+  EXPECT_TRUE(strict.at("regressed").boolean);
+  EXPECT_FALSE(strict.at("strict").array[0].at("improved").boolean);
+  // The JSON is self-describing and round-trips.
+  const std::string text = strict.dump();
+  EXPECT_EQ(json::parse(text).dump(), text);
 }
 
 TEST(ReportSchemaTest, SerializationIsStable) {

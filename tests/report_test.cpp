@@ -313,6 +313,45 @@ TEST(MetricsTest, CountersGaugesAndHistograms) {
   EXPECT_TRUE(reg.empty());
 }
 
+TEST(MetricsTest, HistogramQuantilesPinnedOnKnownSamples) {
+  // Ten samples 1..10, one per bucket: the rank interpolation is exact, so
+  // the quantiles are pinnable values rather than bucket-resolution blurs.
+  metrics::Registry reg;
+  std::vector<double> bounds;
+  for (int i = 1; i <= 10; ++i) bounds.push_back(static_cast<double>(i));
+  for (int i = 1; i <= 10; ++i) reg.observe("latency", static_cast<double>(i), bounds);
+
+  const metrics::Histogram* h = reg.find_histogram("latency");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h->quantile(0.50), 5.0);
+  EXPECT_DOUBLE_EQ(h->quantile(0.90), 9.0);
+  EXPECT_DOUBLE_EQ(h->quantile(0.99), 9.9);
+  EXPECT_DOUBLE_EQ(h->quantile(1.0), 10.0);
+
+  // Values beyond the last bound land in the overflow bucket and clamp to
+  // the observed max rather than extrapolating to infinity.
+  reg.observe("over", 1.0, {2.0});
+  reg.observe("over", 50.0, {2.0});
+  const metrics::Histogram* o = reg.find_histogram("over");
+  ASSERT_NE(o, nullptr);
+  EXPECT_LE(o->quantile(0.99), 50.0);
+  EXPECT_GE(o->quantile(0.99), 2.0);
+
+  // Empty histogram: quantiles are defined (0), never NaN.
+  const metrics::Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  // Both expositions carry the summaries.
+  const std::string text = reg.to_text();
+  EXPECT_NE(text.find("hist latency count 10"), std::string::npos);
+  EXPECT_NE(text.find(" p50 5 p90 9 p99 9.9"), std::string::npos);
+  const json::Value doc = json::parse(reg.to_json().dump());
+  EXPECT_DOUBLE_EQ(doc.at("histograms").at("latency").at("p50").number, 5.0);
+  EXPECT_DOUBLE_EQ(doc.at("histograms").at("latency").at("p90").number, 9.0);
+  EXPECT_DOUBLE_EQ(doc.at("histograms").at("latency").at("p99").number, 9.9);
+}
+
 TEST(MetricsTest, OptimizerAndDriverPublish) {
   auto& reg = metrics::Registry::global();
   reg.reset();

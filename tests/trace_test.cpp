@@ -6,6 +6,8 @@
 // Transport::exposed_overhead).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/driver/driver.h"
 #include "src/parser/parser.h"
 #include "src/programs/programs.h"
@@ -40,9 +42,9 @@ TEST(Recorder, BoundsEventBuffersAndCountsDrops) {
   EXPECT_DOUBLE_EQ(rec.compute_seconds(), 10 * 0.5);
 
   for (int i = 0; i < 5; ++i) {
-    const std::int64_t id = rec.record_message(7, 0, 1, 256, 0.0, 0.1, 0.2);
+    const std::int64_t id = rec.record_message(7, /*transfer=*/0, 0, 1, 256, 0.0, 0.1, 0.2);
     EXPECT_EQ(id >= 0, i < 2);  // detailed records stop at the cap
-    rec.record_consumed(id, 0.3, /*wait_seconds=*/0.05, /*wire_seconds=*/0.1);
+    rec.record_consumed(id, /*transfer=*/0, 0.3, /*wait_seconds=*/0.05, /*wire_seconds=*/0.1);
   }
   EXPECT_EQ(rec.messages().size(), 2u);
   EXPECT_EQ(rec.dropped_messages(), 3);
@@ -68,7 +70,7 @@ TEST(Recorder, SizeBucketsStraddleTheKnee) {
 TEST(Recorder, CallTotalsSplitWaitAndCpu) {
   Recorder rec(2);
   // A DN that waited 3 time units and then spent 1 on the copy.
-  rec.record_call(1, IronmanCall::kDN, Primitive::kPvmRecv, 0, 0, 1, 800,
+  rec.record_call(1, IronmanCall::kDN, Primitive::kPvmRecv, 0, /*transfer=*/0, 0, 1, 800,
                   /*t_begin=*/10.0, /*t_unblocked=*/13.0, /*t_end=*/14.0);
   const CallTotals& dn = rec.call_totals()[static_cast<std::size_t>(IronmanCall::kDN)];
   EXPECT_EQ(dn.calls, 1);
@@ -248,6 +250,91 @@ TEST(TracePing, ExposedOverheadMatchesTransportModel) {
           << ironman::to_string(c.library);
     }
   }
+}
+
+TEST(TraceStats, InFlightMessagesDoNotPoisonTotals) {
+  // A trace cut while messages are still on the wire (posted, never
+  // consumed): totals must count the posting but exclude the unconsumed
+  // transmission from the wire decomposition, with no NaNs in the ratios.
+  Recorder rec(2);
+  for (int i = 0; i < 2; ++i) {
+    const std::int64_t id =
+        rec.record_message(1, /*transfer=*/0, 0, 1, 512, i * 1.0, i * 1.0 + 0.1, i * 1.0 + 0.3);
+    rec.record_consumed(id, /*transfer=*/0, i * 1.0 + 0.4, /*wait_seconds=*/0.1,
+                        /*wire_seconds=*/0.2);
+  }
+  // In flight: one with a computed arrival, one cut before arrival was known.
+  rec.record_message(1, /*transfer=*/0, 0, 1, 512, 5.0, 5.1, 5.3);
+  rec.record_message(1, /*transfer=*/0, 0, 1, 512, 6.0, 6.1, 0.0);
+
+  ASSERT_EQ(rec.messages().size(), 4u);
+  for (std::size_t i = 2; i < 4; ++i) {
+    EXPECT_FALSE(rec.messages()[i].consumed);
+    EXPECT_EQ(rec.messages()[i].t_consumed, 0.0);
+  }
+
+  const Stats s = compute_stats(rec);
+  EXPECT_EQ(s.total_messages, 4);  // all postings counted...
+  EXPECT_EQ(s.total_bytes, 4 * 512);
+  EXPECT_DOUBLE_EQ(s.wire.wire_seconds, 2 * 0.2);  // ...but only consumed wire time
+  EXPECT_DOUBLE_EQ(s.wire.exposed_seconds, 2 * 0.1);
+  EXPECT_DOUBLE_EQ(s.wire.overlapped_seconds, 2 * 0.1);
+  EXPECT_FALSE(std::isnan(s.overlap_fraction()));
+  EXPECT_FALSE(std::isnan(s.exposed_overhead_per_message()));
+  EXPECT_DOUBLE_EQ(s.overlap_fraction(), 0.5);
+}
+
+TEST(TraceChrome, SkipsDegenerateWireSlicesForInFlightMessages) {
+  Recorder rec(2);
+  // One consumed message, then in-flight records whose spans would be
+  // zero-length (arrival == departure) or negative (arrival never set).
+  const std::int64_t ok = rec.record_message(1, /*transfer=*/0, 0, 1, 256, 0.0, 0.1, 0.3);
+  rec.record_consumed(ok, /*transfer=*/0, 0.4, 0.1, 0.2);
+  rec.record_message(1, /*transfer=*/0, 0, 1, 256, 1.0, 1.1, 1.1);
+  rec.record_message(1, /*transfer=*/0, 0, 1, 256, 2.0, 2.1, 0.0);
+
+  const json::Value doc = json::parse(to_chrome_json(rec));
+  long long wire_spans = 0;
+  for (const json::Value& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string != "X" || e.at("pid").number != 2.0) continue;
+    ++wire_spans;
+    EXPECT_GT(e.at("dur").number, 0.0);
+  }
+  EXPECT_EQ(wire_spans, 1);  // only the consumed message renders
+}
+
+TEST(TraceChrome, SpanArgsCarryAttributionAndParseBack) {
+  Recorder rec(2);
+  rec.set_transfer_label(3, "U@east");
+  rec.record_call(1, IronmanCall::kDN, Primitive::kPvmRecv, 1, /*transfer=*/3, 0, 1, 256,
+                  /*t_begin=*/0.0, /*t_unblocked=*/0.2, /*t_end=*/0.25);
+  const std::int64_t id = rec.record_message(1, /*transfer=*/3, 0, 1, 256, 0.0, 0.05, 0.2);
+  rec.record_consumed(id, /*transfer=*/3, 0.2, 0.2, 0.15);
+
+  const json::Value doc = json::parse(to_chrome_json(rec));
+  bool saw_call = false, saw_wait = false, saw_wire = false;
+  for (const json::Value& e : doc.at("traceEvents").array) {
+    if (e.at("ph").string != "X") continue;
+    const json::Value& args = e.at("args");
+    EXPECT_EQ(args.at("transfer").number, 3.0);
+    EXPECT_EQ(args.at("transfer_label").string, "U@east");
+    EXPECT_EQ(args.at("bytes").number, 256.0);
+    if (e.at("pid").number == 2.0) {
+      saw_wire = true;
+      EXPECT_EQ(args.at("consumed_us").number, 0.2 * 1e6);
+    } else if (e.at("name").string.rfind("wait ", 0) == 0) {
+      saw_wait = true;
+      EXPECT_EQ(args.at("primitive").string, "pvm_recv");
+    } else {
+      saw_call = true;
+      EXPECT_EQ(args.at("primitive").string, "pvm_recv");
+      EXPECT_EQ(args.at("src").number, 0.0);
+      EXPECT_EQ(args.at("dst").number, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_call);
+  EXPECT_TRUE(saw_wait);
+  EXPECT_TRUE(saw_wire);
 }
 
 TEST(TraceStats, CsvHasStableTotalsAndRendersRoundTrip) {
