@@ -52,3 +52,13 @@ set_target_properties(bench_blame_overhead PROPERTIES
 # it runs and the analyses agree with themselves, not the timings).
 add_test(NAME bench_blame_overhead_smoke
   COMMAND bench_blame_overhead --benchmark_min_time=0.01)
+
+add_executable(bench_prof_overhead bench/bench_prof_overhead.cpp)
+target_link_libraries(bench_prof_overhead PRIVATE zc_bench zc_prof benchmark::benchmark)
+set_target_properties(bench_prof_overhead PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Same deal for the host-profiler guard bench: asserts the binary runs and
+# the span machinery survives a real pipeline under benchmark iteration.
+add_test(NAME bench_prof_overhead_smoke
+  COMMAND bench_prof_overhead --benchmark_min_time=0.01)

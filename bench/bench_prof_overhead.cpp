@@ -1,0 +1,114 @@
+// Guard benchmark for the host profiler's cost, mirroring
+// bench_trace_overhead for the other observability layer. Two contracts:
+//
+//  - off is free: with no profiler attached, a Span is a single
+//    thread-local pointer test — BM_SpanOff should be indistinguishable
+//    from BM_EmptyLoop (sub-nanosecond per iteration, no allocation);
+//  - on is cheap: a full pipeline run with a profiler attached
+//    (BM_RunProfiled) should stay within a few percent of the unprofiled
+//    run (BM_RunUnprofiled) — the instrumented spans are coarse (per pass
+//    / per block), not per-instruction. The <5% budget is enforced by eye
+//    or by report_diff --perf-budget on CI reports, not by this binary:
+//    google-benchmark measures, it doesn't gate.
+#include <benchmark/benchmark.h>
+
+#include "src/comm/optimizer.h"
+#include "src/parser/parser.h"
+#include "src/prof/prof.h"
+#include "src/programs/programs.h"
+#include "src/sim/engine.h"
+
+namespace {
+
+using namespace zc;
+
+const zir::Program& jacobi_program() {
+  static const zir::Program p = parser::parse_program(programs::kernel_source("jacobi"));
+  return p;
+}
+
+const comm::CommPlan& jacobi_plan() {
+  static const comm::CommPlan pl = comm::plan_communication(
+      jacobi_program(), comm::OptOptions::for_level(comm::OptLevel::kPL));
+  return pl;
+}
+
+sim::RunConfig jacobi_config() {
+  sim::RunConfig cfg;
+  cfg.procs = 16;
+  cfg.config_overrides = {{"n", 64}, {"iters", 4}};
+  return cfg;
+}
+
+void BM_EmptyLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_EmptyLoop);
+
+void BM_SpanOff(benchmark::State& state) {
+  // No profiler attached: the whole Span lifetime is one TL pointer test.
+  for (auto _ : state) {
+    ZC_PROF_SPAN("off");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SpanOff);
+
+void BM_SpanOn(benchmark::State& state) {
+  prof::Profiler profiler(/*max_timeline_events=*/0);  // aggregate-only cost
+  prof::Attach attach(&profiler);
+  for (auto _ : state) {
+    ZC_PROF_SPAN("on");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SpanOn);
+
+void BM_SpanOnWithTimeline(benchmark::State& state) {
+  prof::Profiler profiler;
+  prof::Attach attach(&profiler);
+  for (auto _ : state) {
+    ZC_PROF_SPAN("on");
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SpanOnWithTimeline);
+
+void BM_RunUnprofiled(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::run_program(jacobi_program(), jacobi_plan(), jacobi_config()));
+  }
+}
+BENCHMARK(BM_RunUnprofiled);
+
+void BM_RunProfiled(benchmark::State& state) {
+  prof::Profiler profiler;
+  prof::Attach attach(&profiler);
+  for (auto _ : state) {
+    ZC_PROF_SPAN("run");
+    benchmark::DoNotOptimize(
+        sim::run_program(jacobi_program(), jacobi_plan(), jacobi_config()));
+  }
+}
+BENCHMARK(BM_RunProfiled);
+
+void BM_TreeSnapshot(benchmark::State& state) {
+  // Cost of aggregating a realistic tree (taken after a profiled run).
+  prof::Profiler profiler;
+  {
+    prof::Attach attach(&profiler);
+    ZC_PROF_SPAN("run");
+    sim::run_program(jacobi_program(), jacobi_plan(), jacobi_config());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler.tree());
+  }
+}
+BENCHMARK(BM_TreeSnapshot);
+
+}  // namespace
+
+BENCHMARK_MAIN();

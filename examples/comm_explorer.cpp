@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "src/driver/driver.h"
 #include "src/driver/report.h"
 #include "src/parser/parser.h"
+#include "src/prof/prof.h"
 #include "src/programs/programs.h"
 #include "src/report/passlog.h"
 #include "src/support/io.h"
@@ -109,9 +111,16 @@ struct TraceOptions {
   bool critical_path = false;    // --critical-path
   std::string attribute_vs;      // --attribute-vs <experiment>
   int top = 20;                  // --top <N> rows in attribution tables
+  bool profile = false;          // --profile: print the host span tree
+  std::string profile_folded_path;  // --profile-folded <out>
+  std::string profile_chrome_path;  // --profile-chrome <out>
 
+  [[nodiscard]] bool profile_requested() const {
+    return profile || !profile_folded_path.empty() || !profile_chrome_path.empty();
+  }
   [[nodiscard]] bool run_requested() const {
-    return trace_requested || explain || !report_path.empty() || print_metrics;
+    return trace_requested || explain || !report_path.empty() || print_metrics ||
+           profile_requested();
   }
 };
 
@@ -144,7 +153,18 @@ struct TraceOptions {
       "  --attribute-vs <experiment>  run <experiment> too and attribute the\n"
       "                               exposed-overhead delta to individual\n"
       "                               optimizer decisions (rr/cc/pl)\n"
-      "  --top <N>                    rows shown in attribution tables (20)\n";
+      "  --top <N>                    rows shown in attribution tables (20)\n"
+      "  --profile                    profile the toolchain itself (host wall\n"
+      "                               time, not simulated time) and print the\n"
+      "                               hierarchical span tree; reports written\n"
+      "                               in the same run gain a host_profile\n"
+      "                               block (gate with report_diff\n"
+      "                               --perf-budget)\n"
+      "  --profile-folded <out.txt>   write the host profile as folded stacks\n"
+      "                               (pipe into flamegraph.pl)\n"
+      "  --profile-chrome <out.json>  write the host span timeline as a Chrome\n"
+      "                               trace; combined with the simulated\n"
+      "                               tracks when --trace* is also active\n";
   std::exit(code);
 }
 
@@ -166,7 +186,7 @@ std::string with_experiment_suffix(const std::string& path, const std::string& e
   return path.substr(0, dot) + "." + slug(experiment) + path.substr(dot);
 }
 
-int run_experiments_mode(const TraceOptions& opt) {
+int run_experiments_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) {
   using namespace zc;
 
   std::string_view source;
@@ -193,11 +213,15 @@ int run_experiments_mode(const TraceOptions& opt) {
   }
 
   const bool want_provenance = opt.explain || !opt.report_path.empty();
+  // Keeps the last experiment's recorder alive past the loop so
+  // --profile-chrome can pair the simulated tracks with the host tracks.
+  std::unique_ptr<trace::Recorder> kept_recorder;
   for (driver::Experiment e : experiments) {
     report::PassLog log;
     if (want_provenance) e.opts.pass_log = &log;
 
-    trace::Recorder recorder(opt.procs);
+    auto recorder_ptr = std::make_unique<trace::Recorder>(opt.procs);
+    trace::Recorder& recorder = *recorder_ptr;
     sim::RunConfig cfg;
     cfg.procs = opt.procs;
     cfg.config_overrides = configs;
@@ -214,6 +238,7 @@ int run_experiments_mode(const TraceOptions& opt) {
                                    : opt.report_path;
       driver::ReportOptions ropts;
       ropts.benchmark = opt.bench;
+      ropts.host_profiler = profiler;
       json::Value doc = driver::build_report(m, e, opt.procs, &log, ropts);
       if (opt.trace_requested) {
         driver::attach_attribution(doc, recorder, program, m.plan, ropts.max_attribution_rows);
@@ -260,8 +285,14 @@ int run_experiments_mode(const TraceOptions& opt) {
       io::write_text_file(path, m.trace_stats->to_csv());
       std::cout << "wrote trace stats CSV: " << path << "\n";
     }
+    kept_recorder = std::move(recorder_ptr);
   }
   if (opt.print_metrics) std::cout << metrics::Registry::global().to_text();
+  if (!opt.profile_chrome_path.empty()) {
+    trace::write_chrome_trace(opt.trace_requested ? kept_recorder.get() : nullptr, profiler,
+                              opt.profile_chrome_path);
+    std::cout << "wrote host profile Chrome trace: " << opt.profile_chrome_path << "\n";
+  }
   return 0;
 }
 
@@ -310,6 +341,15 @@ int main(int argc, char** argv) {
       opt.attribute_vs = a.substr(std::string("--attribute-vs=").size());
       opt.trace_requested = true;
     }
+    else if (a == "--profile") opt.profile = true;
+    else if (a == "--profile-folded") opt.profile_folded_path = value();
+    else if (a.rfind("--profile-folded=", 0) == 0) {
+      opt.profile_folded_path = a.substr(std::string("--profile-folded=").size());
+    }
+    else if (a == "--profile-chrome") opt.profile_chrome_path = value();
+    else if (a.rfind("--profile-chrome=", 0) == 0) {
+      opt.profile_chrome_path = a.substr(std::string("--profile-chrome=").size());
+    }
     else if (a == "--top") {
       const std::string v = value();
       char* end = nullptr;
@@ -326,12 +366,33 @@ int main(int argc, char** argv) {
   }
 
   try {
-    if (opt.run_requested()) return run_experiments_mode(opt);
-    const zir::Program program = parser::parse_program(kSource);
-    show_listings(program);
+    // The profiler watches the whole invocation: one "comm_explorer" root
+    // span, with the instrumented pipeline (frontend, optimizer passes,
+    // sim, analysis) nesting under it. Unless a --profile* flag was given,
+    // nothing attaches and every Span below is a no-op pointer test.
+    prof::Profiler profiler;
+    prof::Profiler* prof_ptr = opt.profile_requested() ? &profiler : nullptr;
+    prof::Attach attach(prof_ptr);
+    int rc = 0;
+    {
+      ZC_PROF_SPAN("comm_explorer");
+      if (opt.run_requested()) {
+        rc = run_experiments_mode(opt, prof_ptr);
+      } else {
+        const zir::Program program = parser::parse_program(kSource);
+        show_listings(program);
+      }
+    }
+    if (prof_ptr != nullptr && rc == 0) {
+      if (opt.profile) std::cout << profiler.to_text();
+      if (!opt.profile_folded_path.empty()) {
+        io::write_text_file(opt.profile_folded_path, profiler.to_folded());
+        std::cout << "wrote folded profile: " << opt.profile_folded_path << "\n";
+      }
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return 0;
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Quick pre-commit check: configure + build + the `smoke`-labelled test
+# tier (sub-50 ms unit suites; see tests/CMakeLists.txt). The full suite is
+# `ctest` with no -L filter — run it before merging; this script is the
+# seconds-scale inner loop.
+#
+#   scripts/check.sh            # build/ next to the sources
+#   BUILD_DIR=out scripts/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/prof/prof.h"
 #include "src/support/csv.h"
 #include "src/support/str.h"
 #include "src/trace/stats.h"
@@ -61,6 +62,7 @@ double BlameRow::cpu_seconds() const {
 }
 
 BlameReport compute_blame(const trace::Recorder& recorder) {
+  ZC_PROF_SPAN("analysis/blame");
   std::vector<BlameRow> rows;
   rows.reserve(recorder.transfer_totals().size());
   for (const auto& [transfer, totals] : recorder.transfer_totals()) {

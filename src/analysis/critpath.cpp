@@ -4,6 +4,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "src/prof/prof.h"
 #include "src/support/check.h"
 #include "src/support/csv.h"
 #include "src/support/str.h"
@@ -149,6 +150,7 @@ void finish_transfers(CriticalPathReport& report, const trace::Recorder& recorde
 }  // namespace
 
 CriticalPathReport compute_critical_path(const trace::Recorder& recorder) {
+  ZC_PROF_SPAN("analysis/critpath");
   CriticalPathReport report;
 
   int start_proc = -1;

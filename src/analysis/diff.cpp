@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/prof/prof.h"
 #include "src/support/csv.h"
 #include "src/support/str.h"
 
@@ -58,6 +59,7 @@ const char* to_string(ComponentKind kind) {
 BlameDiff diff_blame(const BlameReport& before, const BlameReport& after,
                      std::string name_before, std::string name_after) {
   BlameDiff diff;
+  ZC_PROF_SPAN("analysis/diff");
   diff.name_before = std::move(name_before);
   diff.name_after = std::move(name_after);
   diff.before_total_seconds = before.total_exposed_seconds;

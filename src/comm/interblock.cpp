@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/comm/optimizer.h"
+#include "src/prof/prof.h"
 #include "src/support/check.h"
 
 namespace zc::comm {
@@ -232,6 +233,7 @@ std::set<zir::ArrayId> mod_set(const zir::Program& program, zir::ProcId proc) {
 
 void apply_inter_block_removal(const zir::Program& program, CommPlan& plan,
                                report::PassLog* log) {
+  ZC_PROF_SPAN("opt/interblock");
   InterBlockAnalysis(program, plan, log).run();
 }
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/comm/interblock.h"
+#include "src/prof/prof.h"
 #include "src/support/check.h"
 #include "src/support/metrics.h"
 
@@ -96,6 +97,7 @@ zir::ArrayId written_array(const zir::Program& p, zir::StmtId sid) {
 }  // namespace
 
 std::vector<Transfer> generate_transfers(const zir::Program& program, const Block& block) {
+  ZC_PROF_SPAN("opt/generate");
   std::vector<Transfer> transfers;
   std::map<zir::ArrayId, int> last_write;  // block-relative stmt index of last write
 
@@ -168,6 +170,7 @@ const zir::RegionSpec& stmt_region(const zir::Program& program, const Block& blo
 void apply_redundant_removal(const zir::Program& program, const Block& block,
                              std::vector<Transfer>& transfers, report::PassLog* log,
                              int block_index) {
+  ZC_PROF_SPAN("opt/rr");
   // Sweep the block: a transfer is redundant iff the same (array, direction)
   // slice was communicated earlier over a region covering this use, and the
   // array has not been written since (paper §2 / §3.1). Caching state resets
@@ -267,6 +270,7 @@ const zir::RegionSpec& use_region(const zir::Program& p, const Block& block, con
 std::vector<CommGroup> form_groups(const zir::Program& program, const Block& block,
                                    const std::vector<Transfer>& transfers,
                                    const OptOptions& options, int block_index) {
+  ZC_PROF_SPAN("opt/cc");
   std::vector<OpenGroup> open;
 
   for (const Transfer& t : transfers) {
@@ -364,6 +368,7 @@ std::vector<CommGroup> form_groups(const zir::Program& program, const Block& blo
 void place_groups(const zir::Program& program, const Block& block,
                   std::vector<CommGroup>& groups, bool pipeline, report::PassLog* log,
                   int block_index) {
+  ZC_PROF_SPAN("opt/pl");
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
     CommGroup& g = groups[gi];
     g.sr_pos = pipeline ? g.earliest_send : g.first_use;
@@ -402,6 +407,7 @@ void place_groups(const zir::Program& program, const Block& block,
 }
 
 CommPlan plan_communication(const zir::Program& program, const OptOptions& options) {
+  ZC_PROF_SPAN("plan_communication");
   report::PassLog* log = options.pass_log;
   if (log != nullptr) log->clear();
 

@@ -2,8 +2,11 @@
 
 #include <utility>
 
+#include <map>
+
 #include "src/analysis/blame.h"
 #include "src/analysis/critpath.h"
+#include "src/prof/procstat.h"
 #include "src/support/diag.h"
 #include "src/support/metrics.h"
 #include "src/trace/stats.h"
@@ -47,7 +50,7 @@ Value build_report(const Metrics& metrics, const Experiment& experiment, int pro
                    const report::PassLog* log, const ReportOptions& ropts) {
   Value doc = Value::make_object();
   doc["schema"] = Value::make_str("zcomm-run-report");
-  doc["schema_version"] = Value::make_int(2);
+  doc["schema_version"] = Value::make_int(3);
   doc["benchmark"] = Value::make_str(ropts.benchmark);
   doc["experiment"] = Value::make_str(experiment.name);
   doc["library"] = Value::make_str(ironman::to_string(experiment.library));
@@ -64,6 +67,11 @@ Value build_report(const Metrics& metrics, const Experiment& experiment, int pro
   if (log != nullptr) doc["passes"] = log->to_json(ropts.max_decisions_per_pass);
   if (metrics.trace_stats.has_value()) doc["trace"] = trace_json(*metrics.trace_stats);
   if (ropts.metrics_snapshot) doc["metrics"] = metrics::Registry::global().to_json();
+  if (ropts.host_profiler != nullptr) {
+    Value hp = ropts.host_profiler->to_json();
+    hp["peak_rss_bytes"] = Value::make_int(prof::peak_rss_bytes());
+    doc["host_profile"] = std::move(hp);
+  }
   return doc;
 }
 
@@ -138,18 +146,117 @@ json::Value diff_run_reports(const json::Value& before, const json::Value& after
 
   Value strict = Value::make_array();
   for (const std::string& name : strict_fields) {
-    const double b = num_field(before, name);
-    const double a = num_field(after, name);
-    const bool ok = a < b;
     Value f = Value::make_object();
     f["name"] = Value::make_str(name);
-    f["before"] = Value::make_num(b);
-    f["after"] = Value::make_num(a);
-    f["improved"] = Value::make_bool(ok);
+    if (!before.has(name) || !after.has(name)) {
+      // One side lacks the field (e.g. a strict trace metric against an
+      // untraced report): surface the asymmetry instead of failing the diff.
+      f["comparable"] = Value::make_bool(false);
+      f["improved"] = Value::make_bool(false);
+    } else {
+      const double b = num_field(before, name);
+      const double a = num_field(after, name);
+      const bool ok = a < b;
+      f["comparable"] = Value::make_bool(true);
+      f["before"] = Value::make_num(b);
+      f["after"] = Value::make_num(a);
+      f["improved"] = Value::make_bool(ok);
+      regressed = regressed || !ok;
+    }
     strict.push_back(std::move(f));
-    regressed = regressed || !ok;
   }
   diff["strict"] = std::move(strict);
+
+  // Optional blocks may legitimately differ between runs (one traced or
+  // profiled, the other not). Presence asymmetry is reported, never treated
+  // as a regression or a structural error.
+  Value blocks = Value::make_array();
+  for (const char* name :
+       {"passes", "trace", "blame", "critical_path", "metrics", "host_profile"}) {
+    const bool in_before = before.has(name);
+    const bool in_after = after.has(name);
+    if (!in_before && !in_after) continue;
+    Value b = Value::make_object();
+    b["name"] = Value::make_str(name);
+    b["before"] = Value::make_bool(in_before);
+    b["after"] = Value::make_bool(in_after);
+    blocks.push_back(std::move(b));
+  }
+  diff["optional_blocks"] = std::move(blocks);
+  diff["regressed"] = Value::make_bool(regressed);
+  return diff;
+}
+
+namespace {
+
+/// Flattens a host_profile span forest into path -> total_seconds, paths
+/// joined with ';' (the folded-stack separator).
+void flatten_spans(const Value& spans, const std::string& prefix,
+                   std::map<std::string, double>& out) {
+  for (const Value& s : spans.array) {
+    const std::string path =
+        prefix.empty() ? s.at("name").string : prefix + ";" + s.at("name").string;
+    out[path] += s.at("total_seconds").number;
+    if (s.has("children")) flatten_spans(s.at("children"), path, out);
+  }
+}
+
+}  // namespace
+
+json::Value perf_budget_diff(const json::Value& before, const json::Value& after,
+                             double budget_pct, double abs_floor_seconds) {
+  if (!before.has("host_profile") || !after.has("host_profile")) {
+    throw Error("perf-budget diff needs host_profile in both reports "
+                "(rerun with --profile)");
+  }
+  const Value& hb = before.at("host_profile");
+  const Value& ha = after.at("host_profile");
+  const auto over_budget = [&](double b, double a) {
+    return a > b * (1.0 + budget_pct / 100.0) + abs_floor_seconds;
+  };
+
+  Value diff = Value::make_object();
+  diff["budget_pct"] = Value::make_num(budget_pct);
+  diff["abs_floor_seconds"] = Value::make_num(abs_floor_seconds);
+  bool regressed = false;
+
+  const double wall_b = hb.at("wall_seconds").number;
+  const double wall_a = ha.at("wall_seconds").number;
+  Value wall = Value::make_object();
+  wall["before"] = Value::make_num(wall_b);
+  wall["after"] = Value::make_num(wall_a);
+  wall["regressed"] = Value::make_bool(over_budget(wall_b, wall_a));
+  regressed = regressed || over_budget(wall_b, wall_a);
+  diff["wall"] = std::move(wall);
+
+  std::map<std::string, double> spans_b, spans_a;
+  flatten_spans(hb.at("spans"), "", spans_b);
+  flatten_spans(ha.at("spans"), "", spans_a);
+
+  Value spans = Value::make_array();
+  Value only_before = Value::make_array();
+  Value only_after = Value::make_array();
+  for (const auto& [path, b] : spans_b) {
+    const auto it = spans_a.find(path);
+    if (it == spans_a.end()) {
+      only_before.push_back(Value::make_str(path));
+      continue;
+    }
+    const bool bad = over_budget(b, it->second);
+    Value f = Value::make_object();
+    f["path"] = Value::make_str(path);
+    f["before"] = Value::make_num(b);
+    f["after"] = Value::make_num(it->second);
+    f["regressed"] = Value::make_bool(bad);
+    spans.push_back(std::move(f));
+    regressed = regressed || bad;
+  }
+  for (const auto& [path, a] : spans_a) {
+    if (spans_b.find(path) == spans_b.end()) only_after.push_back(Value::make_str(path));
+  }
+  diff["spans"] = std::move(spans);
+  diff["only_before"] = std::move(only_before);
+  diff["only_after"] = std::move(only_after);
   diff["regressed"] = Value::make_bool(regressed);
   return diff;
 }

@@ -9,7 +9,7 @@
 //
 // Schema (validated by tests/report_schema_test.cpp):
 //   schema               "zcomm-run-report"
-//   schema_version       2
+//   schema_version       3
 //   benchmark            caller's label (defaults to the program name)
 //   program, experiment, library, procs
 //   options              {remove_redundant, combine, pipeline, heuristic,
@@ -23,13 +23,20 @@
 //   critical_path        present iff traced: longest dependence chain and
 //                        per-transfer slack (analysis::CriticalPathReport)
 //   metrics              present unless disabled: Registry::to_json()
+//   host_profile         present iff ReportOptions::host_profiler was set:
+//                        the toolchain's own span tree (prof::Profiler
+//                        ::to_json) plus peak_rss_bytes — host cost, not
+//                        simulated time
 //
-// Version history: v1 had everything above except blame / critical_path.
+// Version history: v1 had everything above except blame / critical_path;
+// v2 added those; v3 added the optional host_profile block (reports built
+// without a profiler are byte-identical to v2 apart from the version).
 #pragma once
 
 #include <vector>
 
 #include "src/driver/driver.h"
+#include "src/prof/prof.h"
 #include "src/report/passlog.h"
 #include "src/support/json.h"
 #include "src/trace/recorder.h"
@@ -43,6 +50,10 @@ struct ReportOptions {
   int max_decisions_per_pass = 2000; ///< per-pass cap in the document
   bool attribution = true;           ///< include "blame"/"critical_path" when traced
   int max_attribution_rows = 200;    ///< row cap in those blocks (-1 = all)
+  /// When set, the report gains a "host_profile" block with this profiler's
+  /// aggregated span tree (snapshotted at build time) and the process's peak
+  /// RSS. Null (the default) leaves the report bit-identical to unprofiled.
+  const prof::Profiler* host_profiler = nullptr;
 };
 
 /// Assembles the report for an already-executed run. `log` may be null
@@ -73,5 +84,20 @@ void attach_attribution(json::Value& doc, const trace::Recorder& recorder,
 json::Value diff_run_reports(const json::Value& before, const json::Value& after,
                              double time_tolerance = 0.05,
                              const std::vector<std::string>& strict_fields = {});
+
+/// Host-time regression gate over two reports' "host_profile" blocks
+/// (report_diff --perf-budget). A span path (root;child;... by name) or the
+/// wall time regresses when
+///   after > before * (1 + budget_pct/100) + abs_floor_seconds,
+/// the absolute floor absorbing scheduler noise on sub-millisecond spans.
+/// Span paths present in only one report are listed but never regress (the
+/// instrumented surface is allowed to change between builds). Throws
+/// zc::Error if either report lacks host_profile. Returns
+///   {budget_pct, abs_floor_seconds, regressed,
+///    wall: {before, after, regressed},
+///    spans: [{path, before, after, regressed}...],   // paths in both
+///    only_before: [path...], only_after: [path...]}.
+json::Value perf_budget_diff(const json::Value& before, const json::Value& after,
+                             double budget_pct, double abs_floor_seconds = 1e-3);
 
 }  // namespace zc::driver

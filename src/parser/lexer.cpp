@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <unordered_map>
 
+#include "src/prof/prof.h"
+
 namespace zc::parser {
 
 std::string token_kind_name(TokenKind kind) {
@@ -272,7 +274,10 @@ class Lexer {
 }  // namespace
 
 std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags) {
-  return Lexer(source, diags).run();
+  ZC_PROF_SPAN("frontend/lex");
+  std::vector<Token> tokens = Lexer(source, diags).run();
+  prof::add_bytes(static_cast<long long>(tokens.capacity() * sizeof(Token)));
+  return tokens;
 }
 
 }  // namespace zc::parser

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "src/parser/lexer.h"
+#include "src/prof/prof.h"
 #include "src/support/check.h"
 
 namespace zc::parser {
@@ -746,10 +747,12 @@ class Parser {
 }  // namespace
 
 Program parse_program(std::string_view source, DiagnosticEngine& diags) {
+  ZC_PROF_SPAN("frontend/parse");
   return Parser(source, diags).run();
 }
 
 Program parse_program(std::string_view source) {
+  ZC_PROF_SPAN("frontend");
   DiagnosticEngine diags;
   Program p = parse_program(source, diags);
   diags.throw_if_errors("mini-ZPL parse failed");

@@ -1,0 +1,12 @@
+// Process-level cost gauges for the host machine the toolchain runs on,
+// published alongside the simulated counters (support/metrics) so run
+// reports carry both sides of the host/simulated split.
+#pragma once
+
+namespace zc::prof {
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 where procfs is unavailable.
+long long peak_rss_bytes();
+
+}  // namespace zc::prof

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/prof/prof.h"
 #include "src/support/check.h"
 #include "src/support/diag.h"
 #include "src/support/metrics.h"
@@ -75,6 +76,7 @@ Engine::Engine(const zir::Program& program, const comm::CommPlan& plan, RunConfi
       }
     }
   }
+  ZC_PROF_SPAN("sim/alloc");
   const int procs = mesh_.procs();
   clock_.assign(procs, 0.0);
   counters_.assign(procs, CommCounters{});
@@ -104,6 +106,15 @@ Engine::Engine(const zir::Program& program, const comm::CommPlan& plan, RunConfi
       }
       arrays_[proc][a] = rt::LocalArray(my, declared_[a], fluff);
     }
+  }
+  if (prof::enabled()) {
+    long long array_bytes = 0;
+    for (const std::vector<rt::LocalArray>& per_proc : arrays_) {
+      for (const rt::LocalArray& la : per_proc) {
+        array_bytes += static_cast<long long>(la.allocation_size() * sizeof(double));
+      }
+    }
+    prof::add_bytes(array_bytes);
   }
 }
 
@@ -145,6 +156,7 @@ void Engine::allreduce_clocks(double extra_per_stage) {
 }
 
 RunResult Engine::run() {
+  ZC_PROF_SPAN("sim/run");
   ZC_ASSERT(!ran_);
   ran_ = true;
 
@@ -209,6 +221,9 @@ void Engine::exec_body(const std::vector<zir::StmtId>& body) {
 }
 
 void Engine::exec_block(const comm::BlockPlan& block) {
+  // Block-level is the finest span here on purpose: a per-statement span
+  // pushed bench_prof_overhead's attached cost past the 5% budget.
+  ZC_PROF_SPAN("sim/block");
   const int n = static_cast<int>(block.stmts.size());
   for (int pos = 0; pos <= n; ++pos) {
     exec_comm_position(block, pos);
@@ -297,6 +312,7 @@ Engine::GroupExec Engine::build_group_exec(const comm::BlockPlan& block,
 }
 
 void Engine::comm_dr(const comm::CommGroup& group, GroupExec& exec) {
+  ZC_PROF_SPAN("sim/comm/dr");
   transport_.set_transfer(group.transfer_id);
   if (transport_.dr_is_global_synch()) {
     // SHMEM prototype: the DR synch is a global barrier executed by every
@@ -314,6 +330,7 @@ void Engine::comm_dr(const comm::CommGroup& group, GroupExec& exec) {
 }
 
 void Engine::comm_sr(const comm::CommGroup& group, GroupExec& exec) {
+  ZC_PROF_SPAN("sim/comm/sr");
   transport_.set_transfer(group.transfer_id);
   for (GroupExec::Msg& msg : exec.msgs) {
     // Capture the payload now: pipelining is only correct if the data at SR
@@ -333,6 +350,7 @@ void Engine::comm_sr(const comm::CommGroup& group, GroupExec& exec) {
 }
 
 void Engine::comm_dn(const comm::CommGroup& group, GroupExec& exec) {
+  ZC_PROF_SPAN("sim/comm/dn");
   transport_.set_transfer(group.transfer_id);
   for (GroupExec::Msg& msg : exec.msgs) {
     transport_.dn(group.id, msg.src, msg.dst, msg.bytes, clock_[msg.dst]);
@@ -349,6 +367,7 @@ void Engine::comm_dn(const comm::CommGroup& group, GroupExec& exec) {
 }
 
 void Engine::comm_sv(const comm::CommGroup& group, GroupExec& exec) {
+  ZC_PROF_SPAN("sim/comm/sv");
   transport_.set_transfer(group.transfer_id);
   for (const GroupExec::Msg& msg : exec.msgs) {
     transport_.sv(group.id, msg.src, msg.dst, msg.bytes, clock_[msg.src]);

@@ -14,6 +14,7 @@ namespace {
 
 constexpr int kProcessorsPid = 1;
 constexpr int kWirePid = 2;
+constexpr int kHostPid = 3;
 
 std::string json_escape(const std::string& text) {
   std::string out;
@@ -67,6 +68,13 @@ std::string channel_label(std::int64_t chan, int src, int dst) {
 }  // namespace
 
 std::string to_chrome_json(const Recorder& recorder) {
+  return to_chrome_json(&recorder, nullptr);
+}
+
+std::string to_chrome_json(const Recorder* rec, const prof::Profiler* host) {
+  if (rec == nullptr && host == nullptr) {
+    throw Error("to_chrome_json needs a recorder or a host profiler");
+  }
   std::ostringstream os;
   os << std::setprecision(15);
   os << "{\"traceEvents\":[\n";
@@ -74,24 +82,34 @@ std::string to_chrome_json(const Recorder& recorder) {
 
   // Track naming. The wire lanes are numbered in channel-key order so
   // repeated exports of the same run are byte-identical.
-  emit_metadata(os, first, kProcessorsPid, 0, "process_name", "processors");
-  emit_metadata(os, first, kWirePid, 0, "process_name", "wire");
-  for (int proc = 0; proc < recorder.procs(); ++proc) {
-    emit_metadata(os, first, kProcessorsPid, proc, "thread_name",
-                  "proc " + std::to_string(proc));
-  }
   std::map<std::tuple<std::int64_t, int, int>, std::int64_t> lanes;
-  for (const auto& [key, totals] : recorder.channel_totals()) {
-    const std::int64_t lane = static_cast<std::int64_t>(lanes.size());
-    lanes.emplace(key, lane);
-    const auto& [chan, src, dst] = key;
-    emit_metadata(os, first, kWirePid, lane, "thread_name", channel_label(chan, src, dst));
+  if (rec != nullptr) {
+    const Recorder& recorder = *rec;
+    emit_metadata(os, first, kProcessorsPid, 0, "process_name", "processors");
+    emit_metadata(os, first, kWirePid, 0, "process_name", "wire");
+    for (int proc = 0; proc < recorder.procs(); ++proc) {
+      emit_metadata(os, first, kProcessorsPid, proc, "thread_name",
+                    "proc " + std::to_string(proc));
+    }
+    for (const auto& [key, totals] : recorder.channel_totals()) {
+      const std::int64_t lane = static_cast<std::int64_t>(lanes.size());
+      lanes.emplace(key, lane);
+      const auto& [chan, src, dst] = key;
+      emit_metadata(os, first, kWirePid, lane, "thread_name", channel_label(chan, src, dst));
+    }
+  }
+  if (host != nullptr) {
+    emit_metadata(os, first, kHostPid, 0, "process_name", "host");
+    for (int t = 0; t < host->thread_count(); ++t) {
+      emit_metadata(os, first, kHostPid, t, "thread_name", "host thread " + std::to_string(t));
+    }
   }
 
   // Processor tracks: calls (with the wait part split out), compute spans,
   // barriers. Events were recorded in per-processor clock order, so each
   // track is already sorted and non-overlapping.
-  for (int proc = 0; proc < recorder.procs(); ++proc) {
+  for (int proc = 0; rec != nullptr && proc < rec->procs(); ++proc) {
+    const Recorder& recorder = *rec;
     for (const Event& e : recorder.events(proc)) {
       std::ostringstream args;
       args << std::setprecision(15);
@@ -133,34 +151,56 @@ std::string to_chrome_json(const Recorder& recorder) {
   // Messages still in flight when the trace was cut (never consumed, and
   // possibly without a computed arrival) would render as zero-length or
   // negative slices, which Perfetto rejects — skip those.
-  for (const MessageRecord& m : recorder.messages()) {
-    if (!m.consumed && !(m.t_arrived > m.t_on_wire)) continue;
-    const auto lane = lanes.find({m.chan, m.src, m.dst});
-    if (lane == lanes.end()) continue;  // aggregates capped before this message
-    std::ostringstream args;
-    args << std::setprecision(15);
-    args << R"({"bytes":)" << m.bytes << R"(,"transfer":)" << m.transfer;
-    const std::string& label = recorder.transfer_label(m.transfer);
-    if (!label.empty()) args << R"(,"transfer_label":")" << json_escape(label) << '"';
-    args << R"(,"posted_us":)" << m.t_posted * 1e6 << R"(,"consumed_us":)"
-         << (m.consumed ? m.t_consumed * 1e6 : -1.0) << "}";
-    emit_span(os, first, kWirePid, lane->second, std::to_string(m.bytes) + " B", "wire",
-              m.t_on_wire, m.t_arrived, args.str());
+  if (rec != nullptr) {
+    const Recorder& recorder = *rec;
+    for (const MessageRecord& m : recorder.messages()) {
+      if (!m.consumed && !(m.t_arrived > m.t_on_wire)) continue;
+      const auto lane = lanes.find({m.chan, m.src, m.dst});
+      if (lane == lanes.end()) continue;  // aggregates capped before this message
+      std::ostringstream args;
+      args << std::setprecision(15);
+      args << R"({"bytes":)" << m.bytes << R"(,"transfer":)" << m.transfer;
+      const std::string& label = recorder.transfer_label(m.transfer);
+      if (!label.empty()) args << R"(,"transfer_label":")" << json_escape(label) << '"';
+      args << R"(,"posted_us":)" << m.t_posted * 1e6 << R"(,"consumed_us":)"
+           << (m.consumed ? m.t_consumed * 1e6 : -1.0) << "}";
+      emit_span(os, first, kWirePid, lane->second, std::to_string(m.bytes) + " B", "wire",
+                m.t_on_wire, m.t_arrived, args.str());
+    }
+  }
+
+  // Host tracks: the toolchain's own completed spans, one thread per
+  // attached host thread, on the profiler's wall clock.
+  if (host != nullptr) {
+    for (int t = 0; t < host->thread_count(); ++t) {
+      for (const prof::TimelineEvent& e : host->timeline(t)) {
+        emit_span(os, first, kHostPid, t, e.name, "host", e.t_begin, e.t_end, "");
+      }
+    }
   }
 
   os << "\n],\"displayTimeUnit\":\"ms\"";
-  if (recorder.dropped_events() > 0 || recorder.dropped_messages() > 0) {
-    os << ",\"otherData\":{\"dropped_events\":" << recorder.dropped_events()
-       << ",\"dropped_messages\":" << recorder.dropped_messages() << "}";
+  const long long dropped_events = rec != nullptr ? rec->dropped_events() : 0;
+  const long long dropped_messages = rec != nullptr ? rec->dropped_messages() : 0;
+  const long long dropped_host = host != nullptr ? host->dropped_timeline_events() : 0;
+  if (dropped_events > 0 || dropped_messages > 0 || dropped_host > 0) {
+    os << ",\"otherData\":{\"dropped_events\":" << dropped_events
+       << ",\"dropped_messages\":" << dropped_messages
+       << ",\"dropped_host_events\":" << dropped_host << "}";
   }
   os << "}\n";
   return os.str();
 }
 
 void write_chrome_trace(const Recorder& recorder, const std::string& path) {
+  write_chrome_trace(&recorder, nullptr, path);
+}
+
+void write_chrome_trace(const Recorder* recorder, const prof::Profiler* host,
+                        const std::string& path) {
   std::ofstream out(path);
   if (!out) throw Error("cannot open trace output file: " + path);
-  out << to_chrome_json(recorder);
+  out << to_chrome_json(recorder, host);
   if (!out) throw Error("failed writing trace output file: " + path);
 }
 

@@ -6,14 +6,20 @@
 //                       IRONMAN call spans (wait + CPU), compute spans, and
 //                       barrier participations;
 //   pid 2 "wire"        one thread (lane) per channel (chan, src->dst)
-//                       carrying each message's transmission interval.
-// Timestamps are the simulator's virtual seconds rendered in microseconds
-// (the trace-event format's unit); all spans are complete ("X") events so
-// the file stays valid even for truncated traces.
+//                       carrying each message's transmission interval;
+//   pid 3 "host"        (optional) one thread per prof::Profiler-attached
+//                       host thread, carrying the toolchain's own span
+//                       timeline — so the simulated run and the host-side
+//                       cost of producing it open in one viewer.
+// Timestamps are the simulator's virtual seconds (pids 1–2) or the host's
+// wall-clock seconds since profiler construction (pid 3), both rendered in
+// microseconds (the trace-event format's unit); all spans are complete
+// ("X") events so the file stays valid even for truncated traces.
 #pragma once
 
 #include <string>
 
+#include "src/prof/prof.h"
 #include "src/trace/recorder.h"
 
 namespace zc::trace {
@@ -21,8 +27,18 @@ namespace zc::trace {
 /// Renders the whole trace as one JSON document.
 [[nodiscard]] std::string to_chrome_json(const Recorder& recorder);
 
+/// As above, with either side optional: `recorder` may be null (host spans
+/// only) and `host` may be null (simulated spans only — equivalent to the
+/// one-argument overload). At least one must be non-null.
+[[nodiscard]] std::string to_chrome_json(const Recorder* recorder, const prof::Profiler* host);
+
 /// Writes to_chrome_json(recorder) to `path`; throws zc::Error on I/O
 /// failure.
 void write_chrome_trace(const Recorder& recorder, const std::string& path);
+
+/// Writes the combined (simulated + host) document to `path`; throws
+/// zc::Error on I/O failure or when both sources are null.
+void write_chrome_trace(const Recorder* recorder, const prof::Profiler* host,
+                        const std::string& path);
 
 }  // namespace zc::trace

@@ -1,5 +1,6 @@
 #include "src/zir/builder.h"
 
+#include "src/prof/prof.h"
 #include "src/support/check.h"
 #include "src/support/diag.h"
 
@@ -243,6 +244,7 @@ ProcId ProgramBuilder::proc(const std::string& name, const std::function<void()>
 }
 
 Program ProgramBuilder::finish() && {
+  ZC_PROF_SPAN("zir/build");
   ProcId entry = program_.find_proc("main");
   if (!entry.valid() && program_.proc_count() > 0) {
     entry = ProcId(static_cast<int32_t>(program_.proc_count() - 1));

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "src/prof/prof.h"
 #include "src/support/check.h"
 
 namespace zc::zir {
@@ -273,7 +274,10 @@ class Validator {
 
 }  // namespace
 
-void Program::validate() const { Validator(*this).run(); }
+void Program::validate() const {
+  ZC_PROF_SPAN("zir/validate");
+  Validator(*this).run();
+}
 
 bool is_array_valued(const Program& program, ExprId id) {
   const Expr& e = program.expr(id);
