@@ -6,7 +6,7 @@ add_library(zc_bench STATIC
   bench/common.cpp
 )
 target_link_libraries(zc_bench PUBLIC
-  zc_driver zc_programs zc_sim zc_runtime zc_comm zc_parser zc_zir
+  zc_exec zc_driver zc_programs zc_sim zc_runtime zc_comm zc_parser zc_zir
   zc_machine zc_ironman zc_support)
 
 function(zc_bench_binary name)
@@ -28,7 +28,19 @@ zc_bench_binary(bench_table1_tomcatv)
 zc_bench_binary(bench_table2_swm)
 zc_bench_binary(bench_table3_simple)
 zc_bench_binary(bench_table4_sp)
+zc_bench_binary(bench_sweep_scaling)
 zc_bench_binary(bench_abl_knee)
+
+# Smoke-run the sweep-scaling harness: asserts the scheduler, the plan
+# cache, and the legacy loop agree bit-identically on the whole fig07 grid
+# (exit 0 iff every slot matched) and that the cache actually hit. The
+# speedup number itself is hardware-dependent and never gated here.
+add_test(NAME bench_sweep_scaling_smoke
+  COMMAND bench_sweep_scaling --procs=4
+          --bench-json=${CMAKE_BINARY_DIR}/bench/BENCH_sweep_scaling_smoke.json)
+set_tests_properties(bench_sweep_scaling_smoke PROPERTIES
+  LABELS "smoke;tsan"
+  PASS_REGULAR_EXPRESSION "determinism: all schedules bit-identical")
 zc_bench_binary(bench_abl_hybrid)
 zc_bench_binary(bench_abl_interblock)
 zc_bench_binary(bench_paragon_suite)

@@ -1,0 +1,160 @@
+// Sweep-scheduler scaling: runs the fig07 program grid (every benchmark
+// program x every Figure 9 experiment) three ways —
+//   1. legacy serial: a plain loop over driver::run_experiment (plans every
+//      run, the pre-scheduler behaviour),
+//   2. scheduler, --jobs=1: exec::run_sweep inline with a fresh plan cache,
+//   3. scheduler, --jobs=N: the same grid fanned across N workers with a
+//      fresh plan cache,
+// verifies the three produce bit-identical results per grid slot
+// (exec::result_checksum + plan text), and reports wall times, speedup, and
+// plan-cache hit rates. Writes BENCH_sweep_scaling.json.
+//
+// The speedup line reports what this host actually delivered: on a
+// single-core container the threaded wall time will not beat serial, and
+// this harness says so rather than inventing a number — the determinism
+// checks and cache-hit accounting hold at any core count, and the plan
+// cache's saved planning work shows up even at --jobs=1.
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/exec/sweep.h"
+#include "src/support/io.h"
+#include "src/support/json.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zc;
+  bench::Options options = bench::parse_options(argc, argv);
+  if (options.jobs == 1) options.jobs = 4;  // the headline comparison point
+  if (options.jobs == 0) options.jobs = exec::ThreadPool::hardware_jobs();
+  bench::print_header("Sweep scaling",
+                      "parallel sweep scheduler vs serial on the fig07 program grid", options);
+
+  // The grid: every benchmark program x every paper experiment, at each
+  // program's small test scale (this measures the scheduler, not the paper;
+  // repeats amplify the grid so per-task cost dominates pool overhead).
+  constexpr int kRepeat = 3;
+  std::vector<exec::SweepItem> items;
+  for (int r = 0; r < kRepeat; ++r) {
+    for (const auto& info : programs::benchmark_suite()) {
+      const std::shared_ptr<const zir::Program> program = bench::parsed_program(info);
+      for (const driver::Experiment& e : driver::paper_experiments()) {
+        exec::SweepItem item;
+        item.label = info.name + "/" + e.name + "/r" + std::to_string(r);
+        item.program = program;
+        item.experiment = e;
+        item.procs = options.procs;
+        item.config_overrides = info.test_configs;
+        items.push_back(std::move(item));
+      }
+    }
+  }
+
+  // 1. Legacy serial loop: plans inside every run_experiment call.
+  const Clock::time_point legacy_start = Clock::now();
+  std::vector<std::uint64_t> legacy_sums;
+  legacy_sums.reserve(items.size());
+  for (const exec::SweepItem& item : items) {
+    sim::RunConfig cfg;
+    cfg.procs = item.procs;
+    cfg.config_overrides = item.config_overrides;
+    const driver::Metrics m = driver::run_experiment(*item.program, item.experiment, cfg);
+    legacy_sums.push_back(exec::result_checksum(m.run));
+  }
+  const double legacy_s = seconds_since(legacy_start);
+
+  // 2. Scheduler at --jobs=1 (inline serial path, fresh plan cache).
+  exec::PlanCache serial_cache;
+  exec::SweepOptions serial_opts;
+  serial_opts.jobs = 1;
+  serial_opts.plan_cache = &serial_cache;
+  const Clock::time_point serial_start = Clock::now();
+  const std::vector<exec::SweepResult> serial = exec::run_sweep(items, serial_opts);
+  const double serial_s = seconds_since(serial_start);
+
+  // 3. Scheduler at --jobs=N (fresh plan cache again, for a fair hit count).
+  exec::PlanCache parallel_cache;
+  exec::SweepOptions parallel_opts;
+  parallel_opts.jobs = options.jobs;
+  parallel_opts.plan_cache = &parallel_cache;
+  const Clock::time_point parallel_start = Clock::now();
+  const std::vector<exec::SweepResult> parallel = exec::run_sweep(items, parallel_opts);
+  const double parallel_s = seconds_since(parallel_start);
+
+  // Bit-identity: every slot must agree across all three executions.
+  int mismatches = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!serial[i].ok || !parallel[i].ok) {
+      std::cerr << items[i].label << ": run failed: "
+                << (serial[i].ok ? parallel[i].error : serial[i].error) << "\n";
+      ++mismatches;
+      continue;
+    }
+    const std::uint64_t s = exec::result_checksum(serial[i].metrics.run);
+    const std::uint64_t p = exec::result_checksum(parallel[i].metrics.run);
+    if (s != legacy_sums[i] || p != legacy_sums[i] ||
+        serial[i].metrics.static_count != parallel[i].metrics.static_count ||
+        serial[i].metrics.dynamic_count != parallel[i].metrics.dynamic_count) {
+      std::cerr << items[i].label << ": results differ across schedules\n";
+      ++mismatches;
+    }
+  }
+
+  const exec::PlanCacheStats serial_cs = serial_cache.stats();
+  const exec::PlanCacheStats parallel_cs = parallel_cache.stats();
+  const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::cout << "grid: " << items.size() << " runs ("
+            << programs::benchmark_suite().size() << " programs x "
+            << driver::paper_experiments().size() << " experiments x " << kRepeat
+            << " repeats), host cores: " << cores << "\n";
+  std::cout << "legacy serial loop:      " << legacy_s << " s (plans every run)\n";
+  std::cout << "scheduler --jobs=1:      " << serial_s << " s, plan cache " << serial_cs.hits
+            << " hits / " << serial_cs.misses << " misses (hit rate " << serial_cs.hit_rate()
+            << ")\n";
+  std::cout << "scheduler --jobs=" << options.jobs << ":      " << parallel_s
+            << " s, plan cache " << parallel_cs.hits << " hits / " << parallel_cs.misses
+            << " misses (hit rate " << parallel_cs.hit_rate() << ")\n";
+  std::cout << "speedup (jobs=" << options.jobs << " over jobs=1): " << speedup << "x";
+  if (cores <= 1) {
+    std::cout << "  [single-core host: no thread-level speedup is possible here]";
+  }
+  std::cout << "\n";
+  std::cout << (mismatches == 0
+                    ? "determinism: all schedules bit-identical per grid slot\n"
+                    : "determinism: MISMATCHES FOUND\n");
+
+  if (options.bench_json_path.has_value()) {
+    json::Value doc = json::Value::make_object();
+    doc["schema"] = json::Value::make_str("zcomm-bench-sweep-scaling");
+    doc["bench"] = json::Value::make_str(options.bench_name);
+    doc["grid_runs"] = json::Value::make_int(static_cast<long long>(items.size()));
+    doc["host_cores"] = json::Value::make_int(static_cast<long long>(cores));
+    doc["jobs"] = json::Value::make_int(options.jobs);
+    doc["legacy_serial_s"] = json::Value::make_num(legacy_s);
+    doc["scheduler_jobs1_s"] = json::Value::make_num(serial_s);
+    doc["scheduler_jobsN_s"] = json::Value::make_num(parallel_s);
+    doc["speedup_jobsN_over_jobs1"] = json::Value::make_num(speedup);
+    doc["plan_cache_hits"] = json::Value::make_int(parallel_cs.hits);
+    doc["plan_cache_misses"] = json::Value::make_int(parallel_cs.misses);
+    doc["plan_cache_hit_rate"] = json::Value::make_num(parallel_cs.hit_rate());
+    doc["bit_identical"] = json::Value::make_bool(mismatches == 0);
+    io::write_text_file(*options.bench_json_path, doc.dump() + "\n");
+    std::cout << "(wrote " << *options.bench_json_path << ")\n";
+  }
+  return mismatches == 0 ? 0 : 1;
+}

@@ -7,7 +7,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <mutex>
 
+#include "src/exec/sweep.h"
 #include "src/parser/parser.h"
 #include "src/support/io.h"
 #include "src/support/json.h"
@@ -112,6 +114,12 @@ Options parse_options(int argc, char** argv) {
         std::cerr << "bad --procs value\n";
         std::exit(2);
       }
+    } else if (str::starts_with(arg, "--jobs=")) {
+      o.jobs = std::atoi(arg.c_str() + 7);
+      if (o.jobs < 0) {
+        std::cerr << "bad --jobs value\n";
+        std::exit(2);
+      }
     } else if (str::starts_with(arg, "--csv=")) {
       o.csv_path = arg.substr(6);
     } else if (str::starts_with(arg, "--bench-json=")) {
@@ -122,7 +130,7 @@ Options parse_options(int argc, char** argv) {
       // Ignore google-benchmark flags when shared runners see them.
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--paper] [--procs=N] [--csv=PATH]"
+                << " [--paper] [--procs=N] [--jobs=N] [--csv=PATH]"
                    " [--bench-json=PATH] [--no-bench-json]\n";
       std::exit(2);
     }
@@ -143,67 +151,108 @@ std::string scale_label(const programs::BenchmarkInfo& info, const Options& opti
   return info.size_label + ", " + std::to_string(cfg.at("iters")) + " iterations";
 }
 
+std::shared_ptr<const zir::Program> parsed_program(const programs::BenchmarkInfo& info) {
+  // Parse-once cache: every figure/table in a binary (and every option set
+  // within it) shares one immutable program per benchmark. Mutex-guarded:
+  // harnesses call this from sweep-pool workers too.
+  static std::mutex mu;
+  static std::map<std::string, std::shared_ptr<const zir::Program>> programs;
+  const std::lock_guard<std::mutex> lk(mu);
+  auto it = programs.find(info.name);
+  if (it == programs.end()) {
+    it = programs
+             .emplace(info.name,
+                      std::make_shared<const zir::Program>(parser::parse_program(info.source)))
+             .first;
+  }
+  return it->second;
+}
+
 std::vector<Row> run_experiments(const programs::BenchmarkInfo& info,
                                  const std::vector<std::string>& experiment_names,
                                  const Options& options) {
   // Cache: several figures share experiment runs within one process.
   static std::map<std::string, Row> cache;
 
-  std::vector<Row> rows;
-  const zir::Program program = parser::parse_program(info.source);
+  const std::shared_ptr<const zir::Program> program = parsed_program(info);
+  const auto key_for = [&](const std::string& name) {
+    return info.name + "/" + name + "/" + (options.paper_scale ? "paper" : "bench") + "/" +
+           std::to_string(options.procs);
+  };
+
+  // Fan the uncached grid rows out through the sweep scheduler (serial when
+  // --jobs=1); plans memoize in the process-wide cache, so e.g. "pl" and
+  // "pl with shmem" optimize once between them.
+  std::vector<std::string> missing;
   for (const std::string& name : experiment_names) {
-    const std::string key = info.name + "/" + name + "/" +
-                            (options.paper_scale ? "paper" : "bench") + "/" +
-                            std::to_string(options.procs);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
+    if (cache.count(key_for(name)) != 0) continue;
+    if (std::find(missing.begin(), missing.end(), name) != missing.end()) continue;
+    missing.push_back(name);
+  }
+  if (!missing.empty()) {
+    std::vector<exec::SweepItem> items;
+    for (const std::string& name : missing) {
       const auto exp = driver::find_experiment(name);
       if (!exp.has_value()) throw Error("unknown experiment '" + name + "'");
-      sim::RunConfig cfg;
-      cfg.procs = options.procs;
-      cfg.config_overrides = scale_for(info, options);
+      exec::SweepItem item;
+      item.label = key_for(name);
+      item.program = program;
+      item.experiment = *exp;
+      item.procs = options.procs;
+      item.config_overrides = scale_for(info, options);
+      items.push_back(std::move(item));
+    }
+    exec::SweepOptions sopts;
+    sopts.jobs = options.jobs;
+    const std::vector<exec::SweepResult> results = exec::run_sweep(items, sopts);
 
-      using Clock = std::chrono::steady_clock;
-      const Clock::time_point sim_start = Clock::now();
-      const driver::Metrics m = driver::run_experiment(program, *exp, std::move(cfg));
-      const double sim_ns =
-          std::chrono::duration<double, std::nano>(Clock::now() - sim_start).count();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const exec::SweepResult& r = results[i];
+      if (!r.ok) throw Error(items[i].label + ": " + r.error);
+      const driver::Metrics& m = r.metrics;
 
       if (!perf_file().path.empty()) {
         // Optimizer-time distribution: plan_communication is microseconds
-        // per call, so a short repeat gives stable percentiles. The full
-        // sim run is seconds-scale and sampled once, above.
+        // per call, so a short repeat gives stable percentiles — sampled
+        // serially here, deliberately outside the scheduler and the plan
+        // cache, because this measures the planner itself. The full sim run
+        // is seconds-scale and sampled once (the task's wall time).
+        using Clock = std::chrono::steady_clock;
         constexpr int kSamples = 16;
         std::vector<double> plan_ns;
         plan_ns.reserve(kSamples);
         for (int s = 0; s < kSamples; ++s) {
           const Clock::time_point t0 = Clock::now();
-          const comm::CommPlan plan = comm::plan_communication(program, exp->opts);
+          const comm::CommPlan plan =
+              comm::plan_communication(*program, items[i].experiment.opts);
           plan_ns.push_back(std::chrono::duration<double, std::nano>(Clock::now() - t0).count());
           if (plan.static_count() != m.static_count) throw Error("unstable plan while sampling");
         }
         PerfSample sample;
-        sample.name = info.name + "/" + name;
+        sample.name = info.name + "/" + missing[i];
         sample.params = scale_for(info, options);
         sample.params["procs"] = options.procs;
         sample.median_ns = percentile(plan_ns, 0.5);
         sample.p10_ns = percentile(plan_ns, 0.1);
         sample.p90_ns = percentile(plan_ns, 0.9);
         sample.samples = kSamples;
-        sample.sim_run_ns = sim_ns;
+        sample.sim_run_ns = r.wall_seconds * 1e9;
         perf_file().results.push_back(std::move(sample));
       }
 
       Row row;
       row.benchmark = info.name;
-      row.experiment = name;
+      row.experiment = missing[i];
       row.static_count = m.static_count;
       row.dynamic_count = m.dynamic_count;
       row.execution_time = m.execution_time;
-      it = cache.emplace(key, row).first;
+      cache.emplace(items[i].label, row);
     }
-    rows.push_back(it->second);
   }
+
+  std::vector<Row> rows;
+  rows.reserve(experiment_names.size());
+  for (const std::string& name : experiment_names) rows.push_back(cache.at(key_for(name)));
   return rows;
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +28,10 @@ namespace zc::bench {
 struct Options {
   bool paper_scale = false;
   int procs = 64;
+  /// Worker contexts for the sweep scheduler the grid runs fan out on
+  /// (--jobs=N; 1 = serial, 0 = hardware concurrency). Results are
+  /// bit-identical at any value — see src/exec/sweep.h.
+  int jobs = 1;
   std::optional<std::string> csv_path;
   std::string bench_name;                     ///< argv[0] basename, "bench_" stripped
   std::optional<std::string> bench_json_path; ///< none = --no-bench-json
@@ -52,11 +57,18 @@ struct Row {
   double execution_time = 0.0;
 };
 
-/// Runs the named paper experiments (Figure 9 keys) for one benchmark.
-/// Results are cached per (benchmark, experiment) within the process.
+/// Runs the named paper experiments (Figure 9 keys) for one benchmark
+/// through the sweep scheduler (options.jobs workers; plans memoized in the
+/// process-wide PlanCache). Results are cached per (benchmark, experiment)
+/// within the process, and the source parses once per benchmark no matter
+/// how many figures run it.
 std::vector<Row> run_experiments(const programs::BenchmarkInfo& info,
                                  const std::vector<std::string>& experiment_names,
                                  const Options& options);
+
+/// The per-process parsed program for `info` (parse once, reuse across
+/// every figure and option set in the binary).
+std::shared_ptr<const zir::Program> parsed_program(const programs::BenchmarkInfo& info);
 
 /// Prints the standard harness header: what this binary reproduces.
 void print_header(const std::string& figure, const std::string& caption,

@@ -17,6 +17,7 @@
 // Open the JSON in https://ui.perfetto.dev or chrome://tracing; pipelined
 // runs show the wire lanes' transfer spans overlapping the processors'
 // compute spans, with the exposed remainder visible as "wait DN" slices.
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -30,6 +31,7 @@
 #include "src/comm/optimizer.h"
 #include "src/driver/driver.h"
 #include "src/driver/report.h"
+#include "src/exec/sweep.h"
 #include "src/parser/parser.h"
 #include "src/prof/prof.h"
 #include "src/programs/programs.h"
@@ -114,6 +116,9 @@ struct TraceOptions {
   bool profile = false;          // --profile: print the host span tree
   std::string profile_folded_path;  // --profile-folded <out>
   std::string profile_chrome_path;  // --profile-chrome <out>
+  std::string sweep_spec;        // --sweep <grid-spec>
+  int jobs = 1;                  // --jobs <N>, 0 = hardware concurrency
+  bool jobs_given = false;
 
   [[nodiscard]] bool profile_requested() const {
     return profile || !profile_folded_path.empty() || !profile_chrome_path.empty();
@@ -164,7 +169,19 @@ struct TraceOptions {
       "                               (pipe into flamegraph.pl)\n"
       "  --profile-chrome <out.json>  write the host span timeline as a Chrome\n"
       "                               trace; combined with the simulated\n"
-      "                               tracks when --trace* is also active\n";
+      "                               tracks when --trace* is also active\n"
+      "  --sweep <grid-spec>          run a whole grid of configurations\n"
+      "                               through the sweep scheduler. Spec is\n"
+      "                               ';'-separated key=v1,v2 lists:\n"
+      "                                 bench=tomcatv,swm;experiment=all;\n"
+      "                                 procs=4,16;repeat=2\n"
+      "                               Each source parses once, each distinct\n"
+      "                               (program, options) plans once (plan\n"
+      "                               cache), results print in submission\n"
+      "                               order regardless of scheduling\n"
+      "  --jobs <N>                   worker contexts for --sweep (default 1\n"
+      "                               = serial; 0 = hardware concurrency).\n"
+      "                               Any N produces bit-identical results\n";
   std::exit(code);
 }
 
@@ -184,6 +201,154 @@ std::string with_experiment_suffix(const std::string& path, const std::string& e
     return path + "." + slug(experiment);
   }
   return path.substr(0, dot) + "." + slug(experiment) + path.substr(dot);
+}
+
+/// Splits "a,b,c" into its comma-separated parts (no empties).
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (at <= s.size()) {
+    const std::size_t comma = s.find(',', at);
+    const std::string part = s.substr(at, comma == std::string::npos ? comma : comma - at);
+    if (!part.empty()) out.push_back(part);
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
+int run_sweep_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) {
+  using namespace zc;
+
+  // Parse the grid spec: ';'-separated key=v1,v2 lists.
+  std::vector<std::string> benches{opt.bench};
+  std::vector<std::string> experiment_names{opt.experiment};
+  std::vector<int> procs_list{opt.procs};
+  int repeat = 1;
+  std::size_t at = 0;
+  const std::string& spec = opt.sweep_spec;
+  while (at < spec.size()) {
+    const std::size_t semi = spec.find(';', at);
+    const std::string field =
+        spec.substr(at, semi == std::string::npos ? semi : semi - at);
+    at = semi == std::string::npos ? spec.size() : semi + 1;
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      std::cerr << "--sweep field '" << field << "' is not key=value\n";
+      return 1;
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "bench") {
+      benches = split_list(value);
+    } else if (key == "experiment") {
+      experiment_names = split_list(value);
+    } else if (key == "procs") {
+      procs_list.clear();
+      for (const std::string& v : split_list(value)) {
+        const int p = std::atoi(v.c_str());
+        if (p <= 0) {
+          std::cerr << "--sweep procs value '" << v << "' is not a positive integer\n";
+          return 1;
+        }
+        procs_list.push_back(p);
+      }
+    } else if (key == "repeat") {
+      repeat = std::atoi(value.c_str());
+      if (repeat <= 0) {
+        std::cerr << "--sweep repeat value '" << value << "' is not a positive integer\n";
+        return 1;
+      }
+    } else {
+      std::cerr << "--sweep has no key '" << key << "' (bench, experiment, procs, repeat)\n";
+      return 1;
+    }
+    if (benches.empty() || experiment_names.empty() || procs_list.empty()) {
+      std::cerr << "--sweep key '" << key << "' needs at least one value\n";
+      return 1;
+    }
+  }
+
+  std::vector<driver::Experiment> experiments;
+  for (const std::string& name : experiment_names) {
+    if (name == "all") {
+      for (driver::Experiment& e : driver::paper_experiments()) experiments.push_back(std::move(e));
+      continue;
+    }
+    auto e = driver::find_experiment(name);
+    if (!e) {
+      std::cerr << "unknown experiment '" << name << "' (see --help)\n";
+      return 1;
+    }
+    experiments.push_back(std::move(*e));
+  }
+
+  // Parse each distinct source exactly once; every grid point over the same
+  // bench shares the one immutable program.
+  std::map<std::string, std::shared_ptr<const zir::Program>> parsed;
+  std::map<std::string, std::map<std::string, long long>> bench_configs;
+  for (const std::string& bench : benches) {
+    if (parsed.count(bench) != 0) continue;
+    if (bench == "figure1") {
+      parsed[bench] = std::make_shared<const zir::Program>(parser::parse_program(kSource));
+    } else {
+      const programs::BenchmarkInfo& info = programs::benchmark(bench);  // throws on unknown
+      parsed[bench] = std::make_shared<const zir::Program>(parser::parse_program(info.source));
+      bench_configs[bench] = info.test_configs;
+    }
+  }
+
+  std::vector<exec::SweepItem> items;
+  for (int r = 0; r < repeat; ++r) {
+    for (const std::string& bench : benches) {
+      for (const driver::Experiment& e : experiments) {
+        for (const int procs : procs_list) {
+          exec::SweepItem item;
+          item.label = bench + "/" + e.name + "/p" + std::to_string(procs);
+          if (repeat > 1) item.label += "/r" + std::to_string(r);
+          item.program = parsed.at(bench);
+          item.experiment = e;
+          item.procs = procs;
+          item.config_overrides = bench_configs[bench];
+          items.push_back(std::move(item));
+        }
+      }
+    }
+  }
+
+  exec::PlanCache cache;  // per-invocation, so the summary's stats are this sweep's
+  exec::SweepOptions sopts;
+  sopts.jobs = opt.jobs;
+  sopts.plan_cache = &cache;
+  sopts.host_profiler = profiler;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<exec::SweepResult> results = exec::run_sweep(items, sopts);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  int failures = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exec::SweepResult& r = results[i];
+    if (!r.ok) {
+      std::cout << items[i].label << ": ERROR: " << r.error << "\n";
+      ++failures;
+      continue;
+    }
+    std::cout << items[i].label << ": static " << r.metrics.static_count << ", dynamic "
+              << r.metrics.dynamic_count << ", time " << r.metrics.execution_time * 1e3
+              << " ms\n";
+  }
+
+  const exec::PlanCacheStats cs = cache.stats();
+  const int jobs = sopts.jobs == 0 ? exec::ThreadPool::hardware_jobs() : sopts.jobs;
+  std::cout << "sweep: " << results.size() << " runs, " << jobs << " job"
+            << (jobs == 1 ? "" : "s") << ", " << wall << " s wall; programs parsed: "
+            << parsed.size() << "; plan cache: " << cs.hits << " hits, " << cs.misses
+            << " misses (hit rate " << cs.hit_rate() << ")\n";
+  if (opt.print_metrics) std::cout << metrics::Registry::global().to_text();
+  return failures == 0 ? 0 : 1;
 }
 
 int run_experiments_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) {
@@ -350,6 +515,18 @@ int main(int argc, char** argv) {
     else if (a.rfind("--profile-chrome=", 0) == 0) {
       opt.profile_chrome_path = a.substr(std::string("--profile-chrome=").size());
     }
+    else if (a == "--sweep") opt.sweep_spec = value();
+    else if (a.rfind("--sweep=", 0) == 0) opt.sweep_spec = a.substr(std::string("--sweep=").size());
+    else if (a == "--jobs" || a.rfind("--jobs=", 0) == 0) {
+      const std::string v = a == "--jobs" ? value() : a.substr(std::string("--jobs=").size());
+      char* end = nullptr;
+      opt.jobs = static_cast<int>(std::strtol(v.c_str(), &end, 10));
+      if (end == v.c_str() || *end != '\0' || opt.jobs < 0) {
+        std::cerr << "--jobs needs a non-negative integer, got '" << v << "'\n";
+        usage(1);
+      }
+      opt.jobs_given = true;
+    }
     else if (a == "--top") {
       const std::string v = value();
       char* end = nullptr;
@@ -373,10 +550,16 @@ int main(int argc, char** argv) {
     prof::Profiler profiler;
     prof::Profiler* prof_ptr = opt.profile_requested() ? &profiler : nullptr;
     prof::Attach attach(prof_ptr);
+    if (opt.jobs_given && opt.sweep_spec.empty()) {
+      std::cerr << "--jobs only applies to --sweep\n";
+      return 1;
+    }
     int rc = 0;
     {
       ZC_PROF_SPAN("comm_explorer");
-      if (opt.run_requested()) {
+      if (!opt.sweep_spec.empty()) {
+        rc = run_sweep_mode(opt, prof_ptr);
+      } else if (opt.run_requested()) {
         rc = run_experiments_mode(opt, prof_ptr);
       } else {
         const zir::Program program = parser::parse_program(kSource);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Sweep-scheduler scaling benchmark: builds, then runs bench_sweep_scaling —
+# the fig07 program grid executed three ways (legacy serial loop, scheduler
+# at --jobs=1, scheduler at --jobs=N) with bit-identity checks between all
+# three — and leaves the machine-readable result in BENCH_sweep_scaling.json
+# at the repo root.
+#
+#   scripts/bench_sweep.sh                 # defaults: --jobs=4 comparison
+#   scripts/bench_sweep.sh --jobs=8        # wider fan-out
+#   scripts/bench_sweep.sh --procs=16      # bigger simulated machine per run
+#   BUILD_DIR=out scripts/bench_sweep.sh
+#
+# The speedup field reports what the host actually delivered: on a
+# single-core container the threaded run cannot beat serial and the harness
+# says so instead of inventing a number. Exit status is the bit-identity
+# verdict, never the speedup.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j --target bench_sweep_scaling
+
+"$BUILD_DIR"/bench/bench_sweep_scaling \
+  --bench-json=BENCH_sweep_scaling.json "$@"

@@ -14,3 +14,10 @@ BUILD_DIR="${BUILD_DIR:-build}"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j
+
+# Exercise the parallel sweep path explicitly (beyond the smoke-labelled
+# sweep tests): a two-worker grid through the scheduler + plan cache must
+# come back clean. scripts/bench_sweep.sh is the full scaling harness.
+"$BUILD_DIR"/examples/comm_explorer \
+  --sweep "bench=figure1;experiment=all;procs=4" --jobs 2 > /dev/null
+echo "check: smoke tier + --jobs 2 sweep OK"

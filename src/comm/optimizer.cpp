@@ -453,7 +453,7 @@ CommPlan plan_communication(const zir::Program& program, const OptOptions& optio
   // named as its coverer; re-point every decision at the live chain root.
   if (log != nullptr) log->resolve_rr_coverers();
 
-  auto& reg = metrics::Registry::global();
+  auto& reg = metrics::Registry::current();
   reg.count("opt.plans");
   reg.count("opt.transfers_generated", plan.total_transfer_count());
   int live = 0;

@@ -48,10 +48,15 @@ Compiled compile(zir::Program program, const comm::OptOptions& opts) {
 
 Metrics run_experiment(const zir::Program& program, const Experiment& experiment,
                        sim::RunConfig config) {
+  comm::CommPlan plan = comm::plan_communication(program, experiment.opts);
+  return run_planned(program, plan, experiment, std::move(config));
+}
+
+Metrics run_planned(const zir::Program& program, const comm::CommPlan& plan,
+                    const Experiment& experiment, sim::RunConfig config) {
   ZC_PROF_SPAN("driver/run_experiment");
   const auto wall_start = std::chrono::steady_clock::now();
   config.library = experiment.library;
-  comm::CommPlan plan = comm::plan_communication(program, experiment.opts);
 
   Metrics m;
   m.static_count = plan.static_count();
@@ -59,10 +64,10 @@ Metrics run_experiment(const zir::Program& program, const Experiment& experiment
   m.run = sim::run_program(program, plan, std::move(config));
   m.dynamic_count = m.run.dynamic_count;
   m.execution_time = m.run.elapsed_seconds;
-  m.plan = std::move(plan);
+  m.plan = plan;
   if (recorder != nullptr) m.trace_stats = trace::compute_stats(*recorder);
 
-  auto& reg = metrics::Registry::global();
+  auto& reg = metrics::Registry::current();
   reg.count("driver.experiments");
   reg.gauge("driver.last_static_count", static_cast<double>(m.static_count));
   reg.gauge("driver.last_dynamic_count", static_cast<double>(m.dynamic_count));

@@ -76,6 +76,14 @@ struct Metrics {
 Metrics run_experiment(const zir::Program& program, const Experiment& experiment,
                        sim::RunConfig config);
 
+/// Like run_experiment, but executes an already-computed plan (e.g. one
+/// shared out of the sweep engine's plan cache) instead of planning here.
+/// `plan` must be the product of plan_communication(program,
+/// experiment.opts) — the caller owns that contract. Metrics carries its own
+/// copy of the plan, exactly as run_experiment's does.
+Metrics run_planned(const zir::Program& program, const comm::CommPlan& plan,
+                    const Experiment& experiment, sim::RunConfig config);
+
 /// Convenience used by golden tests: run `source` at an optimization level
 /// on `procs` processors and return metrics.
 Metrics run_source(std::string_view source, const Experiment& experiment, int procs,

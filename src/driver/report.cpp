@@ -66,7 +66,7 @@ Value build_report(const Metrics& metrics, const Experiment& experiment, int pro
 
   if (log != nullptr) doc["passes"] = log->to_json(ropts.max_decisions_per_pass);
   if (metrics.trace_stats.has_value()) doc["trace"] = trace_json(*metrics.trace_stats);
-  if (ropts.metrics_snapshot) doc["metrics"] = metrics::Registry::global().to_json();
+  if (ropts.metrics_snapshot) doc["metrics"] = metrics::Registry::current().to_json();
   if (ropts.host_profiler != nullptr) {
     Value hp = ropts.host_profiler->to_json();
     hp["peak_rss_bytes"] = Value::make_int(prof::peak_rss_bytes());

@@ -1,0 +1,184 @@
+#include "src/exec/plan_cache.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/support/metrics.h"
+#include "src/zir/printer.h"
+
+namespace zc::exec {
+
+std::string plan_key(const zir::Program& program, const comm::OptOptions& options,
+                     std::string_view machine_salt) {
+  // Every semantic OptOptions field participates; pass_log deliberately does
+  // not (see the header contract). The program is keyed by its canonical
+  // printed form, which two structurally identical programs share no matter
+  // how their sources were formatted.
+  std::ostringstream key;
+  key << "machine=" << machine_salt << '\n'
+      << "remove_redundant=" << options.remove_redundant << '\n'
+      << "combine=" << options.combine << '\n'
+      << "pipeline=" << options.pipeline << '\n'
+      << "heuristic=" << static_cast<int>(options.heuristic) << '\n'
+      << "inter_block=" << options.inter_block << '\n'
+      << "hybrid_max_elems=" << options.hybrid_max_elems << '\n'
+      << "hybrid_min_window_fraction=" << options.hybrid_min_window_fraction << '\n'
+      << "est_mesh_rows=" << options.est_mesh_rows << '\n'
+      << "est_mesh_cols=" << options.est_mesh_cols << '\n'
+      << "program:\n"
+      << zir::to_source(program);
+  return std::move(key).str();
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+long long plan_size_bytes(const comm::CommPlan& plan) {
+  long long bytes = static_cast<long long>(sizeof(comm::CommPlan));
+  for (const comm::BlockPlan& block : plan.blocks) {
+    bytes += static_cast<long long>(sizeof(block));
+    bytes += static_cast<long long>(block.stmts.size() * sizeof(zir::StmtId));
+    bytes += static_cast<long long>(block.transfers.size() * sizeof(comm::Transfer));
+    for (const comm::CommGroup& group : block.groups) {
+      bytes += static_cast<long long>(sizeof(group));
+      bytes += static_cast<long long>(group.members.size() * sizeof(comm::Member));
+    }
+  }
+  return bytes;
+}
+
+PlanCache::PlanCache() : PlanCache(Options{}) {}
+
+PlanCache::PlanCache(Options options) : options_(std::move(options)) {
+  hash_ = options_.hash ? options_.hash : fnv1a;
+}
+
+std::shared_ptr<const comm::CommPlan> PlanCache::get_or_plan(const zir::Program& program,
+                                                             const comm::OptOptions& options,
+                                                             std::string_view machine_salt) {
+  const std::string key = plan_key(program, options, machine_salt);
+  const std::uint64_t h = hash_(key);
+
+  std::shared_ptr<Entry> entry;  // pins the entry across eviction
+  bool inserted = false;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    std::vector<std::shared_ptr<Entry>>& bucket = buckets_[h];
+    for (const std::shared_ptr<Entry>& candidate : bucket) {
+      if (candidate->key == key) {  // full-key compare: collisions only probe
+        entry = candidate;
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      entry = std::make_shared<Entry>();
+      bucket.push_back(entry);
+      entry->key = key;
+      lru_.push_front(entry.get());
+      entry->lru = lru_.begin();
+      ++stats_.entries;
+      ++stats_.misses;
+      inserted = true;
+    } else {
+      ++stats_.hits;
+      touch_locked(*entry);
+    }
+  }
+
+  if (inserted) {
+    metrics::Registry::current().count("exec.plan_cache.misses");
+  } else {
+    metrics::Registry::current().count("exec.plan_cache.hits");
+  }
+
+  // Planning runs outside the table lock: concurrent distinct keys plan in
+  // parallel; concurrent requests for the same key block on one planning run.
+  std::call_once(entry->once, [&] {
+    comm::OptOptions clean = options;
+    clean.pass_log = nullptr;  // plans are bit-identical without a log
+    auto plan = std::make_shared<comm::CommPlan>(comm::plan_communication(program, clean));
+    entry->bytes = plan_size_bytes(*plan) + static_cast<long long>(entry->key.size());
+    entry->plan = std::move(plan);
+    account_and_evict(*entry);
+  });
+  return entry->plan;
+}
+
+std::shared_ptr<const comm::CommPlan> PlanCache::peek(const std::string& key) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = buckets_.find(hash_(key));
+  if (it == buckets_.end()) return nullptr;
+  for (const std::shared_ptr<Entry>& candidate : it->second) {
+    if (candidate->key == key) return candidate->plan;
+  }
+  return nullptr;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void PlanCache::clear() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  buckets_.clear();
+  lru_.clear();
+  stats_.entries = 0;
+  stats_.bytes = 0;
+}
+
+void PlanCache::touch_locked(Entry& entry) {
+  lru_.erase(entry.lru);
+  lru_.push_front(&entry);
+  entry.lru = lru_.begin();
+}
+
+void PlanCache::account_and_evict(Entry& entry) {
+  long long evicted = 0;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stats_.bytes += entry.bytes;
+    if (options_.byte_budget > 0) {
+      // Evict least-recently-used *completed* entries (a still-planning entry
+      // has bytes == 0 and owners waiting on its once_flag) until under
+      // budget; never the entry just filled, so a plan larger than the whole
+      // budget still gets returned and merely won't be retained long.
+      auto it = lru_.end();
+      while (stats_.bytes > options_.byte_budget && it != lru_.begin()) {
+        --it;
+        Entry* victim = *it;
+        if (victim == &entry || victim->plan == nullptr) continue;
+        stats_.bytes -= victim->bytes;
+        --stats_.entries;
+        ++stats_.evictions;
+        ++evicted;
+        const std::uint64_t h = hash_(victim->key);
+        it = lru_.erase(it);
+        std::vector<std::shared_ptr<Entry>>& bucket = buckets_[h];
+        for (auto b = bucket.begin(); b != bucket.end(); ++b) {
+          if (b->get() == victim) {
+            bucket.erase(b);
+            break;
+          }
+        }
+        if (bucket.empty()) buckets_.erase(h);
+      }
+    }
+  }
+  if (evicted > 0) {
+    metrics::Registry::current().count("exec.plan_cache.evictions", evicted);
+  }
+}
+
+PlanCache& PlanCache::process() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace zc::exec

@@ -1,0 +1,125 @@
+#include "src/exec/pool.h"
+
+#include <algorithm>
+
+#include "src/support/diag.h"
+
+namespace zc::exec {
+
+ThreadPool::ThreadPool(int jobs) : jobs_(jobs) {
+  if (jobs < 1) throw Error("thread pool needs jobs >= 1");
+  queues_.reserve(static_cast<std::size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i) queues_.push_back(std::make_unique<Queue>());
+  threads_.reserve(static_cast<std::size_t>(jobs_ - 1));
+  for (int i = 1; i < jobs_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ThreadPool::hardware_jobs() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+bool ThreadPool::pop_own(int self, std::size_t& task) {
+  Queue& q = *queues_[static_cast<std::size_t>(self)];
+  const std::lock_guard<std::mutex> lk(q.mu);
+  if (q.tasks.empty()) return false;
+  task = q.tasks.back();
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::steal(int self, std::size_t& task) {
+  // Victims in a fixed rotation starting after `self`: every context scans
+  // all the others, so any remaining task is always reachable.
+  for (int k = 1; k < jobs_; ++k) {
+    Queue& q = *queues_[static_cast<std::size_t>((self + k) % jobs_)];
+    const std::lock_guard<std::mutex> lk(q.mu);
+    if (q.tasks.empty()) continue;
+    task = q.tasks.front();  // FIFO end: the oldest (fattest remaining) work
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::run_one(int self) {
+  std::size_t task = 0;
+  if (!pop_own(self, task) && !steal(self, task)) return false;
+  std::exception_ptr error;
+  try {
+    (*fn_)(task);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (error) errors_[task] = std::move(error);
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop(int self) {
+  unsigned long long seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+    }
+    // Tasks are only enqueued at the start of an epoch (tasks never spawn
+    // tasks), so once every deque is empty this epoch is over for us.
+    while (run_one(self)) {
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  const std::lock_guard<std::mutex> run_lk(run_mu_);
+  if (n == 0) return;
+
+  if (jobs_ == 1) {
+    // Inline serial path: no threads, no queues — submission order exactly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    fn_ = &fn;
+    errors_.assign(n, nullptr);
+    remaining_ = n;
+    // Round-robin seeding; contexts drain their own share and steal the rest.
+    for (std::size_t i = 0; i < n; ++i) {
+      Queue& q = *queues_[i % static_cast<std::size_t>(jobs_)];
+      const std::lock_guard<std::mutex> qlk(q.mu);
+      q.tasks.push_back(i);
+    }
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  while (run_one(0)) {
+  }
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return remaining_ == 0; });
+    fn_ = nullptr;
+  }
+  for (std::exception_ptr& e : errors_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace zc::exec

@@ -1,0 +1,82 @@
+// A work-stealing thread pool for fanning independent pipeline runs across
+// cores (the sweep engine's execution substrate, src/exec/sweep.h).
+//
+// Model: `jobs` execution contexts — the calling thread plus jobs-1 worker
+// threads. `run(n, fn)` distributes task indices round-robin across
+// per-context deques; each context pops from the back of its own deque
+// (LIFO, cache-friendly) and steals from the front of a victim's (FIFO, the
+// oldest — largest remaining — work first). The caller participates and
+// blocks until every task finished, so `run` is a complete fork/join.
+//
+// Determinism contract: task *results* are slotted by submission index, so
+// collection order never depends on scheduling. With jobs == 1 no threads
+// are created at all and tasks execute inline in submission order — the
+// exact serial path, which the sweep's bit-identity tests compare against.
+//
+// Exceptions: a throwing task never takes down a worker. The first failure
+// by submission index (not by completion time — deterministic) is rethrown
+// from run() after the join.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zc::exec {
+
+class ThreadPool {
+ public:
+  /// `jobs` >= 1: total execution contexts (caller + jobs-1 workers).
+  explicit ThreadPool(int jobs);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// Executes fn(0) .. fn(n-1), in parallel across the pool, and returns
+  /// when all have finished. One run at a time (calls serialize). Rethrows
+  /// the lowest-index task exception, if any, after every task completed.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// The machine's hardware concurrency, clamped to >= 1 — what `--jobs 0`
+  /// resolves to in the CLI surfaces.
+  [[nodiscard]] static int hardware_jobs();
+
+ private:
+  /// One context's deque. Guarded by its own mutex: tasks here are whole
+  /// pipeline runs (>= tens of microseconds), so a mutex per deque costs
+  /// nothing measurable and stays obviously correct under TSan.
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::size_t> tasks;
+  };
+
+  void worker_loop(int self);
+  bool run_one(int self);
+  bool pop_own(int self, std::size_t& task);
+  bool steal(int self, std::size_t& task);
+
+  const int jobs_;
+  std::vector<std::unique_ptr<Queue>> queues_;  // [0] = the caller's
+  std::vector<std::thread> threads_;            // jobs_ - 1 workers
+
+  std::mutex mu_;                    // guards the epoch / completion state
+  std::condition_variable work_cv_;  // wakes workers at a new epoch
+  std::condition_variable done_cv_;  // wakes run() at completion
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::vector<std::exception_ptr> errors_;  // slot per task of the epoch
+  std::size_t remaining_ = 0;
+  unsigned long long epoch_ = 0;
+  bool stop_ = false;
+
+  std::mutex run_mu_;  // serializes run() callers
+};
+
+}  // namespace zc::exec

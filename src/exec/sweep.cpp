@@ -1,0 +1,119 @@
+#include "src/exec/sweep.h"
+
+#include <chrono>
+#include <cstring>
+#include <exception>
+
+#include "src/prof/prof.h"
+#include "src/support/check.h"
+
+namespace zc::exec {
+
+namespace {
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(v));
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64 finalizer — cheap and well-distributed for fold hashing.
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  return h * 1099511628211ULL ^ v;
+}
+
+std::uint64_t mix_str(std::uint64_t h, const std::string& s) {
+  for (const char c : s) h = mix(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t result_checksum(const sim::RunResult& result) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = mix(h, bits_of(result.elapsed_seconds));
+  h = mix(h, static_cast<std::uint64_t>(result.dynamic_count));
+  h = mix(h, static_cast<std::uint64_t>(result.total_messages));
+  h = mix(h, static_cast<std::uint64_t>(result.total_bytes));
+  h = mix(h, static_cast<std::uint64_t>(result.reduction_count));
+  for (const auto& [name, value] : result.scalars) {
+    h = mix_str(h, name);
+    h = mix(h, bits_of(value));
+  }
+  for (const auto& [name, value] : result.checksums) {
+    h = mix_str(h, name);
+    h = mix(h, bits_of(value));
+  }
+  for (const sim::CommCounters& c : result.per_proc) {
+    h = mix(h, static_cast<std::uint64_t>(c.communications));
+    h = mix(h, static_cast<std::uint64_t>(c.messages_sent));
+    h = mix(h, static_cast<std::uint64_t>(c.messages_received));
+    h = mix(h, static_cast<std::uint64_t>(c.bytes_sent));
+    h = mix(h, static_cast<std::uint64_t>(c.bytes_received));
+  }
+  return h;
+}
+
+std::vector<SweepResult> run_sweep(const std::vector<SweepItem>& items,
+                                   const SweepOptions& options) {
+  PlanCache& cache = options.plan_cache != nullptr ? *options.plan_cache : PlanCache::process();
+  const int jobs = options.jobs == 0 ? ThreadPool::hardware_jobs() : options.jobs;
+
+  std::vector<SweepResult> results(items.size());
+
+  const auto task = [&](std::size_t i) {
+    const SweepItem& item = items[i];
+    SweepResult& out = results[i];  // submission slot: no cross-task writes
+    out.registry = std::make_shared<metrics::Registry>();
+    const metrics::ScopedRegistry scoped(*out.registry);
+    // Worker threads have no profiler attached; opt this task in for its
+    // duration so its spans merge into the submitter's profile tree.
+    const prof::Attach attach(options.host_profiler);
+    const auto wall_start = std::chrono::steady_clock::now();
+    try {
+      if (item.program == nullptr) throw Error("sweep item '" + item.label + "' has no program");
+      out.plan = cache.get_or_plan(*item.program, item.experiment.opts, item.machine.name);
+
+      sim::RunConfig config;
+      config.machine = item.machine;
+      config.procs = item.procs;
+      config.config_overrides = item.config_overrides;
+      std::unique_ptr<trace::Recorder> recorder;
+      if (item.trace) {
+        recorder = std::make_unique<trace::Recorder>(item.procs, options.recorder_options);
+        config.recorder = recorder.get();
+      }
+      out.metrics = driver::run_planned(*item.program, *out.plan, item.experiment,
+                                        std::move(config));
+      out.ok = true;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    }
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  };
+
+  if (jobs == 1) {
+    // Inline serial path — identical to ThreadPool(1) but with zero pool
+    // setup, and the baseline every parallel schedule is compared against.
+    for (std::size_t i = 0; i < items.size(); ++i) task(i);
+  } else {
+    ThreadPool pool(jobs);
+    pool.run(items.size(), task);
+  }
+
+  if (options.merge_metrics) {
+    metrics::Registry& sink = metrics::Registry::current();
+    for (const SweepResult& r : results) {
+      if (r.registry != nullptr) sink.merge_from(*r.registry);
+    }
+  }
+  return results;
+}
+
+}  // namespace zc::exec

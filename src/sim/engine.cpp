@@ -32,6 +32,11 @@ rt::Mesh make_mesh(const zir::Program& p, int procs) {
 
 /// One in-progress execution of a CommGroup: the point-to-point messages it
 /// decomposes into under the current loop bindings, with captured payloads.
+///
+/// Pooled (Engine::acquire_exec / recycle_exec): only the first `live`
+/// entries of `msgs` are meaningful; slots past that are dormant recycled
+/// records whose parts/payload vectors keep their capacity, so steady-state
+/// execution builds messages without allocating.
 struct Engine::GroupExec {
   struct Part {
     zir::ArrayId array;
@@ -45,6 +50,19 @@ struct Engine::GroupExec {
     std::vector<double> payload;
   };
   std::vector<Msg> msgs;
+  std::size_t live = 0;
+
+  /// Claims the next message slot (recycled capacity when available).
+  Msg& append(int src, int dst) {
+    if (live == msgs.size()) msgs.emplace_back();
+    Msg& msg = msgs[live++];
+    msg.src = src;
+    msg.dst = dst;
+    msg.bytes = 0;
+    msg.parts.clear();
+    msg.payload.clear();
+    return msg;
+  }
 };
 
 Engine::~Engine() = default;
@@ -193,7 +211,7 @@ RunResult Engine::run() {
   }
 
   // Published once per run (never per message) — see src/support/metrics.h.
-  auto& reg = metrics::Registry::global();
+  auto& reg = metrics::Registry::current();
   reg.count("sim.runs");
   reg.count("sim.communications", r.dynamic_count);
   reg.count("sim.messages", r.total_messages);
@@ -238,30 +256,53 @@ void Engine::exec_comm_position(const comm::BlockPlan& block, int pos) {
   // pipelined ones (all sends precede all receives at a point).
   for (const comm::CommGroup& g : block.groups) {
     if (g.dr_pos != pos) continue;
-    auto [it, inserted] = outstanding_.emplace(g.id, build_group_exec(block, g));
+    std::unique_ptr<GroupExec> exec = acquire_exec();
+    build_group_exec(block, g, *exec);
+    auto [it, inserted] = outstanding_.emplace(g.id, std::move(exec));
     ZC_ASSERT(inserted);  // at most one outstanding execution per group
-    comm_dr(g, it->second);
+    comm_dr(g, *it->second);
   }
   for (const comm::CommGroup& g : block.groups) {
-    if (g.sr_pos == pos) comm_sr(g, outstanding_.at(g.id));
+    if (g.sr_pos == pos) comm_sr(g, *outstanding_.at(g.id));
   }
   for (const comm::CommGroup& g : block.groups) {
-    if (g.dn_pos == pos) comm_dn(g, outstanding_.at(g.id));
+    if (g.dn_pos == pos) comm_dn(g, *outstanding_.at(g.id));
   }
   for (const comm::CommGroup& g : block.groups) {
     if (g.sv_pos != pos) continue;
     auto it = outstanding_.find(g.id);
     ZC_ASSERT(it != outstanding_.end());
-    comm_sv(g, it->second);
+    comm_sv(g, *it->second);
+    recycle_exec(std::move(it->second));
     outstanding_.erase(it);
   }
 }
 
-Engine::GroupExec Engine::build_group_exec(const comm::BlockPlan& block,
-                                           const comm::CommGroup& group) {
-  GroupExec exec;
+std::unique_ptr<Engine::GroupExec> Engine::acquire_exec() {
+  if (exec_pool_.empty()) return std::make_unique<GroupExec>();
+  std::unique_ptr<GroupExec> exec = std::move(exec_pool_.back());
+  exec_pool_.pop_back();
+  exec->live = 0;
+  return exec;
+}
+
+void Engine::recycle_exec(std::unique_ptr<GroupExec> exec) {
+  exec_pool_.push_back(std::move(exec));
+}
+
+void Engine::build_group_exec(const comm::BlockPlan& block, const comm::CommGroup& group,
+                              GroupExec& exec) {
   const std::vector<int>& offsets = p_.direction(group.direction).offsets;
-  std::map<std::pair<int, int>, std::size_t> msg_index;
+
+  // (src, dst) -> slot in exec.msgs. A linear scan: groups decompose into at
+  // most a handful of point-to-point messages, and this avoids the per-call
+  // node allocations a map would make in the engine's inner loop.
+  const auto slot_for = [&exec](int src, int dst) -> GroupExec::Msg& {
+    for (std::size_t i = 0; i < exec.live; ++i) {
+      if (exec.msgs[i].src == src && exec.msgs[i].dst == dst) return exec.msgs[i];
+    }
+    return exec.append(src, dst);
+  };
 
   for (const comm::Member& m : group.members) {
     const zir::Stmt& use = p_.stmt(block.stmts[m.use_stmt]);
@@ -281,13 +322,7 @@ Engine::GroupExec Engine::build_group_exec(const comm::BlockPlan& block,
           if (src == dst) continue;
           const rt::Box slice = piece.intersect(arrays_[src][m.array.index()].owned());
           if (slice.empty()) continue;
-          const auto key = std::make_pair(src, dst);
-          auto it = msg_index.find(key);
-          if (it == msg_index.end()) {
-            it = msg_index.emplace(key, exec.msgs.size()).first;
-            exec.msgs.push_back({src, dst, 0, {}, {}});
-          }
-          GroupExec::Msg& msg = exec.msgs[it->second];
+          GroupExec::Msg& msg = slot_for(src, dst);
           msg.parts.push_back({m.array, slice});
           msg.bytes += slice.count() * static_cast<long long>(sizeof(double));
         }
@@ -300,15 +335,14 @@ Engine::GroupExec Engine::build_group_exec(const comm::BlockPlan& block,
   // so the count is a program property; per-processor counters additionally
   // record which executions actually moved data through each processor.
   ++dynamic_comm_count_;
-  std::vector<bool> participated(mesh_.procs(), false);
-  for (const GroupExec::Msg& msg : exec.msgs) {
-    participated[msg.src] = true;
-    participated[msg.dst] = true;
+  participated_.assign(static_cast<std::size_t>(mesh_.procs()), 0);
+  for (std::size_t i = 0; i < exec.live; ++i) {
+    participated_[static_cast<std::size_t>(exec.msgs[i].src)] = 1;
+    participated_[static_cast<std::size_t>(exec.msgs[i].dst)] = 1;
   }
   for (int proc = 0; proc < mesh_.procs(); ++proc) {
-    if (participated[proc]) ++counters_[proc].communications;
+    if (participated_[static_cast<std::size_t>(proc)] != 0) ++counters_[proc].communications;
   }
-  return exec;
 }
 
 void Engine::comm_dr(const comm::CommGroup& group, GroupExec& exec) {
@@ -319,12 +353,14 @@ void Engine::comm_dr(const comm::CommGroup& group, GroupExec& exec) {
     // processor, with data to move or not — the heavyweight behaviour the
     // paper blames for TOMCATV's and SP's SHMEM slowdowns.
     transport_.global_synch(clock_);
-    for (const GroupExec::Msg& msg : exec.msgs) {
+    for (std::size_t i = 0; i < exec.live; ++i) {
+      const GroupExec::Msg& msg = exec.msgs[i];
       transport_.post_readiness(group.id, msg.src, msg.dst, clock_[msg.dst]);
     }
     return;
   }
-  for (const GroupExec::Msg& msg : exec.msgs) {
+  for (std::size_t i = 0; i < exec.live; ++i) {
+    const GroupExec::Msg& msg = exec.msgs[i];
     transport_.dr(group.id, msg.src, msg.dst, msg.bytes, clock_[msg.dst]);
   }
 }
@@ -332,7 +368,8 @@ void Engine::comm_dr(const comm::CommGroup& group, GroupExec& exec) {
 void Engine::comm_sr(const comm::CommGroup& group, GroupExec& exec) {
   ZC_PROF_SPAN("sim/comm/sr");
   transport_.set_transfer(group.transfer_id);
-  for (GroupExec::Msg& msg : exec.msgs) {
+  for (std::size_t i = 0; i < exec.live; ++i) {
+    GroupExec::Msg& msg = exec.msgs[i];
     // Capture the payload now: pipelining is only correct if the data at SR
     // equals the data at use, which the optimizer's legality rules
     // guarantee — and the golden tests verify.
@@ -352,15 +389,17 @@ void Engine::comm_sr(const comm::CommGroup& group, GroupExec& exec) {
 void Engine::comm_dn(const comm::CommGroup& group, GroupExec& exec) {
   ZC_PROF_SPAN("sim/comm/dn");
   transport_.set_transfer(group.transfer_id);
-  for (GroupExec::Msg& msg : exec.msgs) {
+  for (std::size_t i = 0; i < exec.live; ++i) {
+    GroupExec::Msg& msg = exec.msgs[i];
     transport_.dn(group.id, msg.src, msg.dst, msg.bytes, clock_[msg.dst]);
     std::size_t at = 0;
     for (const GroupExec::Part& part : msg.parts) {
       arrays_[msg.dst][part.array.index()].write_box(part.box, msg.payload.data() + at);
       at += static_cast<std::size_t>(part.box.count());
     }
+    // Cleared but NOT shrunk: the slot recycles through the exec pool and
+    // the retained capacity is exactly what kills the per-event allocation.
     msg.payload.clear();
-    msg.payload.shrink_to_fit();
     ++counters_[msg.dst].messages_received;
     counters_[msg.dst].bytes_received += msg.bytes;
   }
@@ -369,7 +408,8 @@ void Engine::comm_dn(const comm::CommGroup& group, GroupExec& exec) {
 void Engine::comm_sv(const comm::CommGroup& group, GroupExec& exec) {
   ZC_PROF_SPAN("sim/comm/sv");
   transport_.set_transfer(group.transfer_id);
-  for (const GroupExec::Msg& msg : exec.msgs) {
+  for (std::size_t i = 0; i < exec.live; ++i) {
+    const GroupExec::Msg& msg = exec.msgs[i];
     transport_.sv(group.id, msg.src, msg.dst, msg.bytes, clock_[msg.src]);
   }
 }
@@ -419,7 +459,7 @@ void Engine::exec_array_assign(const zir::Stmt& stmt) {
     throw Error("statement region " + region.to_string() + " exceeds the declared region of '" +
                 p_.array(stmt.lhs_array).name + "'");
   }
-  std::vector<double> buf;
+  std::vector<double>& buf = eval_buf_;  // member scratch: fully rewritten below
   for (int proc = 0; proc < mesh_.procs(); ++proc) {
     rt::LocalArray& lhs = arrays_[proc][stmt.lhs_array.index()];
     if (lhs.owned().empty()) continue;
@@ -448,10 +488,11 @@ void Engine::exec_scalar_assign(const zir::Stmt& stmt) {
 
   ZC_ASSERT(stmt.region.has_value());
   const rt::Box region = rt::eval_region(*stmt.region, env_);
-  std::vector<double> global(ops.size());
+  std::vector<double>& global = reduce_global_;  // member scratch: fully rewritten
+  global.assign(ops.size(), 0.0);
   for (std::size_t k = 0; k < ops.size(); ++k) global[k] = rt::reduce_identity(ops[k]);
 
-  std::vector<double> partials;
+  std::vector<double>& partials = reduce_partials_;  // member scratch: fully rewritten
   for (int proc = 0; proc < mesh_.procs(); ++proc) {
     // Crop the owned box to the region's rank (a rank-2 reduction in a
     // rank-3 program reduces over dims 0 and 1 only).

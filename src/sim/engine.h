@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -91,7 +92,13 @@ class Engine {
   void exec_array_assign(const zir::Stmt& stmt);
   void exec_scalar_assign(const zir::Stmt& stmt);
 
-  GroupExec build_group_exec(const comm::BlockPlan& block, const comm::CommGroup& group);
+  /// Fills `exec` (a pooled object — retained capacity, `live` reset by the
+  /// caller via acquire_exec) with the group's messages under the current
+  /// loop bindings.
+  void build_group_exec(const comm::BlockPlan& block, const comm::CommGroup& group,
+                        GroupExec& exec);
+  [[nodiscard]] std::unique_ptr<GroupExec> acquire_exec();
+  void recycle_exec(std::unique_ptr<GroupExec> exec);
   void comm_dr(const comm::CommGroup& group, GroupExec& exec);
   void comm_sr(const comm::CommGroup& group, GroupExec& exec);
   void comm_dn(const comm::CommGroup& group, GroupExec& exec);
@@ -119,7 +126,18 @@ class Engine {
   long long reduction_count_ = 0;
   long long dynamic_comm_count_ = 0;  // communications executed (SPMD-wide)
 
-  std::map<int, GroupExec> outstanding_;  // by group id
+  std::map<int, std::unique_ptr<GroupExec>> outstanding_;  // by group id
+
+  // Hot-path allocation recycling (bit-identity preserving: every buffer is
+  // fully rewritten before use). GroupExec objects — message records with
+  // their parts/payload vectors — cycle through a free list so steady-state
+  // communication executes with no per-event allocation once capacities
+  // have grown to the program's working set (gated by bench_micro_passes).
+  std::vector<std::unique_ptr<GroupExec>> exec_pool_;
+  std::vector<char> participated_;        // scratch: per-proc flags
+  std::vector<double> eval_buf_;          // scratch: exec_array_assign RHS
+  std::vector<double> reduce_global_;     // scratch: exec_scalar_assign
+  std::vector<double> reduce_partials_;   // scratch: exec_scalar_assign
 
   // Per-statement cost metadata cache.
   struct StmtCost {

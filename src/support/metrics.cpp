@@ -41,6 +41,7 @@ double Histogram::quantile(double q) const {
 }
 
 void Registry::count(std::string_view name, long long delta) {
+  const std::lock_guard<std::mutex> lk(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -50,6 +51,7 @@ void Registry::count(std::string_view name, long long delta) {
 }
 
 void Registry::gauge(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lk(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -59,6 +61,7 @@ void Registry::gauge(std::string_view name, double value) {
 }
 
 void Registry::observe(std::string_view name, double value, std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lk(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     Histogram h;
@@ -74,28 +77,70 @@ void Registry::observe(std::string_view name, double value, std::vector<double> 
 }
 
 long long Registry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lk(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double Registry::gauge_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lk(mu_);
   const auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 const Histogram* Registry::find_histogram(std::string_view name) const {
+  // The pointer is only stable while no concurrent mutation runs; callers
+  // are single-threaded inspectors (tests, report writers) by contract.
+  const std::lock_guard<std::mutex> lk(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
 bool Registry::empty() const {
+  const std::lock_guard<std::mutex> lk(mu_);
   return counters_.empty() && gauges_.empty() && histograms_.empty();
 }
 
 void Registry::reset() {
+  const std::lock_guard<std::mutex> lk(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
+}
+
+void Registry::merge_from(const Registry& other) {
+  if (&other == this) return;
+  const std::scoped_lock lk(mu_, other.mu_);
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+      continue;
+    }
+    Histogram& mine = it->second;
+    if (h.count == 0) continue;
+    if (mine.count == 0) {
+      mine = h;
+      continue;
+    }
+    if (mine.bounds == h.bounds) {
+      if (mine.buckets.empty()) mine.buckets.assign(mine.bounds.size() + 1, 0);
+      for (std::size_t i = 0; i < mine.buckets.size() && i < h.buckets.size(); ++i) {
+        mine.buckets[i] += h.buckets[i];
+      }
+    } else {
+      // Bounds disagree: keep this histogram's shape and fold the other's
+      // samples into the overflow bucket so the aggregate stays exact.
+      if (mine.buckets.empty()) mine.buckets.assign(mine.bounds.size() + 1, 0);
+      mine.buckets.back() += h.count;
+    }
+    mine.count += h.count;
+    mine.sum += h.sum;
+    mine.min = std::min(mine.min, h.min);
+    mine.max = std::max(mine.max, h.max);
+  }
 }
 
 namespace {
@@ -112,6 +157,7 @@ std::string render(double v) {
 }  // namespace
 
 std::string Registry::to_text() const {
+  const std::lock_guard<std::mutex> lk(mu_);
   std::string out;
   for (const auto& [name, value] : counters_) {
     out += "counter " + name + " " + std::to_string(value) + "\n";
@@ -136,6 +182,7 @@ std::string Registry::to_text() const {
 }
 
 json::Value Registry::to_json() const {
+  const std::lock_guard<std::mutex> lk(mu_);
   using json::Value;
   Value doc = Value::make_object();
   Value counters = Value::make_object();
@@ -174,5 +221,17 @@ Registry& Registry::global() {
   static Registry registry;
   return registry;
 }
+
+namespace {
+thread_local Registry* tl_current = nullptr;
+}  // namespace
+
+Registry& Registry::current() { return tl_current != nullptr ? *tl_current : global(); }
+
+ScopedRegistry::ScopedRegistry(Registry& registry) : previous_(tl_current) {
+  tl_current = &registry;
+}
+
+ScopedRegistry::~ScopedRegistry() { tl_current = previous_; }
 
 }  // namespace zc::metrics

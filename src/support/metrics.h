@@ -3,14 +3,24 @@
 // the driver, the simulation engine, and the optimizer passes, and exposed
 // as text (`name value` lines) or JSON for run reports.
 //
-// The registry is deliberately simple: single-threaded (like the rest of
-// the simulator), no label sets, no time series — it answers "what has this
-// process done so far", which is what the run reports snapshot. Publishing
-// happens at per-plan / per-run granularity, never per message, so the cost
-// is negligible and the simulation's timing and numerics are untouched.
+// The registry is deliberately simple: no label sets, no time series — it
+// answers "what has this process done so far", which is what the run reports
+// snapshot. Publishing happens at per-plan / per-run granularity, never per
+// message, so the cost is negligible and the simulation's timing and
+// numerics are untouched.
+//
+// Threading: every operation on a Registry is mutex-guarded, and the
+// subsystems publish into Registry::current() — a thread-local redirect that
+// defaults to the process-wide global(). The parallel sweep engine
+// (src/exec) installs a private registry per worker task via ScopedRegistry
+// and merges the per-task registries into the submitter's at join, in
+// submission order — so sweep totals are deterministic regardless of how
+// tasks were scheduled, and concurrent runs never interleave writes into one
+// registry.
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,13 +76,42 @@ class Registry {
   /// "histograms": {name: {bounds, buckets, count, sum, min, max}}}.
   [[nodiscard]] json::Value to_json() const;
 
-  /// The process-wide registry the subsystems publish into.
+  /// Folds another registry into this one: counters add, gauges take the
+  /// other's value (last write wins, and `other` is the later run), and
+  /// histograms add bucket-wise when the bounds match — on a bounds mismatch
+  /// the other's samples fold into this histogram's aggregate and overflow
+  /// bucket rather than being dropped. Merging a registry into itself is a
+  /// no-op.
+  void merge_from(const Registry& other);
+
+  /// The process-wide registry.
   static Registry& global();
 
+  /// The registry this thread publishes into: global() unless a
+  /// ScopedRegistry redirect is active.
+  static Registry& current();
+
  private:
+  friend class ScopedRegistry;
+
+  mutable std::mutex mu_;
   std::map<std::string, long long, std::less<>> counters_;
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// RAII redirect of Registry::current() for this thread — the sweep engine
+/// wraps each task in one so every run publishes into its own registry.
+/// Nests (restores the previous redirect on destruction).
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry& registry);
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* previous_;
 };
 
 }  // namespace zc::metrics
