@@ -1,0 +1,290 @@
+// Serve throughput: closed-loop clients driving an in-process
+// serve::Service — the zcomm_serve engine without socket noise — across a
+// jobs x cache-temperature grid:
+//
+//   mode "plan": optimize requests with "run":false over experiment=all
+//     (parse + six plans per request). COLD sends a uniquely-named program
+//     every iteration, so the content-keyed plan cache can never hit; WARM
+//     sends one fixed program, so after a prewarm pass every plan is a
+//     cache hit. The warm/cold throughput ratio is the amortization the
+//     shared cache buys a long-running daemon — the headline this harness
+//     gates on (warm must be >= 3x cold at every jobs level).
+//   mode "run": the same grid with "run":true — simulation dominates, so
+//     the cache's effect shrinks; reported ungated for honesty.
+//
+// Four closed-loop clients per cell (each waits for its "done" line before
+// sending the next request) over service workers --jobs in {1, 2, 4}.
+// Throughput scaling across jobs reports what the host delivers: on a
+// single-core container more workers cannot beat one, and this harness
+// says so rather than inventing a number. Latency quantiles come from the
+// service's own serve.request_seconds histogram.
+//
+// Writes BENCH_serve_throughput.json; exit status is the >= 3x plan-mode
+// acceptance verdict (never the jobs-scaling numbers).
+#include <chrono>
+#include <condition_variable>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/exec/plan_cache.h"
+#include "src/serve/service.h"
+#include "src/support/io.h"
+#include "src/support/json.h"
+#include "src/support/metrics.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kClients = 4;
+constexpr int kItersPerClient = 20;
+
+/// A generated multi-sweep stencil program — large enough that parsing and
+/// planning (what a cache hit skips) is real work, sized like the paper's
+/// benchmarks rather than a toy. The program name makes the plan-cache key
+/// unique, so cold cells mint a fresh key per request and warm cells reuse
+/// one.
+constexpr int kSweeps = 12;
+
+std::string make_source(const std::string& name) {
+  std::string src = "program " + name + R"(;
+
+config n : integer = 8;
+
+region R = [0..n+1, 0..n+1];
+region I = [1..n, 1..n];
+
+direction east = [0, 1], west = [0, -1], north = [-1, 0], south = [1, 0];
+
+var A, B, C, D, E, F : [R] double;
+var err : double;
+
+procedure main() {
+  [R] A := Index1 * 0.5;
+  [R] B := Index2 * 0.25;
+  [R] C := 0.0;
+  [R] D := 1.0;
+  [R] E := 0.0;
+  [R] F := 0.0;
+)";
+  for (int s = 0; s < kSweeps; ++s) {
+    src += R"(  [I] C := 0.25 * (A@east + A@west + A@north + A@south);
+  [I] D := 0.25 * (B@east + B@west + B@north + B@south);
+  [I] E := C@east + D@west + A;
+  [I] F := C@north + D@south + B;
+  [I] err := max<< abs(E - F);
+  [I] A := E;
+  [I] B := F;
+)";
+  }
+  src += "}\n";
+  return src;
+}
+
+std::string escape_newlines(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 16);
+  for (const char c : s) {
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string optimize_line(const std::string& source, bool run, int procs) {
+  // plan_text off: the closed loop measures planning and cache behavior,
+  // not the serialization of six full plan dumps per request.
+  return std::string(R"({"v":1,"cmd":"optimize","id":"b","source":")") +
+         escape_newlines(source) + R"(","experiment":"all","procs":)" +
+         std::to_string(procs) + R"(,"run":)" + (run ? "true" : "false") +
+         R"(,"plan_text":false})";
+}
+
+/// Blocks the closed loop until the request's "done" (or "error") line.
+struct DoneWaiter {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool errored = false;
+
+  zc::serve::Service::Emit emit() {
+    return [this](const std::string& line) {
+      const bool is_done = line.find("\"kind\":\"done\"") != std::string::npos;
+      const bool is_error = line.find("\"kind\":\"error\"") != std::string::npos;
+      if (!is_done && !is_error) return;
+      // Notify under the lock: the waiter owns this object and may move on
+      // (or destroy it) the instant the mutex is released.
+      const std::lock_guard<std::mutex> lk(mu);
+      done = true;
+      errored = is_error;
+      cv.notify_all();
+    };
+  }
+
+  bool wait() {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return done; });
+    const bool ok = !errored;
+    done = false;
+    errored = false;
+    return ok;
+  }
+};
+
+struct Cell {
+  std::string mode;  // "plan" | "run"
+  std::string cache; // "cold" | "warm"
+  int jobs = 0;
+  long long requests = 0;
+  long long failures = 0;
+  double wall_s = 0.0;
+  double reqs_per_sec = 0.0;
+  double p50_s = 0.0;
+  double p90_s = 0.0;
+  double p99_s = 0.0;
+  double hit_rate = 0.0;
+};
+
+Cell run_cell(const std::string& mode, bool warm, int jobs, int procs) {
+  using namespace zc;
+  const bool run = mode == "run";
+
+  exec::PlanCache cache;
+  serve::ServiceOptions sopts;
+  sopts.jobs = jobs;
+  sopts.max_queue_depth = kClients * 2;
+  sopts.plan_cache = &cache;
+  serve::Service service(sopts);
+
+  if (warm) {
+    // One untimed pass fills the program and plan caches.
+    DoneWaiter w;
+    service.handle_line("prewarm", optimize_line(make_source("warmprog"), run, procs),
+                        w.emit());
+    w.wait();
+  }
+
+  std::vector<long long> failures(kClients, 0);
+  const Clock::time_point start = Clock::now();
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        DoneWaiter w;
+        for (int i = 0; i < kItersPerClient; ++i) {
+          // Cold: a name never seen by this service -> guaranteed misses.
+          // Warm: everyone asks for the prewarmed program -> pure hits.
+          const std::string name =
+              warm ? "warmprog"
+                   : "cold_c" + std::to_string(c) + "_i" + std::to_string(i);
+          service.handle_line("client" + std::to_string(c),
+                              optimize_line(make_source(name), run, procs),
+                              w.emit());
+          if (!w.wait()) ++failures[static_cast<std::size_t>(c)];
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+
+  Cell cell;
+  cell.mode = mode;
+  cell.cache = warm ? "warm" : "cold";
+  cell.jobs = jobs;
+  cell.requests = static_cast<long long>(kClients) * kItersPerClient;
+  for (const long long f : failures) cell.failures += f;
+  cell.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  cell.reqs_per_sec = cell.wall_s > 0.0
+                          ? static_cast<double>(cell.requests) / cell.wall_s
+                          : 0.0;
+  const metrics::Histogram* h =
+      service.registry().find_histogram("serve.request_seconds");
+  if (h != nullptr) {
+    cell.p50_s = h->quantile(0.50);
+    cell.p90_s = h->quantile(0.90);
+    cell.p99_s = h->quantile(0.99);
+  }
+  cell.hit_rate = cache.stats().hit_rate();
+  service.drain();
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zc;
+  bench::Options options = bench::parse_options(argc, argv);
+  const int procs = options.procs;
+
+  std::cout << "== Serve throughput: closed-loop clients vs the shared plan cache ==\n"
+            << kClients << " clients x " << kItersPerClient
+            << " requests each per cell, experiment=all, procs=" << procs
+            << ", host cores: " << std::thread::hardware_concurrency() << "\n\n";
+
+  std::vector<Cell> cells;
+  bool accept = true;
+  long long failures = 0;
+  for (const std::string& mode : {std::string("plan"), std::string("run")}) {
+    for (const int jobs : {1, 2, 4}) {
+      const Cell cold = run_cell(mode, /*warm=*/false, jobs, procs);
+      const Cell warm = run_cell(mode, /*warm=*/true, jobs, procs);
+      const double ratio =
+          cold.reqs_per_sec > 0.0 ? warm.reqs_per_sec / cold.reqs_per_sec : 0.0;
+      std::cout << "mode " << mode << ", jobs " << jobs << ": cold "
+                << cold.reqs_per_sec << " req/s (p50 " << cold.p50_s << " s, hit rate "
+                << cold.hit_rate << "), warm " << warm.reqs_per_sec << " req/s (p50 "
+                << warm.p50_s << " s, hit rate " << warm.hit_rate << "), warm/cold "
+                << ratio << "x\n";
+      if (mode == "plan" && ratio < 3.0) accept = false;
+      failures += cold.failures + warm.failures;
+      cells.push_back(cold);
+      cells.push_back(warm);
+    }
+  }
+  std::cout << "\n"
+            << (accept ? "acceptance: plan-mode warm/cold throughput >= 3x at every "
+                         "jobs level\n"
+                       : "acceptance: FAILED — plan-mode warm/cold ratio under 3x\n");
+  if (failures > 0) {
+    std::cout << "request failures: " << failures << " (expected 0)\n";
+  }
+
+  if (options.bench_json_path.has_value()) {
+    json::Value doc = json::Value::make_object();
+    doc["schema"] = json::Value::make_str("zcomm-bench-serve-throughput");
+    doc["bench"] = json::Value::make_str(options.bench_name);
+    doc["clients"] = json::Value::make_int(kClients);
+    doc["iters_per_client"] = json::Value::make_int(kItersPerClient);
+    doc["procs"] = json::Value::make_int(procs);
+    doc["host_cores"] =
+        json::Value::make_int(static_cast<long long>(std::thread::hardware_concurrency()));
+    json::Value rows = json::Value::make_array();
+    for (const Cell& c : cells) {
+      json::Value row = json::Value::make_object();
+      row["mode"] = json::Value::make_str(c.mode);
+      row["cache"] = json::Value::make_str(c.cache);
+      row["jobs"] = json::Value::make_int(c.jobs);
+      row["requests"] = json::Value::make_int(c.requests);
+      row["failures"] = json::Value::make_int(c.failures);
+      row["wall_s"] = json::Value::make_num(c.wall_s);
+      row["reqs_per_sec"] = json::Value::make_num(c.reqs_per_sec);
+      row["p50_s"] = json::Value::make_num(c.p50_s);
+      row["p90_s"] = json::Value::make_num(c.p90_s);
+      row["p99_s"] = json::Value::make_num(c.p99_s);
+      row["plan_cache_hit_rate"] = json::Value::make_num(c.hit_rate);
+      rows.push_back(std::move(row));
+    }
+    doc["cells"] = std::move(rows);
+    doc["warm_ge_3x_cold_plan_mode"] = json::Value::make_bool(accept);
+    io::write_text_file(*options.bench_json_path, doc.dump() + "\n");
+    std::cout << "(wrote " << *options.bench_json_path << ")\n";
+  }
+  return accept && failures == 0 ? 0 : 1;
+}

@@ -217,6 +217,13 @@ std::vector<std::string> split_list(const std::string& s) {
   return out;
 }
 
+// One-line reminder of the accepted --sweep grammar, printed with every
+// spec diagnostic so a typo never strands the user in --help.
+void print_sweep_usage() {
+  std::cerr << "usage: --sweep \"bench=tomcatv,swm;experiment=pl,cc|all;"
+               "procs=4,16;repeat=2\" (keys: bench, experiment, procs, repeat)\n";
+}
+
 int run_sweep_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) {
   using namespace zc;
 
@@ -236,6 +243,7 @@ int run_sweep_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) {
     const std::size_t eq = field.find('=');
     if (eq == std::string::npos) {
       std::cerr << "--sweep field '" << field << "' is not key=value\n";
+      print_sweep_usage();
       return 1;
     }
     const std::string key = field.substr(0, eq);
@@ -250,6 +258,7 @@ int run_sweep_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) {
         const int p = std::atoi(v.c_str());
         if (p <= 0) {
           std::cerr << "--sweep procs value '" << v << "' is not a positive integer\n";
+          print_sweep_usage();
           return 1;
         }
         procs_list.push_back(p);
@@ -258,14 +267,17 @@ int run_sweep_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) {
       repeat = std::atoi(value.c_str());
       if (repeat <= 0) {
         std::cerr << "--sweep repeat value '" << value << "' is not a positive integer\n";
+        print_sweep_usage();
         return 1;
       }
     } else {
-      std::cerr << "--sweep has no key '" << key << "' (bench, experiment, procs, repeat)\n";
+      std::cerr << "--sweep has no key '" << key << "'\n";
+      print_sweep_usage();
       return 1;
     }
     if (benches.empty() || experiment_names.empty() || procs_list.empty()) {
       std::cerr << "--sweep key '" << key << "' needs at least one value\n";
+      print_sweep_usage();
       return 1;
     }
   }
@@ -278,7 +290,9 @@ int run_sweep_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) {
     }
     auto e = driver::find_experiment(name);
     if (!e) {
-      std::cerr << "unknown experiment '" << name << "' (see --help)\n";
+      std::cerr << "unknown experiment '" << name << "' (baseline, rr, cc, pl, "
+                   "\"pl with shmem\", \"pl with max latency\", all)\n";
+      print_sweep_usage();
       return 1;
     }
     experiments.push_back(std::move(*e));

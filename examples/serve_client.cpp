@@ -1,0 +1,179 @@
+// serve_client: a line-oriented client for the zcomm_serve daemon.
+//
+// Connects to a running daemon (--socket PATH or --tcp PORT on loopback),
+// sends every JSON-line request read from stdin (or given via --line, in
+// order), prints every response line to stdout, and exits once the server
+// has answered each request with its terminal line — pong / stats /
+// shutdown for the control commands, done or error for optimize (a
+// malformed line also terminates with one error). Exit status is 0 iff
+// every request terminated without an error response.
+//
+//   echo '{"v":1,"cmd":"optimize","id":"r1","bench":"jacobi","procs":4}' |
+//     serve_client --socket /tmp/zcomm.sock
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/support/diag.h"
+#include "src/support/json.h"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: serve_client (--socket PATH | --tcp PORT) [--line JSON]...\n"
+        "  sends JSON-line requests (stdin when no --line is given) to a\n"
+        "  running zcomm_serve daemon and prints the response stream\n";
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// True for the line that ends a request's response stream.
+bool is_terminal(const std::string& line, bool& is_error) {
+  try {
+    const zc::json::Value v = zc::json::parse(line);
+    const std::string& kind = v.at("kind").string;
+    is_error = kind == "error";
+    return is_error || kind == "pong" || kind == "stats" ||
+           kind == "shutdown" || kind == "done";
+  } catch (const zc::Error&) {
+    is_error = true;  // an unparseable response is a protocol breach
+    return true;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  int tcp_port = -1;
+  std::vector<std::string> lines;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = value();
+    } else if (arg == "--tcp") {
+      tcp_port = std::stoi(value());
+    } else if (arg == "--line") {
+      lines.push_back(value());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "error: unknown flag " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (socket_path.empty() == (tcp_port < 0)) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  const int fd = socket_path.empty() ? connect_tcp(tcp_port) : connect_unix(socket_path);
+  if (fd < 0) {
+    std::cerr << "error: cannot connect ("
+              << (socket_path.empty() ? "tcp " + std::to_string(tcp_port)
+                                      : socket_path)
+              << "): " << std::strerror(errno) << "\n";
+    return 1;
+  }
+
+  if (lines.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+  }
+  std::size_t pending = lines.size();
+  for (const std::string& line : lines) {
+    if (!send_all(fd, line + "\n")) {
+      std::cerr << "error: send failed: " << std::strerror(errno) << "\n";
+      ::close(fd);
+      return 1;
+    }
+  }
+
+  // Read until every request has its terminal line (or the server closes).
+  bool any_error = false;
+  std::string buffer;
+  char chunk[4096];
+  while (pending > 0) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // daemon closed (e.g. after a shutdown request)
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      std::cout << line << "\n";
+      bool is_error = false;
+      if (is_terminal(line, is_error) && pending > 0) {
+        --pending;
+        any_error = any_error || is_error;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  std::cout.flush();
+  ::close(fd);
+  if (pending > 0) {
+    std::cerr << "error: server closed with " << pending << " request(s) unanswered\n";
+    return 1;
+  }
+  return any_error ? 1 : 0;
+}

@@ -1,0 +1,144 @@
+// zcomm_serve: the long-running plan-optimization daemon. Clients send
+// JSON-line requests ("optimize program P for machine M at options O; run
+// it and stream back the plan, the run report, and attribution") over a
+// Unix-domain socket, loopback TCP, or stdin; every answer is served from
+// the process-wide content-keyed plan cache, so concurrent clients asking
+// for the same configuration share one planning run.
+//
+// Build & run:  cmake --build build && ./build/examples/zcomm_serve
+//
+//   zcomm_serve                              # serve stdin -> stdout
+//   zcomm_serve --socket /tmp/zcomm.sock     # Unix-domain listener
+//   zcomm_serve --tcp 7070                   # loopback TCP (0 = ephemeral)
+//   zcomm_serve --requests batch.jsonl       # answer a file of requests, exit
+//   echo '{"v":1,"cmd":"optimize","id":"r1","bench":"tomcatv",
+//          "experiment":"pl","procs":16}' | zcomm_serve
+//
+// Protocol (see src/serve/protocol.h): one JSON object per line, each
+// stamped "v":1. {"cmd":"stats"} reports request counts, latency
+// quantiles, plan-cache hit rate, and queue depth; {"cmd":"shutdown"} (or
+// SIGINT/SIGTERM) drains gracefully — admitted requests finish and answer
+// before the process exits.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "src/serve/server.h"
+#include "src/support/diag.h"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "usage: zcomm_serve [options]\n"
+      "  --socket <path>       listen on a Unix-domain socket\n"
+      "  --tcp <port>          listen on loopback TCP (0 = kernel-chosen;\n"
+      "                        the bound port prints on stderr)\n"
+      "  --stdin               serve stdin -> stdout (the default when no\n"
+      "                        listener is configured)\n"
+      "  --requests <file>     serve the file's request lines to stdout,\n"
+      "                        drain, and exit\n"
+      "  --jobs <N>            worker threads for admitted requests\n"
+      "                        (default 2)\n"
+      "  --batch-jobs <N>      exec::ThreadPool width for one request's\n"
+      "                        run grid (default 1)\n"
+      "  --max-queue <N>       admission cap: requests queued + executing\n"
+      "                        (default 64; beyond it clients get\n"
+      "                        \"overloaded\" + retry_after_ms)\n"
+      "  --retry-after-ms <N>  backoff stamped on overload responses\n"
+      "                        (default 50)\n"
+      "  --help\n";
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zc;
+
+  serve::ServerOptions opt;
+  std::string requests_path;
+  bool stdin_requested = false;
+  bool tcp_requested = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value (see --help)\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto int_value = [&](const char* flag, int min) -> int {
+      const std::string v = value(flag);
+      const int n = std::atoi(v.c_str());
+      if (n < min || (n == 0 && v != "0")) {
+        std::cerr << flag << " value '" << v << "' is not an integer >= " << min
+                  << "\n";
+        std::exit(2);
+      }
+      return n;
+    };
+    if (a == "--socket") opt.unix_socket_path = value("--socket");
+    else if (a == "--tcp") { opt.tcp_port = int_value("--tcp", 0); tcp_requested = true; }
+    else if (a == "--stdin") stdin_requested = true;
+    else if (a == "--requests") requests_path = value("--requests");
+    else if (a == "--jobs") opt.service.jobs = int_value("--jobs", 1);
+    else if (a == "--batch-jobs") opt.service.batch_jobs = int_value("--batch-jobs", 1);
+    else if (a == "--max-queue") opt.service.max_queue_depth = int_value("--max-queue", 1);
+    else if (a == "--retry-after-ms") opt.service.retry_after_ms = int_value("--retry-after-ms", 0);
+    else if (a == "--help" || a == "-h") usage(0);
+    else {
+      std::cerr << "unknown option '" << a << "' (see --help)\n";
+      return 2;
+    }
+  }
+  if (!tcp_requested) opt.tcp_port = -1;
+
+  try {
+    if (!requests_path.empty()) {
+      // Batch mode: the stdin path with a file instead — handy for smoke
+      // tests and scripted use. Responses stream to stdout as they finish.
+      std::ifstream in(requests_path);
+      if (!in) {
+        std::cerr << "error: cannot open requests file '" << requests_path << "'\n";
+        return 1;
+      }
+      serve::Service service(opt.service);
+      std::mutex out_mu;
+      const auto emit = [&out_mu](const std::string& line) {
+        const std::lock_guard<std::mutex> lk(out_mu);
+        std::cout << line << '\n';
+      };
+      std::string line;
+      bool keep_serving = true;
+      while (keep_serving && std::getline(in, line)) {
+        if (line.empty()) continue;
+        keep_serving = service.handle_line("file", line, emit);
+      }
+      service.drain();
+      return 0;
+    }
+
+    opt.serve_stdin =
+        stdin_requested || (opt.unix_socket_path.empty() && !tcp_requested);
+    serve::Server server(opt);
+    serve::Server::install_signal_handlers(server);
+    if (!opt.unix_socket_path.empty()) {
+      std::cerr << "zcomm_serve: listening on unix socket " << opt.unix_socket_path
+                << "\n";
+    }
+    if (tcp_requested) {
+      std::cerr << "zcomm_serve: listening on 127.0.0.1:" << server.tcp_port()
+                << "\n";
+    }
+    if (opt.serve_stdin) std::cerr << "zcomm_serve: serving stdin\n";
+    return server.run();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,229 @@
+#include "src/serve/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace zc::serve {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+std::string OptimizeRequest::label() const {
+  std::string out = bench.empty() ? "<inline>" : bench;
+  out += '/';
+  for (std::size_t i = 0; i < experiments.size(); ++i) {
+    if (i > 0) out += ',';
+    out += experiments[i];
+  }
+  out += '/';
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += 'p' + std::to_string(procs[i]);
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& message, long long offset = -1) {
+  throw RequestError(ErrorCode::kBadRequest, message, offset);
+}
+
+/// The byte offset a json parse error message carries ("... at offset N: ..."),
+/// surfaced as a first-class response field; -1 when absent.
+long long extract_offset(std::string_view what) {
+  const std::string_view marker = "at offset ";
+  const std::size_t pos = what.find(marker);
+  if (pos == std::string_view::npos) return -1;
+  return std::atoll(std::string(what.substr(pos + marker.size())).c_str());
+}
+
+/// A strictly integral JSON number in [lo, hi]; `where` names the field.
+long long require_int(const json::Value& v, const std::string& where, long long lo,
+                      long long hi) {
+  if (!v.is_number()) bad("'" + where + "' must be a number");
+  const double d = v.number;
+  if (!(d == std::floor(d)) || std::isinf(d)) bad("'" + where + "' must be an integer");
+  const long long n = static_cast<long long>(d);
+  if (n < lo || n > hi) {
+    bad("'" + where + "' must be between " + std::to_string(lo) + " and " +
+        std::to_string(hi));
+  }
+  return n;
+}
+
+bool require_bool(const json::Value& v, const std::string& where) {
+  if (v.kind != json::Value::Kind::kBool) bad("'" + where + "' must be true or false");
+  return v.boolean;
+}
+
+std::string require_str(const json::Value& v, const std::string& where) {
+  if (!v.is_string()) bad("'" + where + "' must be a string");
+  return v.string;
+}
+
+void parse_optimize(const json::Value& doc, OptimizeRequest& o) {
+  const bool has_bench = doc.has("bench");
+  const bool has_source = doc.has("source");
+  if (has_bench == has_source) {
+    bad("an optimize request needs exactly one of 'bench' or 'source'");
+  }
+  if (has_bench) {
+    o.bench = require_str(doc.at("bench"), "bench");
+    if (o.bench.empty()) bad("'bench' must not be empty");
+  } else {
+    o.source = require_str(doc.at("source"), "source");
+    if (o.source.empty()) bad("'source' must not be empty");
+  }
+
+  if (doc.has("experiment")) {
+    const json::Value& e = doc.at("experiment");
+    o.experiments.clear();
+    if (e.is_string()) {
+      o.experiments.push_back(e.string);
+    } else if (e.is_array()) {
+      if (e.array.empty()) bad("'experiment' must name at least one experiment");
+      for (const json::Value& item : e.array) {
+        o.experiments.push_back(require_str(item, "experiment"));
+      }
+    } else {
+      bad("'experiment' must be a string or an array of strings");
+    }
+    for (const std::string& name : o.experiments) {
+      if (name.empty()) bad("'experiment' must not contain empty names");
+    }
+  }
+
+  if (doc.has("procs")) {
+    const json::Value& p = doc.at("procs");
+    o.procs.clear();
+    // The upper bound here is syntactic sanity; the service applies its own
+    // configurable max_procs admission cap on top.
+    constexpr long long kMax = 1 << 20;
+    if (p.is_number()) {
+      o.procs.push_back(static_cast<int>(require_int(p, "procs", 1, kMax)));
+    } else if (p.is_array()) {
+      if (p.array.empty()) bad("'procs' must name at least one processor count");
+      for (const json::Value& item : p.array) {
+        o.procs.push_back(static_cast<int>(require_int(item, "procs", 1, kMax)));
+      }
+    } else {
+      bad("'procs' must be a positive integer or an array of them");
+    }
+  }
+
+  if (doc.has("machine")) {
+    o.machine = require_str(doc.at("machine"), "machine");
+    if (o.machine != "t3d" && o.machine != "paragon") {
+      bad("'machine' must be \"t3d\" or \"paragon\"");
+    }
+  }
+
+  if (doc.has("config")) {
+    const json::Value& c = doc.at("config");
+    if (!c.is_object()) bad("'config' must be an object of integer overrides");
+    for (const auto& [key, value] : c.object) {
+      o.config_overrides[key] =
+          require_int(value, "config." + key, -(1LL << 40), 1LL << 40);
+    }
+  }
+
+  if (doc.has("run")) o.run = require_bool(doc.at("run"), "run");
+  if (doc.has("plan_text")) {
+    o.plan_text = require_bool(doc.at("plan_text"), "plan_text");
+  }
+  if (doc.has("trace")) o.trace = require_bool(doc.at("trace"), "trace");
+  if (doc.has("blame")) o.blame = require_bool(doc.at("blame"), "blame");
+  if (doc.has("critical_path")) {
+    o.critical_path = require_bool(doc.at("critical_path"), "critical_path");
+  }
+  if (o.blame || o.critical_path) o.trace = true;
+  if (o.trace && !o.run) bad("'trace' (or blame/critical_path) requires 'run'");
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line, const json::ParseLimits& limits) {
+  json::Value doc;
+  try {
+    doc = json::parse(line, limits);
+  } catch (const Error& e) {
+    throw RequestError(ErrorCode::kBadRequest, e.what(), extract_offset(e.what()));
+  }
+  if (!doc.is_object()) bad("a request must be a JSON object");
+
+  if (!doc.has("v")) bad("missing required member 'v'");
+  if (require_int(doc.at("v"), "v", 0, 1LL << 30) != kProtocolVersion) {
+    bad("unsupported protocol version (this server speaks v" +
+        std::to_string(kProtocolVersion) + ")");
+  }
+  if (!doc.has("cmd")) bad("missing required member 'cmd'");
+  const std::string cmd = require_str(doc.at("cmd"), "cmd");
+
+  Request req;
+  if (doc.has("id")) req.id = require_str(doc.at("id"), "id");
+
+  static const std::vector<std::string> kCommon = {"v", "cmd", "id"};
+  static const std::vector<std::string> kOptimizeOnly = {
+      "bench",  "source", "experiment", "procs",
+      "config", "machine", "run",       "plan_text",
+      "trace",  "blame",  "critical_path"};
+
+  if (cmd == "ping") {
+    req.cmd = Request::Cmd::kPing;
+  } else if (cmd == "stats") {
+    req.cmd = Request::Cmd::kStats;
+  } else if (cmd == "shutdown") {
+    req.cmd = Request::Cmd::kShutdown;
+  } else if (cmd == "optimize") {
+    req.cmd = Request::Cmd::kOptimize;
+  } else {
+    bad("unknown cmd '" + cmd + "' (expected optimize, stats, ping, or shutdown)");
+  }
+
+  for (const auto& [key, value] : doc.object) {
+    (void)value;
+    if (std::find(kCommon.begin(), kCommon.end(), key) != kCommon.end()) continue;
+    if (req.cmd == Request::Cmd::kOptimize &&
+        std::find(kOptimizeOnly.begin(), kOptimizeOnly.end(), key) !=
+            kOptimizeOnly.end()) {
+      continue;
+    }
+    bad("unknown member '" + key + "' for cmd '" + cmd + "'");
+  }
+
+  if (req.cmd == Request::Cmd::kOptimize) parse_optimize(doc, req.optimize);
+  return req;
+}
+
+json::Value response_base(std::string_view kind, const std::string& id, int seq) {
+  json::Value v = json::Value::make_object();
+  v["v"] = json::Value::make_int(kProtocolVersion);
+  v["kind"] = json::Value::make_str(std::string(kind));
+  v["id"] = json::Value::make_str(id);
+  v["seq"] = json::Value::make_int(seq);
+  return v;
+}
+
+json::Value error_response(const std::string& id, ErrorCode code,
+                           const std::string& message, long long offset,
+                           int retry_after_ms) {
+  json::Value v = response_base("error", id, 0);
+  json::Value err = json::Value::make_object();
+  err["code"] = json::Value::make_str(std::string(to_string(code)));
+  err["message"] = json::Value::make_str(message);
+  if (offset >= 0) err["offset"] = json::Value::make_int(offset);
+  if (retry_after_ms >= 0) err["retry_after_ms"] = json::Value::make_int(retry_after_ms);
+  v["error"] = std::move(err);
+  return v;
+}
+
+}  // namespace zc::serve

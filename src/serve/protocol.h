@@ -1,0 +1,113 @@
+// Wire protocol for the zcomm_serve daemon: one JSON object per line in,
+// one or more JSON objects per line out (a "JSON-lines" stream). The
+// schema is versioned ("v": 1 on every message, both directions) and
+// parsing is strict: unknown members, wrong types, missing required
+// fields, and out-of-range values are rejected with a structured error
+// response — the daemon never crashes on malformed input (the parser
+// itself is bounded by json::ParseLimits).
+//
+// Requests ("cmd" selects):
+//   {"v":1, "cmd":"ping", "id":...}
+//   {"v":1, "cmd":"stats", "id":...}
+//   {"v":1, "cmd":"shutdown", "id":...}
+//   {"v":1, "cmd":"optimize", "id":"r1",
+//    "bench":"tomcatv" | "source":"<mini-ZPL>",   // exactly one
+//    "experiment":"pl" | ["cc","pl"] | "all",      // default "pl"
+//    "procs":16 | [4,16],                          // default [16]
+//    "machine":"t3d" | "paragon",                  // default "t3d"
+//    "config":{"n":64, ...},                       // config overrides
+//    "run":true, "plan_text":true, "trace":false,
+//    "blame":false, "critical_path":false}         // blame/cp imply trace
+//
+// Responses: control commands answer with a single line; an admitted
+// optimize request streams, per experiment, a "plan" line, then per
+// processor count a "report" line (run-report schema v3, src/driver/
+// report.h) plus optional "blame" / "critical_path" lines, and finally
+// one "done" line. Every line carries the request's "id" and a
+// monotonically increasing "seq". Errors are
+//   {"v":1, "kind":"error", "id":..., "seq":0,
+//    "error":{"code":"bad_request"|"overloaded"|"shutting_down"|
+//             "internal", "message":..., "offset":N?, "retry_after_ms":N?}}
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/diag.h"
+#include "src/support/json.h"
+
+namespace zc::serve {
+
+/// Protocol version stamped on (and required of) every message.
+inline constexpr int kProtocolVersion = 1;
+
+/// Wire error codes (stable strings; see to_string).
+enum class ErrorCode {
+  kBadRequest,    ///< malformed JSON or invalid/unknown fields
+  kOverloaded,    ///< admission queue full; retry after retry_after_ms
+  kShuttingDown,  ///< daemon is draining; no new work admitted
+  kInternal,      ///< unexpected server-side failure
+};
+
+[[nodiscard]] std::string_view to_string(ErrorCode code);
+
+/// A request that failed validation: carries the wire error code and,
+/// when the failure was a JSON syntax/limit error, the byte offset into
+/// the request line where parsing stopped (-1 otherwise).
+class RequestError : public Error {
+ public:
+  RequestError(ErrorCode error_code, const std::string& message,
+               long long byte_offset = -1)
+      : Error(message), code(error_code), offset(byte_offset) {}
+
+  ErrorCode code;
+  long long offset;
+};
+
+/// The work grid of one "optimize" request: (program) x experiments x procs.
+struct OptimizeRequest {
+  std::string bench;   ///< named benchmark/kernel; empty when `source` given
+  std::string source;  ///< inline mini-ZPL; empty when `bench` given
+  std::vector<std::string> experiments{"pl"};  ///< "all" expanded by the service
+  std::vector<int> procs{16};
+  std::string machine = "t3d";  ///< "t3d" | "paragon"
+  std::map<std::string, long long> config_overrides;
+  bool run = true;    ///< false = plan only (no simulation, no reports)
+  bool plan_text = true;  ///< false drops plan_text from plan lines (cheap
+                          ///< cache-warming / counting clients)
+  bool trace = false;
+  bool blame = false;          ///< implies trace
+  bool critical_path = false;  ///< implies trace
+
+  /// A stable one-line label for logs/metrics ("tomcatv/pl,cc/p4,p16").
+  [[nodiscard]] std::string label() const;
+};
+
+struct Request {
+  enum class Cmd { kPing, kStats, kShutdown, kOptimize };
+
+  Cmd cmd = Cmd::kPing;
+  std::string id;            ///< echoed on every response line; may be empty
+  OptimizeRequest optimize;  ///< meaningful iff cmd == kOptimize
+};
+
+/// Parses and strictly validates one request line. Throws RequestError
+/// (code kBadRequest) on any syntax, schema, or range violation; never
+/// anything else, for any input within `limits`.
+[[nodiscard]] Request parse_request(std::string_view line,
+                                    const json::ParseLimits& limits = {});
+
+/// A response skeleton: {"v":1, "kind":kind, "id":id, "seq":seq}.
+[[nodiscard]] json::Value response_base(std::string_view kind, const std::string& id,
+                                        int seq);
+
+/// A structured error line. `offset` attaches only when >= 0;
+/// `retry_after_ms` only when >= 0 (the overload response sets it).
+[[nodiscard]] json::Value error_response(const std::string& id, ErrorCode code,
+                                         const std::string& message,
+                                         long long offset = -1,
+                                         int retry_after_ms = -1);
+
+}  // namespace zc::serve

@@ -1,0 +1,278 @@
+#include "src/serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+
+#include <iostream>
+#include <utility>
+
+#include "src/support/diag.h"
+
+namespace zc::serve {
+
+/// One accepted socket: the fd plus the write lock serializing response
+/// lines (service workers emit concurrently with the reader's synchronous
+/// error responses). shared_ptr-owned by the server's connection list and
+/// by every in-flight emit closure.
+struct Server::Connection {
+  int fd = -1;
+  std::string client;
+  std::mutex write_mu;
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void write_line(const std::string& line) {
+    const std::lock_guard<std::mutex> lk(write_mu);
+    if (fd < 0) return;
+    std::string out = line;
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) return;  // client went away; the response is dropped
+      off += static_cast<std::size_t>(n);
+    }
+  }
+};
+
+namespace {
+
+int make_listener_unix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw Error("unix socket path '" + path + "' is too long");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("socket(AF_UNIX) failed: " + std::string(std::strerror(errno)));
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("bind('" + path + "') failed: " + std::string(std::strerror(err)));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("listen('" + path + "') failed: " + std::string(std::strerror(err)));
+  }
+  return fd;
+}
+
+int make_listener_tcp(int port, int& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("socket(AF_INET) failed: " + std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("bind(127.0.0.1:" + std::to_string(port) +
+                ") failed: " + std::string(std::strerror(err)));
+  }
+  if (::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw Error("listen failed: " + std::string(std::strerror(err)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+std::atomic<Server*> g_signal_server{nullptr};
+
+void on_stop_signal(int) {
+  Server* server = g_signal_server.load(std::memory_order_relaxed);
+  if (server != nullptr) server->request_stop();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {
+  if (::pipe(stop_pipe_) != 0) {
+    throw Error("pipe() failed: " + std::string(std::strerror(errno)));
+  }
+  if (!options_.unix_socket_path.empty()) {
+    unix_fd_ = make_listener_unix(options_.unix_socket_path);
+  }
+  if (options_.tcp_port >= 0) {
+    tcp_fd_ = make_listener_tcp(options_.tcp_port, tcp_port_);
+  }
+}
+
+Server::~Server() {
+  request_stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  shutdown_listeners();
+  service_.drain();
+  {
+    const std::lock_guard<std::mutex> lk(conns_mu_);
+    for (const std::shared_ptr<Connection>& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (g_signal_server.load() == this) g_signal_server.store(nullptr);
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+}
+
+void Server::request_stop() {
+  stopping_.store(true);
+  const char byte = 's';
+  // The only thing a signal handler does — async-signal-safe by POSIX.
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+}
+
+void Server::install_signal_handlers(Server& server) {
+  g_signal_server.store(&server);
+  struct sigaction sa{};
+  sa.sa_handler = on_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: a blocked stdin read returns EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd fds[3];
+    nfds_t n = 0;
+    fds[n++] = pollfd{stop_pipe_[0], POLLIN, 0};
+    if (unix_fd_ >= 0) fds[n++] = pollfd{unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[n++] = pollfd{tcp_fd_, POLLIN, 0};
+    if (::poll(fds, n, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) break;  // request_stop
+    for (nfds_t i = 1; i < n; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const bool is_unix = fds[i].fd == unix_fd_;
+      const int client_fd = ::accept(fds[i].fd, nullptr, nullptr);
+      if (client_fd < 0) continue;
+      auto conn = std::make_shared<Connection>();
+      conn->fd = client_fd;
+      {
+        const std::lock_guard<std::mutex> lk(conns_mu_);
+        conn->client =
+            (is_unix ? "unix:" : "tcp:") + std::to_string(next_client_++);
+        conns_.push_back(conn);
+        conn_threads_.emplace_back([this, conn] { serve_connection(conn); });
+      }
+    }
+  }
+}
+
+void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
+  const auto emit = [conn](const std::string& line) { conn->write_line(line); };
+  std::string buffer;
+  char chunk[4096];
+  const std::size_t max_line = options_.service.max_line_bytes;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF, client reset, or teardown's shutdown()
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string_view line(buffer.data() + start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      if (!service_.handle_line(conn->client, line, emit)) {
+        request_stop();  // {"cmd":"shutdown"}
+      }
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > max_line) {
+      // A "line" past the request size limit with no newline in sight:
+      // answer once and drop the connection rather than buffer unboundedly.
+      emit(error_response("", ErrorCode::kBadRequest,
+                          "request line exceeds the " + std::to_string(max_line) +
+                              "-byte limit")
+               .dump(0));
+      break;
+    }
+  }
+}
+
+void Server::shutdown_listeners() {
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    ::unlink(options_.unix_socket_path.c_str());
+    unix_fd_ = -1;
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+}
+
+void Server::run_stdin() {
+  std::mutex out_mu;
+  const auto emit = [&out_mu](const std::string& line) {
+    const std::lock_guard<std::mutex> lk(out_mu);
+    std::cout << line << '\n' << std::flush;
+  };
+  std::string line;
+  while (!stopping_.load() && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (!service_.handle_line("stdin", line, emit)) {
+      request_stop();
+      break;
+    }
+  }
+  // Responses for still-admitted requests must flush before run() returns,
+  // so the drain happens before stdout goes quiet.
+  service_.drain();
+}
+
+int Server::run() {
+  ::signal(SIGPIPE, SIG_IGN);
+  const bool have_listeners = unix_fd_ >= 0 || tcp_fd_ >= 0;
+  if (have_listeners) {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+  if (options_.serve_stdin) {
+    run_stdin();
+    request_stop();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  shutdown_listeners();  // no new connections while we drain
+  service_.drain();      // every admitted request answers its client
+  {
+    const std::lock_guard<std::mutex> lk(conns_mu_);
+    for (const std::shared_ptr<Connection>& conn : conns_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+  return 0;
+}
+
+}  // namespace zc::serve

@@ -1,0 +1,84 @@
+// Transport for the zcomm_serve daemon: accepts JSON-line requests over a
+// Unix-domain socket, a loopback TCP socket, and/or stdin, and feeds them
+// to serve::Service. One reader thread per connection; response lines are
+// written under a per-connection mutex because admitted requests answer
+// later from service workers. Connection state is shared_ptr-owned so a
+// response for a client that already disconnected writes into a closed
+// socket (and is dropped) instead of a dangling one.
+//
+// Shutdown: run() returns after (a) a {"cmd":"shutdown"} request, (b)
+// request_stop() — which install_signal_handlers() wires to SIGINT and
+// SIGTERM via a self-pipe — or (c) EOF on stdin when stdin serving is on.
+// All paths drain gracefully: listeners close first (no new connections),
+// the service finishes every admitted request (their responses still
+// reach their clients), then connections close and reader threads join.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/service.h"
+
+namespace zc::serve {
+
+struct ServerOptions {
+  std::string unix_socket_path;  ///< empty = no Unix listener
+  int tcp_port = -1;             ///< -1 = no TCP; 0 = kernel-chosen port
+  bool serve_stdin = false;      ///< read requests from stdin, answer on stdout
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  /// Binds the configured listeners (throws zc::Error on bind/listen
+  /// failure) but accepts nothing until run().
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves until shutdown (see file comment). Returns 0 on a clean
+  /// drain. Callable once.
+  int run();
+
+  /// Asynchronously asks run() to stop and drain. Safe from any thread
+  /// and from signal handlers (a single write to a pipe).
+  void request_stop();
+
+  /// The bound TCP port (resolves tcp_port == 0), -1 when TCP is off.
+  [[nodiscard]] int tcp_port() const { return tcp_port_; }
+
+  [[nodiscard]] Service& service() { return service_; }
+
+  /// Points SIGINT/SIGTERM at the given server's request_stop (replacing
+  /// any previous registration).
+  static void install_signal_handlers(Server& server);
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Connection>& conn);
+  void run_stdin();
+  void shutdown_listeners();
+
+  ServerOptions options_;
+  Service service_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> conn_threads_;
+  std::thread accept_thread_;
+  int next_client_ = 0;
+};
+
+}  // namespace zc::serve

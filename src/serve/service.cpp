@@ -1,0 +1,431 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "src/analysis/blame.h"
+#include "src/comm/plan.h"
+#include "src/driver/driver.h"
+#include "src/driver/report.h"
+#include "src/exec/pool.h"
+#include "src/machine/model.h"
+#include "src/parser/parser.h"
+#include "src/programs/programs.h"
+#include "src/trace/recorder.h"
+#include "src/zir/printer.h"
+
+namespace zc::serve {
+
+namespace {
+
+/// Latency histogram bounds (seconds) shared by the request/queue-wait
+/// histograms — fine enough that p50/p90/p99 interpolation is meaningful
+/// for sub-millisecond cache hits and multi-second cold sweeps alike.
+const std::vector<double>& latency_bounds() {
+  static const std::vector<double> bounds = {
+      0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+      0.05,   0.1,     0.25,   0.5,   1.0,    2.5,   5.0,  10.0};
+  return bounds;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options) : options_(std::move(options)) {
+  options_.jobs = std::max(1, options_.jobs);
+  options_.batch_jobs = std::max(1, options_.batch_jobs);
+  options_.max_queue_depth = std::max(1, options_.max_queue_depth);
+  cache_ = options_.plan_cache != nullptr ? options_.plan_cache
+                                          : &exec::PlanCache::process();
+  workers_.reserve(static_cast<std::size_t>(options_.jobs));
+  for (int i = 0; i < options_.jobs; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { drain(); }
+
+bool Service::handle_line(const std::string& client, std::string_view line,
+                          Emit emit) {
+  registry_.count("serve.requests");
+  if (!client.empty()) registry_.count("serve.client." + client + ".requests");
+
+  Request req;
+  try {
+    if (line.size() > options_.max_line_bytes) {
+      throw RequestError(ErrorCode::kBadRequest,
+                         "request line of " + std::to_string(line.size()) +
+                             " bytes exceeds the " +
+                             std::to_string(options_.max_line_bytes) +
+                             "-byte limit");
+    }
+    json::ParseLimits limits;
+    limits.max_bytes = options_.max_line_bytes;
+    limits.max_depth = options_.max_depth;
+    req = parse_request(line, limits);
+  } catch (const RequestError& e) {
+    registry_.count("serve.errors.bad_request");
+    emit(error_response("", e.code, e.what(), e.offset).dump(0));
+    return true;
+  }
+
+  switch (req.cmd) {
+    case Request::Cmd::kPing: {
+      registry_.count("serve.requests.ping");
+      emit(response_base("pong", req.id, 0).dump(0));
+      return true;
+    }
+    case Request::Cmd::kStats: {
+      registry_.count("serve.requests.stats");
+      json::Value v = stats_json();
+      v["id"] = json::Value::make_str(req.id);
+      emit(v.dump(0));
+      return true;
+    }
+    case Request::Cmd::kShutdown: {
+      registry_.count("serve.requests.shutdown");
+      {
+        const std::lock_guard<std::mutex> lk(mu_);
+        draining_ = true;
+      }
+      json::Value v = response_base("shutdown", req.id, 0);
+      v["draining"] = json::Value::make_bool(true);
+      emit(v.dump(0));
+      return false;
+    }
+    case Request::Cmd::kOptimize: break;
+  }
+
+  registry_.count("serve.requests.optimize");
+  // Admission: decide under the queue lock, emit after releasing it so a
+  // slow client write never blocks the workers.
+  std::optional<json::Value> refusal;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    const int admitted = static_cast<int>(queue_.size()) + executing_;
+    if (draining_) {
+      refusal = error_response(req.id, ErrorCode::kShuttingDown,
+                               "the server is draining and admits no new work");
+    } else if (admitted >= options_.max_queue_depth) {
+      refusal = error_response(
+          req.id, ErrorCode::kOverloaded,
+          std::to_string(admitted) + " requests are already in flight (limit " +
+              std::to_string(options_.max_queue_depth) + ")",
+          -1, options_.retry_after_ms);
+    } else {
+      Job job;
+      job.request = std::move(req);
+      job.client = client;
+      job.emit = std::move(emit);
+      job.admitted_at = Clock::now();
+      queue_.push_back(std::move(job));
+      registry_.gauge("serve.queue_depth", static_cast<double>(queue_.size()));
+    }
+  }
+  if (refusal.has_value()) {
+    const std::string code = refusal->at("error").at("code").string;
+    registry_.count("serve.errors." + code);
+    emit(refusal->dump(0));
+  } else {
+    registry_.count("serve.admitted");
+    work_cv_.notify_one();
+  }
+  return true;
+}
+
+void Service::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+      registry_.gauge("serve.queue_depth", static_cast<double>(queue_.size()));
+    }
+    if (options_.on_job_start) options_.on_job_start();
+    registry_.observe("serve.queue_wait_seconds", seconds_since(job.admitted_at),
+                      latency_bounds());
+    execute(job);
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      --executing_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+Service::ResolvedProgram Service::resolve_program(const OptimizeRequest& o) {
+  ResolvedProgram rp;
+  std::string_view source = o.source;
+  const std::string key = o.bench.empty() ? "src:" + o.source : "bench:" + o.bench;
+  if (!o.bench.empty()) {
+    // Named benchmarks run at their fast test-scale configs unless the
+    // request overrides them; kernels have no default configs.
+    try {
+      const programs::BenchmarkInfo& info = programs::benchmark(o.bench);
+      source = info.source;
+      rp.base_configs = info.test_configs;
+    } catch (const Error&) {
+      try {
+        source = programs::kernel_source(o.bench);
+      } catch (const Error&) {
+        throw RequestError(ErrorCode::kBadRequest,
+                           "unknown benchmark or kernel '" + o.bench + "'");
+      }
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lk(programs_mu_);
+    const auto it = programs_.find(key);
+    if (it != programs_.end()) {
+      rp.program = it->second.program;
+      rp.canonical = it->second.canonical;
+      return rp;
+    }
+  }
+  MemoizedProgram memo;
+  try {
+    memo.program = std::make_shared<zir::Program>(parser::parse_program(source));
+  } catch (const Error& e) {
+    throw RequestError(ErrorCode::kBadRequest,
+                       std::string("program does not parse: ") + e.what());
+  }
+  // Printed once here; every plan-cache lookup for this program reuses it
+  // instead of re-serializing the program per get_or_plan call.
+  memo.canonical = std::make_shared<std::string>(zir::to_source(*memo.program));
+  {
+    const std::lock_guard<std::mutex> lk(programs_mu_);
+    const auto [it, inserted] = programs_.emplace(key, std::move(memo));
+    (void)inserted;
+    rp.program = it->second.program;
+    rp.canonical = it->second.canonical;
+  }
+  return rp;
+}
+
+void Service::execute(const Job& job) {
+  const OptimizeRequest& o = job.request.optimize;
+  const std::string& id = job.request.id;
+  const Clock::time_point started = Clock::now();
+  json::Value last;  // the request's terminal line (done or error)
+  try {
+    for (const int p : o.procs) {
+      if (p > options_.max_procs) {
+        throw RequestError(ErrorCode::kBadRequest,
+                           "procs " + std::to_string(p) + " exceeds this server's " +
+                               std::to_string(options_.max_procs) + "-processor cap");
+      }
+    }
+
+    // "all" expands to the paper's experiment set, in paper order.
+    std::vector<driver::Experiment> experiments;
+    if (std::find(o.experiments.begin(), o.experiments.end(), "all") !=
+        o.experiments.end()) {
+      experiments = driver::paper_experiments();
+    } else {
+      for (const std::string& name : o.experiments) {
+        std::optional<driver::Experiment> e = driver::find_experiment(name);
+        if (!e.has_value()) {
+          throw RequestError(ErrorCode::kBadRequest,
+                             "unknown experiment '" + name +
+                                 "' (try baseline, rr, cc, pl, \"pl with shmem\", "
+                                 "\"pl with max latency\", or all)");
+        }
+        experiments.push_back(std::move(*e));
+      }
+    }
+
+    const ResolvedProgram rp = resolve_program(o);
+    const machine::MachineModel model =
+        o.machine == "paragon" ? machine::paragon_model() : machine::t3d_model();
+    std::map<std::string, long long> configs = rp.base_configs;
+    for (const auto& [k, v] : o.config_overrides) configs[k] = v;
+
+    const std::string program_label = o.bench.empty() ? "<inline>" : o.bench;
+    int seq = 0;
+
+    // Phase 1 — plans, one per experiment (planning is procs-independent),
+    // answered from the shared cache. The hit/miss label comes from the
+    // cache counters via a scratch registry so concurrent requests can't
+    // blur each other's deltas.
+    std::vector<std::shared_ptr<const comm::CommPlan>> plans;
+    plans.reserve(experiments.size());
+    for (const driver::Experiment& e : experiments) {
+      metrics::Registry scratch;
+      std::shared_ptr<const comm::CommPlan> plan;
+      {
+        metrics::ScopedRegistry scoped(scratch);
+        plan = cache_->get_or_plan(*rp.program, *rp.canonical, e.opts, model.name);
+      }
+      const bool hit = scratch.counter("exec.plan_cache.hits") > 0;
+      registry_.merge_from(scratch);
+
+      json::Value line = response_base("plan", id, seq++);
+      line["item"] = json::Value::make_str(program_label + "/" + e.name);
+      line["experiment"] = json::Value::make_str(e.name);
+      line["machine"] = json::Value::make_str(model.name);
+      line["cache"] = json::Value::make_str(hit ? "hit" : "miss");
+      line["static_count"] = json::Value::make_int(plan->static_count());
+      if (job.request.optimize.plan_text) {
+        line["plan_text"] =
+            json::Value::make_str(comm::to_string(*plan, *rp.program));
+      }
+      job.emit(line.dump(0));
+      plans.push_back(std::move(plan));
+    }
+
+    // Phase 2 — the run grid (experiments x procs), fanned onto an
+    // exec::ThreadPool when configured. Response documents are collected
+    // by grid slot and emitted in grid order after the join, so the
+    // stream is bit-identical no matter how the pool scheduled the runs.
+    std::size_t runs = 0;
+    if (o.run) {
+      struct Slot {
+        json::Value report;
+        json::Value blame;
+        json::Value critical_path;
+      };
+      const std::size_t n = experiments.size() * o.procs.size();
+      std::vector<Slot> slots(n);
+      const auto run_one = [&](std::size_t idx) {
+        // Workers publish simulation counters into the service registry,
+        // never the process-global one.
+        metrics::ScopedRegistry scoped(registry_);
+        const std::size_t ei = idx / o.procs.size();
+        const int procs = o.procs[idx % o.procs.size()];
+        const driver::Experiment& e = experiments[ei];
+
+        std::optional<trace::Recorder> recorder;
+        if (o.trace) recorder.emplace(procs);
+        sim::RunConfig config;
+        config.machine = model;
+        config.library = e.library;
+        config.procs = procs;
+        config.config_overrides = configs;
+        config.recorder = o.trace ? &*recorder : nullptr;
+
+        const driver::Metrics m =
+            driver::run_planned(*rp.program, *plans[ei], e, std::move(config));
+
+        // Deterministic report: no pass log (a cached plan carries none)
+        // and no metrics snapshot — identical requests must produce
+        // bit-identical documents on every client.
+        driver::ReportOptions ropts;
+        ropts.benchmark = program_label;
+        ropts.provenance = false;
+        ropts.metrics_snapshot = false;
+        Slot& slot = slots[idx];
+        slot.report = driver::build_report(m, e, procs, nullptr, ropts);
+        if (o.blame || o.critical_path) {
+          json::Value scratch_doc = json::Value::make_object();
+          driver::attach_attribution(scratch_doc, *recorder, *rp.program, m.plan);
+          if (o.blame) slot.blame = std::move(scratch_doc["blame"]);
+          if (o.critical_path) {
+            slot.critical_path = std::move(scratch_doc["critical_path"]);
+          }
+        }
+      };
+      if (options_.batch_jobs > 1 && n > 1) {
+        exec::ThreadPool pool(options_.batch_jobs);
+        pool.run(n, run_one);
+      } else {
+        for (std::size_t i = 0; i < n; ++i) run_one(i);
+      }
+
+      for (std::size_t idx = 0; idx < n; ++idx) {
+        const std::size_t ei = idx / o.procs.size();
+        const int procs = o.procs[idx % o.procs.size()];
+        const std::string item = program_label + "/" + experiments[ei].name + "/p" +
+                                 std::to_string(procs);
+        const auto emit_block = [&](std::string_view kind, json::Value body) {
+          json::Value line = response_base(kind, id, seq++);
+          line["item"] = json::Value::make_str(item);
+          line[std::string(kind)] = std::move(body);
+          job.emit(line.dump(0));
+        };
+        emit_block("report", std::move(slots[idx].report));
+        if (o.blame) emit_block("blame", std::move(slots[idx].blame));
+        if (o.critical_path) {
+          emit_block("critical_path", std::move(slots[idx].critical_path));
+        }
+        ++runs;
+      }
+    }
+
+    json::Value done = response_base("done", id, seq++);
+    done["experiments"] = json::Value::make_int(static_cast<long long>(experiments.size()));
+    done["runs"] = json::Value::make_int(static_cast<long long>(runs));
+    registry_.count("serve.completed");
+    last = std::move(done);
+  } catch (const RequestError& e) {
+    registry_.count("serve.errors." + std::string(to_string(e.code)));
+    last = error_response(id, e.code, e.what(), e.offset);
+  } catch (const std::exception& e) {
+    registry_.count("serve.errors.internal");
+    last = error_response(id, ErrorCode::kInternal, e.what());
+  }
+  // Every metric for this request settles before its terminal line goes
+  // out: a client that saw "done" (or the error) and immediately asks for
+  // stats must see itself counted and its latency observed.
+  registry_.observe("serve.request_seconds", seconds_since(started), latency_bounds());
+  job.emit(last.dump(0));
+}
+
+void Service::drain() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    draining_ = true;
+    idle_cv_.wait(lk, [&] { return queue_.empty() && executing_ == 0; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+bool Service::draining() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return draining_;
+}
+
+int Service::in_flight() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(queue_.size()) + executing_;
+}
+
+json::Value Service::stats_json() const {
+  json::Value v = response_base("stats", "", 0);
+  v["serve"] = registry_.to_json();
+  v["plan_cache"] = cache_->stats().to_json();
+  json::Value q = json::Value::make_object();
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    q["depth"] = json::Value::make_int(static_cast<long long>(queue_.size()));
+    q["executing"] = json::Value::make_int(executing_);
+    q["draining"] = json::Value::make_bool(draining_);
+  }
+  q["max_depth"] = json::Value::make_int(options_.max_queue_depth);
+  v["queue"] = std::move(q);
+  return v;
+}
+
+void Service::clear_caches() {
+  cache_->clear();
+  const std::lock_guard<std::mutex> lk(programs_mu_);
+  programs_.clear();
+}
+
+}  // namespace zc::serve

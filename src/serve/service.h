@@ -1,0 +1,159 @@
+// The zcomm_serve engine, transport-free: parse one request line, admit it
+// past a bounded queue, execute it on a worker thread against the shared
+// content-keyed plan cache, and stream response lines through a caller
+// -supplied emit callback. src/serve/server.h wires this to sockets and
+// stdin; tests and the throughput bench drive it in-process.
+//
+// Admission control: at most `max_queue_depth` optimize requests may be
+// admitted-but-unfinished (queued + executing). Beyond that the request is
+// refused synchronously with an "overloaded" error carrying retry_after_ms.
+// Control commands (ping/stats/shutdown) are never queued — they answer
+// immediately even under full load, so the daemon stays observable.
+// drain() stops admission ("shutting_down" errors), finishes every
+// admitted request, and joins the workers — the graceful-shutdown path.
+//
+// Determinism: response streams are built to be bit-identical for
+// identical requests no matter which client asks, how many ask at once, or
+// whether the plan came from the cache — reports are assembled with
+// metrics_snapshot off and no pass log (a cached plan carries none), and
+// no wall-clock time appears in any response line (latency goes to the
+// stats registry instead). A request's run grid (experiments x procs)
+// fans onto an exec::ThreadPool when batch_jobs > 1; results are emitted
+// in grid order regardless of completion order (the pool's determinism
+// contract).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "src/exec/plan_cache.h"
+#include "src/serve/protocol.h"
+#include "src/support/metrics.h"
+#include "src/zir/program.h"
+
+namespace zc::serve {
+
+struct ServiceOptions {
+  /// Worker threads executing admitted optimize requests.
+  int jobs = 2;
+  /// exec::ThreadPool width for one request's run grid (experiments x
+  /// procs). 1 = inline, the exact serial path.
+  int batch_jobs = 1;
+  /// Admission cap: optimize requests admitted but not yet finished
+  /// (queued + executing). Full -> "overloaded" + retry_after_ms.
+  int max_queue_depth = 64;
+  /// Advisory backoff stamped on overload responses.
+  int retry_after_ms = 50;
+  /// Per-request cap on simulated processors (admission-side resource
+  /// guard; the protocol's own bound is far looser).
+  int max_procs = 4096;
+  /// Request lines larger than this are rejected (also the JSON parser's
+  /// byte limit for request documents).
+  std::size_t max_line_bytes = 1u << 20;
+  /// JSON nesting bound for request documents.
+  int max_depth = 64;
+  /// The plan cache to answer from; null = the process-wide shared cache.
+  exec::PlanCache* plan_cache = nullptr;
+  /// Test seam: runs on the worker thread as it picks up each admitted
+  /// request, before any work — lets tests hold workers at a barrier to
+  /// fill the queue deterministically.
+  std::function<void()> on_job_start;
+};
+
+class Service {
+ public:
+  /// Receives one response line (no trailing newline). Must be callable
+  /// from worker threads and must stay valid until the request finishes
+  /// (drain() guarantees a point after which no emit runs).
+  using Emit = std::function<void(const std::string&)>;
+
+  explicit Service(ServiceOptions options);
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Parses and dispatches one request line from `client` (a label used
+  /// for per-client metrics). Errors and control commands answer
+  /// synchronously through `emit`; admitted optimize requests answer later
+  /// from a worker thread. Returns false when the request asked the
+  /// daemon to shut down (the transport should then drain and exit);
+  /// true otherwise. Never throws on any input.
+  bool handle_line(const std::string& client, std::string_view line, Emit emit);
+
+  /// Stops admission, finishes every admitted request, joins the workers.
+  /// Idempotent; the destructor calls it.
+  void drain();
+
+  [[nodiscard]] bool draining() const;
+
+  /// Admitted-but-unfinished optimize requests (queued + executing).
+  [[nodiscard]] int in_flight() const;
+
+  /// The {"cmd":"stats"} payload: the service registry (request counts,
+  /// latency histograms, per-client counters), plan-cache stats, and the
+  /// admission queue's state.
+  [[nodiscard]] json::Value stats_json() const;
+
+  [[nodiscard]] metrics::Registry& registry() { return registry_; }
+  [[nodiscard]] exec::PlanCache& plan_cache() { return *cache_; }
+
+  /// Drops memoized programs and plans (the bench harness's cold mode).
+  void clear_caches();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    Request request;
+    std::string client;
+    Emit emit;
+    Clock::time_point admitted_at{};
+  };
+
+  void worker_loop();
+  void execute(const Job& job);
+
+  /// The parsed program for a request (memoized by benchmark name /
+  /// source text) plus the config overrides the run should start from.
+  /// `canonical` is zir::to_source(*program), computed once at memoization
+  /// so plan-cache lookups skip the per-lookup program serialization.
+  struct ResolvedProgram {
+    std::shared_ptr<const zir::Program> program;
+    std::shared_ptr<const std::string> canonical;
+    std::map<std::string, long long> base_configs;
+  };
+  ResolvedProgram resolve_program(const OptimizeRequest& o);
+
+  ServiceOptions options_;
+  exec::PlanCache* cache_;
+  metrics::Registry registry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< wakes workers on enqueue / stop
+  std::condition_variable idle_cv_;  ///< wakes drain() on completion
+  std::deque<Job> queue_;
+  int executing_ = 0;
+  bool draining_ = false;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  struct MemoizedProgram {
+    std::shared_ptr<const zir::Program> program;
+    std::shared_ptr<const std::string> canonical;
+  };
+  std::mutex programs_mu_;
+  std::map<std::string, MemoizedProgram> programs_;
+};
+
+}  // namespace zc::serve

@@ -14,9 +14,14 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const ParseLimits& limits) : text_(text), limits_(limits) {}
 
   Value parse_document() {
+    if (text_.size() > limits_.max_bytes) {
+      throw Error("JSON document of " + std::to_string(text_.size()) +
+                  " bytes exceeds the " + std::to_string(limits_.max_bytes) +
+                  "-byte limit");
+    }
     Value v = parse_value();
     skip_ws();
     if (pos_ != text_.size()) fail("trailing characters after JSON value");
@@ -81,7 +86,25 @@ class Parser {
     return v;
   }
 
+  /// RAII nesting guard: containers recurse through parse_value, so the
+  /// depth bound is what keeps "[[[[..." from unbounded stack growth.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > p_.limits_.max_depth) {
+        p_.fail("nesting deeper than " + std::to_string(p_.limits_.max_depth) + " levels");
+      }
+    }
+    ~DepthGuard() { --p_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& p_;
+  };
+
   Value parse_object() {
+    const DepthGuard guard(*this);
     expect('{');
     Value v;
     v.kind = Value::Kind::kObject;
@@ -107,6 +130,7 @@ class Parser {
   }
 
   Value parse_array() {
+    const DepthGuard guard(*this);
     expect('[');
     Value v;
     v.kind = Value::Kind::kArray;
@@ -181,6 +205,12 @@ class Parser {
   Value parse_number() {
     const std::size_t start = pos_;
     if (peek() == '-') ++pos_;
+    // Strict JSON: a number is '-'? digit ... — no leading '+', no bare '-',
+    // nothing strtod-lenient like "inf".
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      pos_ = start;
+      fail("expected a value");
+    }
     while (pos_ < text_.size() &&
            (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
             text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
@@ -198,7 +228,9 @@ class Parser {
   }
 
   std::string_view text_;
+  ParseLimits limits_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
@@ -359,6 +391,8 @@ std::string Value::dump(int indent) const {
   return out;
 }
 
-Value parse(std::string_view text) { return Parser(text).parse_document(); }
+Value parse(std::string_view text, const ParseLimits& limits) {
+  return Parser(text, limits).parse_document();
+}
 
 }  // namespace zc::json

@@ -56,8 +56,21 @@ struct Value {
   [[nodiscard]] std::string dump(int indent = 2) const;
 };
 
-/// Parses one JSON document (throws zc::Error on syntax errors or trailing
-/// garbage).
-Value parse(std::string_view text);
+/// Guard rails for parsing untrusted input (the serve subsystem's request
+/// lines). Every limit violation throws zc::Error carrying the byte offset
+/// where parsing stopped — there is no unbounded recursion or allocation
+/// path for any input.
+struct ParseLimits {
+  /// Documents larger than this are rejected before any parsing.
+  std::size_t max_bytes = 16u << 20;  // 16 MiB
+  /// Maximum container (object/array) nesting depth. The parser recurses
+  /// per level, so this bounds stack use for adversarial inputs like
+  /// "[[[[[...".
+  int max_depth = 128;
+};
+
+/// Parses one JSON document (throws zc::Error, with the byte offset, on
+/// syntax errors, trailing garbage, or a ParseLimits violation).
+Value parse(std::string_view text, const ParseLimits& limits = {});
 
 }  // namespace zc::json

@@ -1,6 +1,7 @@
 #include "src/support/metrics.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "src/support/str.h"
 
@@ -40,30 +41,72 @@ double Histogram::quantile(double q) const {
   return max;
 }
 
+namespace {
+
+/// Folds `theirs` into `mine`: bucket-wise when the bounds agree, else into
+/// the aggregate + overflow bucket so the totals stay exact either way.
+void merge_histogram(Histogram& mine, const Histogram& theirs) {
+  if (theirs.count == 0) return;
+  if (mine.count == 0) {
+    mine = theirs;
+    return;
+  }
+  if (mine.buckets.empty()) mine.buckets.assign(mine.bounds.size() + 1, 0);
+  if (mine.bounds == theirs.bounds) {
+    for (std::size_t i = 0; i < mine.buckets.size() && i < theirs.buckets.size(); ++i) {
+      mine.buckets[i] += theirs.buckets[i];
+    }
+  } else {
+    // Bounds disagree: keep this histogram's shape and fold the other's
+    // samples into the overflow bucket so the aggregate stays exact.
+    mine.buckets.back() += theirs.count;
+  }
+  mine.count += theirs.count;
+  mine.sum += theirs.sum;
+  mine.min = std::min(mine.min, theirs.min);
+  mine.max = std::max(mine.max, theirs.max);
+}
+
+}  // namespace
+
+Registry::Shard& Registry::shard_for(std::string_view name) const {
+  // FNV-1a over the metric name; names are short and publishing is
+  // per-plan/per-run, so the hash cost is noise next to the lock it avoids.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return shards_[h % kShards];
+}
+
 void Registry::count(std::string_view name, long long delta) {
-  const std::lock_guard<std::mutex> lk(mu_);
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    counters_.emplace(std::string(name), delta);
+  Shard& shard = shard_for(name);
+  const std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    shard.counters.emplace(std::string(name), delta);
   } else {
     it->second += delta;
   }
 }
 
 void Registry::gauge(std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lk(mu_);
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    gauges_.emplace(std::string(name), value);
+  Shard& shard = shard_for(name);
+  const std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.gauges.find(name);
+  if (it == shard.gauges.end()) {
+    shard.gauges.emplace(std::string(name), value);
   } else {
     it->second = value;
   }
 }
 
 void Registry::observe(std::string_view name, double value, std::vector<double> bounds) {
-  const std::lock_guard<std::mutex> lk(mu_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
+  Shard& shard = shard_for(name);
+  const std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
     Histogram h;
     if (bounds.empty()) {
       for (double b = 1.0; b <= 1048576.0; b *= 2.0) h.bounds.push_back(b);
@@ -71,75 +114,84 @@ void Registry::observe(std::string_view name, double value, std::vector<double> 
       std::sort(bounds.begin(), bounds.end());
       h.bounds = std::move(bounds);
     }
-    it = histograms_.emplace(std::string(name), std::move(h)).first;
+    it = shard.histograms.emplace(std::string(name), std::move(h)).first;
   }
   it->second.observe(value);
 }
 
 long long Registry::counter(std::string_view name) const {
-  const std::lock_guard<std::mutex> lk(mu_);
-  const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  Shard& shard = shard_for(name);
+  const std::lock_guard<std::mutex> lk(shard.mu);
+  const auto it = shard.counters.find(name);
+  return it == shard.counters.end() ? 0 : it->second;
 }
 
 double Registry::gauge_value(std::string_view name) const {
-  const std::lock_guard<std::mutex> lk(mu_);
-  const auto it = gauges_.find(name);
-  return it == gauges_.end() ? 0.0 : it->second;
+  Shard& shard = shard_for(name);
+  const std::lock_guard<std::mutex> lk(shard.mu);
+  const auto it = shard.gauges.find(name);
+  return it == shard.gauges.end() ? 0.0 : it->second;
 }
 
 const Histogram* Registry::find_histogram(std::string_view name) const {
   // The pointer is only stable while no concurrent mutation runs; callers
   // are single-threaded inspectors (tests, report writers) by contract.
-  const std::lock_guard<std::mutex> lk(mu_);
-  const auto it = histograms_.find(name);
-  return it == histograms_.end() ? nullptr : &it->second;
+  Shard& shard = shard_for(name);
+  const std::lock_guard<std::mutex> lk(shard.mu);
+  const auto it = shard.histograms.find(name);
+  return it == shard.histograms.end() ? nullptr : &it->second;
 }
 
 bool Registry::empty() const {
-  const std::lock_guard<std::mutex> lk(mu_);
-  return counters_.empty() && gauges_.empty() && histograms_.empty();
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lk(shard.mu);
+    if (!shard.counters.empty() || !shard.gauges.empty() || !shard.histograms.empty()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void Registry::reset() {
-  const std::lock_guard<std::mutex> lk(mu_);
-  counters_.clear();
-  gauges_.clear();
-  histograms_.clear();
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lk(shard.mu);
+    shard.counters.clear();
+    shard.gauges.clear();
+    shard.histograms.clear();
+  }
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  // One shard locked at a time — never two locks at once, so snapshotting
+  // can race publishers (each name is still read atomically under its
+  // shard's lock) and merge_from can never deadlock against another merge.
+  Snapshot snap;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lk(shard.mu);
+    snap.counters.insert(shard.counters.begin(), shard.counters.end());
+    snap.gauges.insert(shard.gauges.begin(), shard.gauges.end());
+    snap.histograms.insert(shard.histograms.begin(), shard.histograms.end());
+  }
+  return snap;
 }
 
 void Registry::merge_from(const Registry& other) {
   if (&other == this) return;
-  const std::scoped_lock lk(mu_, other.mu_);
-  for (const auto& [name, value] : other.counters_) counters_[name] += value;
-  for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
-  for (const auto& [name, h] : other.histograms_) {
-    auto it = histograms_.find(name);
-    if (it == histograms_.end()) {
-      histograms_.emplace(name, h);
-      continue;
-    }
-    Histogram& mine = it->second;
-    if (h.count == 0) continue;
-    if (mine.count == 0) {
-      mine = h;
-      continue;
-    }
-    if (mine.bounds == h.bounds) {
-      if (mine.buckets.empty()) mine.buckets.assign(mine.bounds.size() + 1, 0);
-      for (std::size_t i = 0; i < mine.buckets.size() && i < h.buckets.size(); ++i) {
-        mine.buckets[i] += h.buckets[i];
-      }
+  // Snapshot-then-apply: take the other registry's state one shard at a
+  // time, then publish into our own shards through the normal guarded
+  // paths. No two shard locks are ever held together.
+  const Snapshot snap = other.snapshot();
+  for (const auto& [name, value] : snap.counters) count(name, value);
+  for (const auto& [name, value] : snap.gauges) gauge(name, value);
+  for (const auto& [name, h] : snap.histograms) {
+    Shard& shard = shard_for(name);
+    const std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.histograms.find(name);
+    if (it == shard.histograms.end()) {
+      shard.histograms.emplace(name, h);
     } else {
-      // Bounds disagree: keep this histogram's shape and fold the other's
-      // samples into the overflow bucket so the aggregate stays exact.
-      if (mine.buckets.empty()) mine.buckets.assign(mine.bounds.size() + 1, 0);
-      mine.buckets.back() += h.count;
+      merge_histogram(it->second, h);
     }
-    mine.count += h.count;
-    mine.sum += h.sum;
-    mine.min = std::min(mine.min, h.min);
-    mine.max = std::max(mine.max, h.max);
   }
 }
 
@@ -157,15 +209,15 @@ std::string render(double v) {
 }  // namespace
 
 std::string Registry::to_text() const {
-  const std::lock_guard<std::mutex> lk(mu_);
+  const Snapshot snap = snapshot();
   std::string out;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : snap.counters) {
     out += "counter " + name + " " + std::to_string(value) + "\n";
   }
-  for (const auto& [name, value] : gauges_) {
+  for (const auto& [name, value] : snap.gauges) {
     out += "gauge " + name + " " + render(value) + "\n";
   }
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : snap.histograms) {
     out += "hist " + name + " count " + std::to_string(h.count) + " sum " + render(h.sum);
     if (h.count > 0) {
       out += " min " + render(h.min) + " max " + render(h.max);
@@ -182,19 +234,19 @@ std::string Registry::to_text() const {
 }
 
 json::Value Registry::to_json() const {
-  const std::lock_guard<std::mutex> lk(mu_);
+  const Snapshot snap = snapshot();
   using json::Value;
   Value doc = Value::make_object();
   Value counters = Value::make_object();
-  for (const auto& [name, value] : counters_) counters[name] = Value::make_int(value);
+  for (const auto& [name, value] : snap.counters) counters[name] = Value::make_int(value);
   doc["counters"] = std::move(counters);
 
   Value gauges = Value::make_object();
-  for (const auto& [name, value] : gauges_) gauges[name] = Value::make_num(value);
+  for (const auto& [name, value] : snap.gauges) gauges[name] = Value::make_num(value);
   doc["gauges"] = std::move(gauges);
 
   Value hists = Value::make_object();
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : snap.histograms) {
     Value v = Value::make_object();
     Value bounds = Value::make_array();
     for (double b : h.bounds) bounds.push_back(Value::make_num(b));

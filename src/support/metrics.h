@@ -9,16 +9,21 @@
 // message, so the cost is negligible and the simulation's timing and
 // numerics are untouched.
 //
-// Threading: every operation on a Registry is mutex-guarded, and the
-// subsystems publish into Registry::current() — a thread-local redirect that
-// defaults to the process-wide global(). The parallel sweep engine
-// (src/exec) installs a private registry per worker task via ScopedRegistry
-// and merges the per-task registries into the submitter's at join, in
-// submission order — so sweep totals are deterministic regardless of how
-// tasks were scheduled, and concurrent runs never interleave writes into one
-// registry.
+// Threading: a Registry is striped — metric names hash onto a fixed set of
+// independently mutex-guarded shards, so concurrent publishers (the serve
+// subsystem's workers, sweep tasks running without a ScopedRegistry
+// redirect) contend only when they touch names that share a shard, not on
+// one global lock. Readers (to_text, to_json, merge_from) snapshot shard by
+// shard and render from a merged, name-sorted view, so exposition stays
+// deterministic. The subsystems publish into Registry::current() — a
+// thread-local redirect that defaults to the process-wide global(). The
+// parallel sweep engine (src/exec) installs a private registry per worker
+// task via ScopedRegistry and merges the per-task registries into the
+// submitter's at join, in submission order — so sweep totals are
+// deterministic regardless of how tasks were scheduled.
 #pragma once
 
+#include <array>
 #include <map>
 #include <mutex>
 #include <string>
@@ -94,10 +99,28 @@ class Registry {
  private:
   friend class ScopedRegistry;
 
-  mutable std::mutex mu_;
-  std::map<std::string, long long, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  /// One lock stripe: the counters/gauges/histograms whose names hash here.
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, long long, std::less<>> counters;
+    std::map<std::string, double, std::less<>> gauges;
+    std::map<std::string, Histogram, std::less<>> histograms;
+  };
+
+  /// A name-sorted copy of every shard's maps (for deterministic exposition
+  /// and snapshot-then-apply merging).
+  struct Snapshot {
+    std::map<std::string, long long, std::less<>> counters;
+    std::map<std::string, double, std::less<>> gauges;
+    std::map<std::string, Histogram, std::less<>> histograms;
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  [[nodiscard]] Shard& shard_for(std::string_view name) const;
+  [[nodiscard]] Snapshot snapshot() const;
+
+  mutable std::array<Shard, kShards> shards_;
 };
 
 /// RAII redirect of Registry::current() for this thread — the sweep engine

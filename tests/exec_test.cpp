@@ -18,6 +18,7 @@
 #include "src/report/passlog.h"
 #include "src/support/diag.h"
 #include "src/support/metrics.h"
+#include "src/zir/printer.h"
 
 namespace zc::exec {
 namespace {
@@ -163,6 +164,22 @@ TEST(PlanCache, KeyIgnoresSourceOffsetsAndWhitespace) {
   EXPECT_EQ(cache.stats().hits, 1);
 }
 
+TEST(PlanCache, TextKeyedLookupSharesEntriesWithProgramKeyed) {
+  // The serve hot path memoizes to_source(program) and passes it to the
+  // text-keyed overload; both spellings must address the same entry.
+  const zir::Program program = parser::parse_program(kProgram);
+  const std::string canonical = zir::to_source(program);
+  const comm::OptOptions opts = comm::OptOptions::for_level(comm::OptLevel::kPL);
+  EXPECT_EQ(plan_key(program, opts, "t3d"), plan_key_for_text(canonical, opts, "t3d"));
+
+  PlanCache cache;
+  const auto pa = cache.get_or_plan(program, opts, "t3d");
+  const auto pb = cache.get_or_plan(program, canonical, opts, "t3d");
+  EXPECT_EQ(pa.get(), pb.get());
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
 TEST(PlanCache, KeySeparatesOptionsAndMachine) {
   const zir::Program program = parser::parse_program(kProgram);
   const comm::OptOptions pl = comm::OptOptions::for_level(comm::OptLevel::kPL);
@@ -294,6 +311,71 @@ TEST(PlanCache, ConcurrentRequestsPlanEachKeyOnce) {
   std::set<const comm::CommPlan*> distinct;
   for (const auto& p : got) distinct.insert(p.get());
   EXPECT_EQ(distinct.size(), 8u);
+}
+
+TEST(PlanCache, ChurnPastBudgetFromManyThreadsConservesStats) {
+  // Eviction under concurrency: 8 workers churn 12 distinct configurations
+  // through a sharded cache whose budget holds only a couple of plans per
+  // shard, with interleaved hits, misses, and evictions. The stats must
+  // obey the conservation laws exactly — every lookup is a hit or a miss,
+  // every entry is a miss that hasn't been evicted — and plans evicted
+  // while a worker still holds them must stay live.
+  const zir::Program a = parser::parse_program(kProgram);
+  const zir::Program b = parser::parse_program(kOtherProgram);
+  std::vector<comm::OptOptions> opts;
+  for (const auto level : {comm::OptLevel::kBaseline, comm::OptLevel::kRR,
+                           comm::OptLevel::kCC, comm::OptLevel::kPL}) {
+    opts.push_back(comm::OptOptions::for_level(level));
+  }
+  comm::OptOptions maxlat = comm::OptOptions::for_level(comm::OptLevel::kPL);
+  maxlat.heuristic = comm::CombineHeuristic::kMaxLatency;
+  opts.push_back(maxlat);
+  comm::OptOptions hybrid = comm::OptOptions::for_level(comm::OptLevel::kPL);
+  hybrid.heuristic = comm::CombineHeuristic::kHybrid;
+  opts.push_back(hybrid);
+
+  PlanCache::Options copts;
+  copts.byte_budget = 4096;  // a few entries per shard: constant churn
+  copts.shards = 2;
+  PlanCache cache(copts);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 120;
+  std::vector<std::vector<std::shared_ptr<const comm::CommPlan>>> pinned(kThreads);
+  std::atomic<int> null_plans{0};
+  ThreadPool pool(kThreads);
+  pool.run(kThreads, [&](std::size_t t) {
+    for (int i = 0; i < kIters; ++i) {
+      const zir::Program& prog = (t + static_cast<std::size_t>(i)) % 2 == 0 ? a : b;
+      const comm::OptOptions& o = opts[(t * 7 + static_cast<std::size_t>(i)) % opts.size()];
+      const auto plan = cache.get_or_plan(prog, o);
+      if (plan == nullptr || plan->static_count() <= 0) {
+        null_plans.fetch_add(1);
+        continue;
+      }
+      // Pin a subset across later evictions; the rest drop immediately so
+      // eviction actually frees them.
+      if (i % 5 == static_cast<int>(t % 5)) pinned[t].push_back(plan);
+    }
+  });
+  EXPECT_EQ(null_plans.load(), 0);
+
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups(), static_cast<long long>(kThreads) * kIters);  // hits+misses==lookups
+  EXPECT_GE(s.misses, 12);   // every distinct key missed at least once
+  EXPECT_GT(s.evictions, 0); // the budget actually churned
+  EXPECT_EQ(s.entries, s.misses - s.evictions);  // inserts minus evictions survive
+  EXPECT_GE(s.entries, 1);
+
+  // Evicted-but-pinned plans are still alive and structurally valid.
+  std::size_t held = 0;
+  for (const auto& plans : pinned) {
+    for (const auto& plan : plans) {
+      EXPECT_GT(plan->static_count(), 0);
+      ++held;
+    }
+  }
+  EXPECT_EQ(held, static_cast<std::size_t>(kThreads) * (kIters / 5));
 }
 
 TEST(Registry, MergeFromAddsCountersAndTakesGauges) {

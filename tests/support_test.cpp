@@ -6,6 +6,7 @@
 #include "src/support/chart.h"
 #include "src/support/csv.h"
 #include "src/support/diag.h"
+#include "src/support/json.h"
 #include "src/support/str.h"
 #include "src/support/table.h"
 
@@ -139,6 +140,89 @@ TEST(SeriesChart, RendersAllPoints) {
   const std::string s = chart.to_string();
   EXPECT_NE(s.find("csend"), std::string::npos);
   EXPECT_NE(s.find("4096"), std::string::npos);
+}
+
+// --- JSON hardening against untrusted input (the serve request path) -----
+
+TEST(Json, RoundTripsWellFormedDocument) {
+  const json::Value v = json::parse(R"({"a": [1, 2.5, "x\n", true, null], "b": {}})");
+  EXPECT_EQ(v.at("a").array.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.at("a").array[1].number, 2.5);
+  EXPECT_EQ(v.at("a").array[2].string, "x\n");
+  EXPECT_TRUE(v.at("b").is_object());
+}
+
+TEST(Json, RejectsDocumentsOverTheByteLimit) {
+  json::ParseLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_NO_THROW(json::parse(R"({"k": 12345})", limits));
+  try {
+    json::parse(R"({"key": "0123456789abcdef"})", limits);
+    FAIL() << "oversized document parsed";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("16-byte limit"), std::string::npos);
+  }
+}
+
+TEST(Json, RejectsNestingBeyondTheDepthLimit) {
+  json::ParseLimits limits;
+  limits.max_depth = 8;
+  std::string at_limit = "1";
+  for (int i = 0; i < 8; ++i) at_limit = "[" + at_limit + "]";
+  EXPECT_NO_THROW(json::parse(at_limit, limits));
+  EXPECT_THROW(json::parse("[" + at_limit + "]", limits), Error);
+
+  // Mixed container nesting counts every level.
+  std::string mixed = "0";
+  for (int i = 0; i < 5; ++i) mixed = R"({"k": [)" + mixed + "]}";
+  EXPECT_THROW(json::parse(mixed, limits), Error);  // 10 levels > 8
+}
+
+TEST(Json, DeepAdversarialNestingFailsInsteadOfOverflowing) {
+  // A megabyte of '[' used to recurse once per byte; now it must throw the
+  // depth error (carrying an offset) long before any stack risk.
+  std::string object_bomb;
+  for (int i = 0; i < (1 << 18); ++i) object_bomb += R"({"a":)";
+  const std::string bombs[] = {std::string(1 << 20, '['), std::move(object_bomb)};
+  for (const std::string& bomb : bombs) {
+    try {
+      json::parse(bomb);
+      FAIL() << "unterminated nesting bomb parsed";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("nesting deeper than"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+    }
+  }
+}
+
+TEST(Json, MalformedInputsThrowWithByteOffsets) {
+  // Fuzz-style corpus: every entry must throw zc::Error (never crash, hang,
+  // or silently succeed), and the message must carry a byte offset.
+  const std::string_view corpus[] = {
+      "",        "{",        "[",         "\"abc",     "{\"a\"",    "{\"a\":}",
+      "[1,",     "[1 2]",    "{\"a\" 1}", "tru",       "falsee",    "nul",
+      "-",       "+1",       "1e",        "0x10",      "1.2.3",     "--1",
+      "\"\\q\"", "\"\\u12\"", "\"\\u123g\"", "{\"a\":1,}",  "[]]",   "{}}",
+      "[1] 2",   "\x01",     "{1: 2}",    "\"unterminated\\",        "[,]",
+  };
+  for (const std::string_view text : corpus) {
+    try {
+      json::parse(text);
+      FAIL() << "malformed input parsed: " << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos)
+          << "no byte offset for: " << text << " -> " << e.what();
+    }
+  }
+}
+
+TEST(Json, EmbeddedNulAndControlBytesAreRejectedOrEscaped) {
+  // NUL inside a string is content (parses; round-trips escaped), NUL
+  // outside is a syntax error with an offset.
+  const json::Value v = json::parse(std::string_view("\"a\\u0000b\"", 10));
+  EXPECT_EQ(v.string.size(), 3u);
+  EXPECT_THROW(json::parse(std::string_view("\0", 1)), Error);
+  EXPECT_THROW(json::parse(std::string_view("[1,\0]", 5)), Error);
 }
 
 }  // namespace
