@@ -16,9 +16,16 @@
 //
 // Protocol (see src/serve/protocol.h): one JSON object per line, each
 // stamped "v":1. {"cmd":"stats"} reports request counts, latency
-// quantiles, plan-cache hit rate, and queue depth; {"cmd":"shutdown"} (or
-// SIGINT/SIGTERM) drains gracefully — admitted requests finish and answer
-// before the process exits.
+// quantiles, plan-cache hit rate, queue depth, uptime, and per-error-code
+// counts; {"cmd":"flight"} dumps the flight recorder (the N most recent
+// and N slowest requests with per-phase host-time breakdowns);
+// {"cmd":"shutdown"} (or SIGINT/SIGTERM) drains gracefully — admitted
+// requests finish and answer before the process exits.
+//
+// Observability (see README "Operating zcomm_serve"): --http starts a
+// loopback HTTP listener with GET /metrics (Prometheus), /healthz, and
+// /flight; --log-* control the structured log (logfmt or JSON-lines on
+// stderr or a file); --flight / --slow-ms tune the flight recorder.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -27,6 +34,7 @@
 
 #include "src/serve/server.h"
 #include "src/support/diag.h"
+#include "src/support/log.h"
 
 namespace {
 
@@ -49,6 +57,25 @@ namespace {
       "                        \"overloaded\" + retry_after_ms)\n"
       "  --retry-after-ms <N>  backoff stamped on overload responses\n"
       "                        (default 50)\n"
+      "  --http <port>         loopback HTTP listener: GET /metrics\n"
+      "                        (Prometheus text), /healthz (503 while\n"
+      "                        draining), /flight (recorder dump as JSON);\n"
+      "                        0 = kernel-chosen (read http_port=N from the\n"
+      "                        startup log line)\n"
+      "  --flight <N>          flight-recorder depth: keep the N most\n"
+      "                        recent and N slowest requests with phase\n"
+      "                        breakdowns (default 16; 0 disables the\n"
+      "                        recorder and the per-request profiler)\n"
+      "  --slow-ms <N>         log requests slower than N ms at warn with\n"
+      "                        their phase breakdown (default 1000; 0\n"
+      "                        disables the slow classification)\n"
+      "  --debug-sleep-ms <N>  test seam: every optimize request sleeps\n"
+      "                        N ms inside a \"debug_sleep\" profiler span\n"
+      "  --log-level <L>       trace|debug|info|warn|error|off (default info)\n"
+      "  --log-format <F>      text (logfmt) or json (default text)\n"
+      "  --log-file <path>     append log lines to a file (default stderr)\n"
+      "  --log-rate <N>        cap admitted log lines per second (dropped\n"
+      "                        lines are counted and reported; 0 = no cap)\n"
       "  --help\n";
   std::exit(code);
 }
@@ -62,6 +89,7 @@ int main(int argc, char** argv) {
   std::string requests_path;
   bool stdin_requested = false;
   bool tcp_requested = false;
+  bool http_requested = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -82,14 +110,61 @@ int main(int argc, char** argv) {
       }
       return n;
     };
+    const auto port_value = [&](const char* flag) -> int {
+      const int n = int_value(flag, 0);
+      if (n > 65535) {
+        std::cerr << flag << " value " << n << " is not a port (0..65535)\n";
+        std::exit(2);
+      }
+      return n;
+    };
     if (a == "--socket") opt.unix_socket_path = value("--socket");
-    else if (a == "--tcp") { opt.tcp_port = int_value("--tcp", 0); tcp_requested = true; }
+    else if (a == "--tcp") { opt.tcp_port = port_value("--tcp"); tcp_requested = true; }
     else if (a == "--stdin") stdin_requested = true;
     else if (a == "--requests") requests_path = value("--requests");
     else if (a == "--jobs") opt.service.jobs = int_value("--jobs", 1);
     else if (a == "--batch-jobs") opt.service.batch_jobs = int_value("--batch-jobs", 1);
     else if (a == "--max-queue") opt.service.max_queue_depth = int_value("--max-queue", 1);
     else if (a == "--retry-after-ms") opt.service.retry_after_ms = int_value("--retry-after-ms", 0);
+    else if (a == "--http") { opt.http_port = port_value("--http"); http_requested = true; }
+    else if (a == "--flight") {
+      opt.service.flight_capacity = static_cast<std::size_t>(int_value("--flight", 0));
+    }
+    else if (a == "--slow-ms") {
+      opt.service.slow_request_seconds = int_value("--slow-ms", 0) / 1e3;
+    }
+    else if (a == "--debug-sleep-ms") {
+      opt.service.debug_sleep_ms = int_value("--debug-sleep-ms", 0);
+    }
+    else if (a == "--log-level") {
+      const std::string v = value("--log-level");
+      log::Level level = log::Level::kInfo;
+      if (!log::parse_level(v, level)) {
+        std::cerr << "--log-level '" << v
+                  << "' is not trace|debug|info|warn|error|off\n";
+        return 2;
+      }
+      log::Logger::global().set_level(level);
+    }
+    else if (a == "--log-format") {
+      const std::string v = value("--log-format");
+      if (v == "text") log::Logger::global().set_format(log::Format::kText);
+      else if (v == "json") log::Logger::global().set_format(log::Format::kJson);
+      else {
+        std::cerr << "--log-format '" << v << "' is not text|json\n";
+        return 2;
+      }
+    }
+    else if (a == "--log-file") {
+      const std::string path = value("--log-file");
+      if (!log::Logger::global().set_file(path)) {
+        std::cerr << "error: cannot open log file '" << path << "'\n";
+        return 1;
+      }
+    }
+    else if (a == "--log-rate") {
+      log::Logger::global().set_rate_limit(int_value("--log-rate", 0));
+    }
     else if (a == "--help" || a == "-h") usage(0);
     else {
       std::cerr << "unknown option '" << a << "' (see --help)\n";
@@ -97,6 +172,7 @@ int main(int argc, char** argv) {
     }
   }
   if (!tcp_requested) opt.tcp_port = -1;
+  if (!http_requested) opt.http_port = -1;
 
   try {
     if (!requests_path.empty()) {
@@ -133,6 +209,10 @@ int main(int argc, char** argv) {
     }
     if (tcp_requested) {
       std::cerr << "zcomm_serve: listening on 127.0.0.1:" << server.tcp_port()
+                << "\n";
+    }
+    if (http_requested) {
+      std::cerr << "zcomm_serve: http on 127.0.0.1:" << server.http_port()
                 << "\n";
     }
     if (opt.serve_stdin) std::cerr << "zcomm_serve: serving stdin\n";

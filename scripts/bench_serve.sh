@@ -12,7 +12,8 @@
 # Absolute req/s is hardware-dependent and reported as-is (a single-core
 # container shows no jobs scaling, and the harness says so). Exit status is
 # the acceptance verdict: warm throughput >= 3x cold in plan-only mode at
-# every jobs level, and zero failed requests.
+# every jobs level, observability overhead (info logging + flight recorder)
+# <= 5% on the warm plan-mode path, and zero failed requests.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -20,4 +20,41 @@ ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j
 # come back clean. scripts/bench_sweep.sh is the full scaling harness.
 "$BUILD_DIR"/examples/comm_explorer \
   --sweep "bench=figure1;experiment=all;procs=4" --jobs 2 > /dev/null
-echo "check: smoke tier + --jobs 2 sweep OK"
+
+# Observability smoke: launch the daemon with the HTTP plane on an
+# ephemeral port, scrape /metrics live, inject a slow request through the
+# debug-sleep seam, and require the flight recorder to have captured it
+# with its phase attributed. The deeper grammar/drain assertions live in
+# the serve_observability_cli ctest; this is the seconds-scale liveness
+# probe.
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$OBS_DIR"' EXIT
+"$BUILD_DIR"/examples/zcomm_serve \
+  --socket "$OBS_DIR/s.sock" --http 0 --jobs 1 --flight 4 --slow-ms 1 \
+  --debug-sleep-ms 20 --log-file "$OBS_DIR/daemon.log" &
+OBS_PID=$!
+trap 'kill "$OBS_PID" 2>/dev/null || true; rm -rf "$OBS_DIR"' EXIT
+OBS_PORT=
+for _ in $(seq 1 100); do
+  OBS_PORT="$(grep -oE 'http_port=[0-9]+' "$OBS_DIR/daemon.log" 2>/dev/null \
+    | head -n1 | cut -d= -f2 || true)"
+  [ -n "$OBS_PORT" ] && [ -S "$OBS_DIR/s.sock" ] && break
+  sleep 0.05
+done
+[ -n "$OBS_PORT" ] || { echo "check: FAILED — daemon never published http_port"; exit 1; }
+printf '{"v":1,"cmd":"optimize","id":"chk","bench":"jacobi","experiment":"pl","procs":4}\n' \
+  | "$BUILD_DIR"/examples/serve_client --socket "$OBS_DIR/s.sock" \
+  | grep -q '"kind":"done"'
+http_get() {
+  exec 3<>"/dev/tcp/127.0.0.1/$1"
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$2" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+http_get "$OBS_PORT" /metrics | grep -qE '^serve_requests [1-9]' \
+  || { echo "check: FAILED — /metrics missing serve_requests"; exit 1; }
+http_get "$OBS_PORT" /flight | grep -q 'debug_sleep' \
+  || { echo "check: FAILED — flight recorder missing the slow request"; exit 1; }
+kill -TERM "$OBS_PID"
+wait "$OBS_PID" || { echo "check: FAILED — daemon drain exited non-zero"; exit 1; }
+echo "check: smoke tier + --jobs 2 sweep + observability probe OK"

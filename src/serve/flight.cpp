@@ -1,0 +1,77 @@
+#include "src/serve/flight.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace zc::serve {
+
+json::Value FlightEntry::to_json() const {
+  using json::Value;
+  Value v = Value::make_object();
+  v["request_number"] = Value::make_int(request_number);
+  v["id"] = Value::make_str(id);
+  v["client"] = Value::make_str(client);
+  v["label"] = Value::make_str(label);
+  v["cache"] = Value::make_str(cache);
+  v["error_code"] = Value::make_str(error_code);
+  v["cache_hits"] = Value::make_int(cache_hits);
+  v["cache_misses"] = Value::make_int(cache_misses);
+  v["queue_wait_ms"] = Value::make_num(queue_wait_seconds * 1e3);
+  v["latency_ms"] = Value::make_num(latency_seconds * 1e3);
+  v["finished_uptime_seconds"] = Value::make_num(finished_uptime_seconds);
+  Value rows = Value::make_array();
+  for (const FlightPhase& p : phases) {
+    Value row = Value::make_object();
+    row["path"] = Value::make_str(p.path);
+    row["count"] = Value::make_int(p.count);
+    row["ms"] = Value::make_num(p.seconds * 1e3);
+    rows.push_back(std::move(row));
+  }
+  v["phases"] = std::move(rows);
+  return v;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity, double slow_threshold_seconds)
+    : capacity_(capacity), slow_threshold_(slow_threshold_seconds) {}
+
+bool FlightRecorder::record(FlightEntry entry) {
+  const bool slow = slow_threshold_ > 0.0 && entry.latency_seconds >= slow_threshold_;
+  const EntryPtr e = std::make_shared<const FlightEntry>(std::move(entry));
+  const std::lock_guard<std::mutex> lk(mu_);
+  ++recorded_;
+  // Slowest set: insert in descending latency order, drop the fastest
+  // overflow. Both rings share the one immutable entry, so placing shifts
+  // pointers, never strings.
+  const auto at = std::upper_bound(
+      slowest_.begin(), slowest_.end(), e,
+      [](const EntryPtr& a, const EntryPtr& b) {
+        return a->latency_seconds > b->latency_seconds;
+      });
+  if (at != slowest_.end() || slowest_.size() < capacity_) {
+    slowest_.insert(at, e);
+    if (slowest_.size() > capacity_) slowest_.pop_back();
+  }
+  recent_.push_front(std::move(e));
+  if (recent_.size() > capacity_) recent_.pop_back();
+  return slow;
+}
+
+json::Value FlightRecorder::to_json() const {
+  using json::Value;
+  Value v = Value::make_object();
+  v["capacity"] = Value::make_int(static_cast<long long>(capacity_));
+  v["slow_threshold_ms"] = Value::make_num(slow_threshold_ * 1e3);
+  Value recent = Value::make_array();
+  Value slowest = Value::make_array();
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    v["recorded"] = Value::make_int(recorded_);
+    for (const EntryPtr& e : recent_) recent.push_back(e->to_json());
+    for (const EntryPtr& e : slowest_) slowest.push_back(e->to_json());
+  }
+  v["recent"] = std::move(recent);
+  v["slowest"] = std::move(slowest);
+  return v;
+}
+
+}  // namespace zc::serve

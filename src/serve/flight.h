@@ -1,0 +1,88 @@
+// Flight recorder for the zcomm_serve daemon: a bounded in-memory ring of
+// recently finished requests plus a bounded "slowest ever" set, each entry
+// carrying the request's correlation data (monotonic request number, wire
+// id, client), its outcome (error code or success, cache hits/misses),
+// its latency split (queue wait vs execution), and a per-phase host-time
+// breakdown from the request-scoped prof::Profiler — the ops answer to
+// "why was *that* request slow", dumpable live via {"cmd":"flight"}.
+//
+// Recording is one mutex-guarded heap publish per finished request (never
+// per message) — both rings share one immutable entry, so placing into the
+// slowest set shifts pointers, not strings; with the recorder disabled
+// (capacity 0) the service skips the per-request profiler entirely, so the
+// path back to PR 6 behavior is zero-cost.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+
+namespace zc::serve {
+
+/// One row of a request's host-profile breakdown ('/'-joined span path).
+struct FlightPhase {
+  std::string path;
+  long long count = 0;
+  double seconds = 0.0;
+};
+
+/// Everything the recorder keeps about one finished request.
+struct FlightEntry {
+  long long request_number = 0;  ///< service-wide monotonic id (from 1)
+  std::string id;                ///< the wire request id (may be empty)
+  std::string client;
+  std::string label;       ///< OptimizeRequest::label()
+  std::string cache;       ///< "hit", "miss", "mixed", or "" (no plans)
+  std::string error_code;  ///< empty = success
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  double queue_wait_seconds = 0.0;
+  double latency_seconds = 0.0;           ///< execution (excludes queue wait)
+  double finished_uptime_seconds = 0.0;   ///< vs the service start
+  std::vector<FlightPhase> phases;
+
+  [[nodiscard]] json::Value to_json() const;
+};
+
+class FlightRecorder {
+ public:
+  /// `capacity` bounds both the recent ring and the slowest set;
+  /// `slow_threshold_seconds` <= 0 disables the slow classification.
+  FlightRecorder(std::size_t capacity, double slow_threshold_seconds);
+
+  /// Records one finished request. Returns true when the entry's latency
+  /// meets the slow threshold (the caller logs those).
+  bool record(FlightEntry entry);
+
+  /// {"capacity":N, "slow_threshold_ms":T, "recorded":R,
+  ///  "recent":[newest-first entries], "slowest":[descending latency]}.
+  [[nodiscard]] json::Value to_json() const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] double slow_threshold_seconds() const { return slow_threshold_; }
+
+  /// Requests recorded over the recorder's lifetime (not bounded by
+  /// capacity) — the serve_flight_recorded gauge.
+  [[nodiscard]] long long recorded() const {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return recorded_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  const double slow_threshold_;
+
+  using EntryPtr = std::shared_ptr<const FlightEntry>;
+
+  mutable std::mutex mu_;
+  long long recorded_ = 0;
+  std::deque<EntryPtr> recent_;   ///< newest at the front
+  std::vector<EntryPtr> slowest_; ///< descending latency, size <= capacity
+};
+
+}  // namespace zc::serve

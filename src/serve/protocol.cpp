@@ -181,12 +181,15 @@ Request parse_request(std::string_view line, const json::ParseLimits& limits) {
     req.cmd = Request::Cmd::kPing;
   } else if (cmd == "stats") {
     req.cmd = Request::Cmd::kStats;
+  } else if (cmd == "flight") {
+    req.cmd = Request::Cmd::kFlight;
   } else if (cmd == "shutdown") {
     req.cmd = Request::Cmd::kShutdown;
   } else if (cmd == "optimize") {
     req.cmd = Request::Cmd::kOptimize;
   } else {
-    bad("unknown cmd '" + cmd + "' (expected optimize, stats, ping, or shutdown)");
+    bad("unknown cmd '" + cmd +
+        "' (expected optimize, stats, flight, ping, or shutdown)");
   }
 
   for (const auto& [key, value] : doc.object) {

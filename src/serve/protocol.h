@@ -9,6 +9,7 @@
 // Requests ("cmd" selects):
 //   {"v":1, "cmd":"ping", "id":...}
 //   {"v":1, "cmd":"stats", "id":...}
+//   {"v":1, "cmd":"flight", "id":...}   // flight-recorder dump
 //   {"v":1, "cmd":"shutdown", "id":...}
 //   {"v":1, "cmd":"optimize", "id":"r1",
 //    "bench":"tomcatv" | "source":"<mini-ZPL>",   // exactly one
@@ -86,7 +87,7 @@ struct OptimizeRequest {
 };
 
 struct Request {
-  enum class Cmd { kPing, kStats, kShutdown, kOptimize };
+  enum class Cmd { kPing, kStats, kFlight, kShutdown, kOptimize };
 
   Cmd cmd = Cmd::kPing;
   std::string id;            ///< echoed on every response line; may be empty

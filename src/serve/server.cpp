@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "src/support/diag.h"
+#include "src/support/log.h"
 
 namespace zc::serve {
 
@@ -117,11 +118,15 @@ Server::Server(ServerOptions options)
   if (options_.tcp_port >= 0) {
     tcp_fd_ = make_listener_tcp(options_.tcp_port, tcp_port_);
   }
+  if (options_.http_port >= 0) {
+    http_fd_ = make_listener_tcp(options_.http_port, http_port_);
+  }
 }
 
 Server::~Server() {
   request_stop();
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (drainer_thread_.joinable()) drainer_thread_.join();
   shutdown_listeners();
   service_.drain();
   {
@@ -156,30 +161,58 @@ void Server::install_signal_handlers(Server& server) {
 }
 
 void Server::accept_loop() {
-  while (!stopping_.load()) {
-    pollfd fds[3];
+  // Two-byte shutdown protocol on the stop pipe: 's' = stop requested
+  // (close the JSON listeners, flip /healthz, drain in the background),
+  // 'd' = the drain finished (written by drainer_thread_; exit the loop).
+  // Between the two the HTTP plane stays live so operators can watch the
+  // drain through /metrics and /healthz.
+  bool draining = false;
+  for (;;) {
+    pollfd fds[4];
     nfds_t n = 0;
     fds[n++] = pollfd{stop_pipe_[0], POLLIN, 0};
     if (unix_fd_ >= 0) fds[n++] = pollfd{unix_fd_, POLLIN, 0};
     if (tcp_fd_ >= 0) fds[n++] = pollfd{tcp_fd_, POLLIN, 0};
+    if (http_fd_ >= 0) fds[n++] = pollfd{http_fd_, POLLIN, 0};
     if (::poll(fds, n, -1) < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    if ((fds[0].revents & POLLIN) != 0) break;  // request_stop
+    if ((fds[0].revents & POLLIN) != 0) {
+      char byte = 's';
+      if (::read(stop_pipe_[0], &byte, 1) <= 0) break;
+      if (byte == 'd') break;  // the drain finished; run() takes over
+      if (draining) continue;  // duplicate stop request (signal + cmd)
+      draining = true;
+      service_.begin_drain();
+      close_json_listeners();
+      drainer_thread_ = std::thread([this] {
+        service_.drain();
+        const char done = 'd';
+        [[maybe_unused]] const ssize_t w = ::write(stop_pipe_[1], &done, 1);
+      });
+      continue;  // keep accepting HTTP scrapes while the drain runs
+    }
     for (nfds_t i = 1; i < n; ++i) {
       if ((fds[i].revents & POLLIN) == 0) continue;
       const bool is_unix = fds[i].fd == unix_fd_;
+      const bool is_http = fds[i].fd == http_fd_;
       const int client_fd = ::accept(fds[i].fd, nullptr, nullptr);
       if (client_fd < 0) continue;
       auto conn = std::make_shared<Connection>();
       conn->fd = client_fd;
       {
         const std::lock_guard<std::mutex> lk(conns_mu_);
-        conn->client =
-            (is_unix ? "unix:" : "tcp:") + std::to_string(next_client_++);
+        conn->client = (is_http   ? "http:"
+                        : is_unix ? "unix:"
+                                  : "tcp:") +
+                       std::to_string(next_client_++);
         conns_.push_back(conn);
-        conn_threads_.emplace_back([this, conn] { serve_connection(conn); });
+        if (is_http) {
+          conn_threads_.emplace_back([this, conn] { serve_http(conn); });
+        } else {
+          conn_threads_.emplace_back([this, conn] { serve_connection(conn); });
+        }
       }
     }
   }
@@ -218,7 +251,84 @@ void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
   }
 }
 
-void Server::shutdown_listeners() {
+void Server::serve_http(const std::shared_ptr<Connection>& conn) {
+  // Read until the end of the request head (GETs carry no body); bound the
+  // read so a hostile client can't buffer unboundedly.
+  std::string head;
+  char chunk[1024];
+  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    head.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = head.find_first_of("\r\n");
+  const std::string request_line = head.substr(0, eol);
+  std::string method;
+  std::string target;
+  {
+    const std::size_t sp1 = request_line.find(' ');
+    if (sp1 != std::string::npos) {
+      method = request_line.substr(0, sp1);
+      const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+      target = request_line.substr(sp1 + 1, sp2 == std::string::npos
+                                                ? std::string::npos
+                                                : sp2 - sp1 - 1);
+    }
+  }
+
+  int status = 200;
+  std::string_view reason = "OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = 405;
+    reason = "Method Not Allowed";
+    body = "only GET is served\n";
+  } else if (target == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = service_.metrics_prometheus();
+  } else if (target == "/healthz") {
+    if (service_.draining()) {
+      status = 503;
+      reason = "Service Unavailable";
+      body = "draining\n";
+    } else {
+      body = "ok\n";
+    }
+  } else if (target == "/flight") {
+    content_type = "application/json";
+    body = service_.flight_json().dump(0);
+    body += '\n';
+  } else {
+    status = 404;
+    reason = "Not Found";
+    body = "serves /metrics, /healthz, and /flight\n";
+  }
+  service_.registry().count("serve.http.requests");
+  service_.registry().count("serve.http.status." + std::to_string(status));
+  ZC_LOG_DEBUG("serve", "http request", log::field("client", conn->client),
+               log::field("target", target), log::field("status", status));
+
+  std::string response = "HTTP/1.0 " + std::to_string(status) + " " +
+                         std::string(reason) + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  const std::lock_guard<std::mutex> lk(conn->write_mu);
+  if (conn->fd < 0) return;
+  std::size_t off = 0;
+  while (off < response.size()) {
+    const ssize_t n =
+        ::send(conn->fd, response.data() + off, response.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+  ::shutdown(conn->fd, SHUT_WR);  // HTTP/1.0: response ends the exchange
+}
+
+void Server::close_json_listeners() {
   if (unix_fd_ >= 0) {
     ::close(unix_fd_);
     ::unlink(options_.unix_socket_path.c_str());
@@ -227,6 +337,14 @@ void Server::shutdown_listeners() {
   if (tcp_fd_ >= 0) {
     ::close(tcp_fd_);
     tcp_fd_ = -1;
+  }
+}
+
+void Server::shutdown_listeners() {
+  close_json_listeners();
+  if (http_fd_ >= 0) {
+    ::close(http_fd_);
+    http_fd_ = -1;
   }
 }
 
@@ -251,7 +369,12 @@ void Server::run_stdin() {
 
 int Server::run() {
   ::signal(SIGPIPE, SIG_IGN);
-  const bool have_listeners = unix_fd_ >= 0 || tcp_fd_ >= 0;
+  ZC_LOG_INFO("serve", "serving",
+              log::field("unix", options_.unix_socket_path),
+              log::field("tcp_port", tcp_port_),
+              log::field("http_port", http_port_),
+              log::field("stdin", options_.serve_stdin));
+  const bool have_listeners = unix_fd_ >= 0 || tcp_fd_ >= 0 || http_fd_ >= 0;
   if (have_listeners) {
     accept_thread_ = std::thread([this] { accept_loop(); });
   }
@@ -260,6 +383,7 @@ int Server::run() {
     request_stop();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (drainer_thread_.joinable()) drainer_thread_.join();
   shutdown_listeners();  // no new connections while we drain
   service_.drain();      // every admitted request answers its client
   {
@@ -272,6 +396,8 @@ int Server::run() {
     if (t.joinable()) t.join();
   }
   conn_threads_.clear();
+  ZC_LOG_INFO("serve", "drained, exiting",
+              log::field("uptime_s", service_.uptime_seconds()));
   return 0;
 }
 

@@ -6,12 +6,21 @@
 // response for a client that already disconnected writes into a closed
 // socket (and is dropped) instead of a dangling one.
 //
+// An optional loopback HTTP/1.0 listener serves the observability plane:
+// GET /metrics (Prometheus text exposition), GET /healthz (200 "ok" or
+// 503 "draining"), and GET /flight (the flight-recorder dump as JSON).
+// One short-lived thread per HTTP request; no keep-alive.
+//
 // Shutdown: run() returns after (a) a {"cmd":"shutdown"} request, (b)
 // request_stop() — which install_signal_handlers() wires to SIGINT and
 // SIGTERM via a self-pipe — or (c) EOF on stdin when stdin serving is on.
-// All paths drain gracefully: listeners close first (no new connections),
-// the service finishes every admitted request (their responses still
-// reach their clients), then connections close and reader threads join.
+// All paths drain gracefully: the JSON listeners close first (no new
+// connections), the service finishes every admitted request (their
+// responses still reach their clients), then connections close and reader
+// threads join. The HTTP listener stays up THROUGH the drain — /healthz
+// flips to 503 the moment the drain begins and stays scrapeable until the
+// last admitted request finishes — via a second stop-pipe byte: 's' (stop
+// requested) starts a background drain, 'd' (drain done) ends the loop.
 #pragma once
 
 #include <atomic>
@@ -28,6 +37,7 @@ namespace zc::serve {
 struct ServerOptions {
   std::string unix_socket_path;  ///< empty = no Unix listener
   int tcp_port = -1;             ///< -1 = no TCP; 0 = kernel-chosen port
+  int http_port = -1;            ///< -1 = no HTTP; 0 = kernel-chosen port
   bool serve_stdin = false;      ///< read requests from stdin, answer on stdout
   ServiceOptions service;
 };
@@ -52,6 +62,9 @@ class Server {
   /// The bound TCP port (resolves tcp_port == 0), -1 when TCP is off.
   [[nodiscard]] int tcp_port() const { return tcp_port_; }
 
+  /// The bound HTTP port (resolves http_port == 0), -1 when HTTP is off.
+  [[nodiscard]] int http_port() const { return http_port_; }
+
   [[nodiscard]] Service& service() { return service_; }
 
   /// Points SIGINT/SIGTERM at the given server's request_stop (replacing
@@ -63,7 +76,9 @@ class Server {
 
   void accept_loop();
   void serve_connection(const std::shared_ptr<Connection>& conn);
+  void serve_http(const std::shared_ptr<Connection>& conn);
   void run_stdin();
+  void close_json_listeners();  ///< Unix + TCP only; HTTP survives the drain
   void shutdown_listeners();
 
   ServerOptions options_;
@@ -71,8 +86,11 @@ class Server {
   int unix_fd_ = -1;
   int tcp_fd_ = -1;
   int tcp_port_ = -1;
+  int http_fd_ = -1;
+  int http_port_ = -1;
   int stop_pipe_[2] = {-1, -1};
   std::atomic<bool> stopping_{false};
+  std::thread drainer_thread_;  ///< runs service_.drain() during shutdown
 
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;

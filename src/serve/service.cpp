@@ -1,7 +1,9 @@
 #include "src/serve/service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "src/analysis/blame.h"
@@ -11,7 +13,9 @@
 #include "src/exec/pool.h"
 #include "src/machine/model.h"
 #include "src/parser/parser.h"
+#include "src/prof/prof.h"
 #include "src/programs/programs.h"
+#include "src/support/log.h"
 #include "src/trace/recorder.h"
 #include "src/zir/printer.h"
 
@@ -34,6 +38,13 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Milliseconds with 3 decimals, for log fields ("12.345").
+std::string ms_string(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  return buf;
+}
+
 }  // namespace
 
 Service::Service(ServiceOptions options) : options_(std::move(options)) {
@@ -42,6 +53,10 @@ Service::Service(ServiceOptions options) : options_(std::move(options)) {
   options_.max_queue_depth = std::max(1, options_.max_queue_depth);
   cache_ = options_.plan_cache != nullptr ? options_.plan_cache
                                           : &exec::PlanCache::process();
+  if (options_.flight_capacity > 0) {
+    flight_ = std::make_unique<FlightRecorder>(options_.flight_capacity,
+                                               options_.slow_request_seconds);
+  }
   workers_.reserve(static_cast<std::size_t>(options_.jobs));
   for (int i = 0; i < options_.jobs; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -70,6 +85,9 @@ bool Service::handle_line(const std::string& client, std::string_view line,
     req = parse_request(line, limits);
   } catch (const RequestError& e) {
     registry_.count("serve.errors.bad_request");
+    ZC_LOG_DEBUG("serve", "request rejected", log::field("client", client),
+                 log::field("error", "bad_request"),
+                 log::field("message", std::string_view(e.what())));
     emit(error_response("", e.code, e.what(), e.offset).dump(0));
     return true;
   }
@@ -87,12 +105,17 @@ bool Service::handle_line(const std::string& client, std::string_view line,
       emit(v.dump(0));
       return true;
     }
+    case Request::Cmd::kFlight: {
+      registry_.count("serve.requests.flight");
+      json::Value v = flight_json();
+      v["id"] = json::Value::make_str(req.id);
+      emit(v.dump(0));
+      return true;
+    }
     case Request::Cmd::kShutdown: {
       registry_.count("serve.requests.shutdown");
-      {
-        const std::lock_guard<std::mutex> lk(mu_);
-        draining_ = true;
-      }
+      ZC_LOG_INFO("serve", "shutdown requested", log::field("client", client));
+      begin_drain();
       json::Value v = response_base("shutdown", req.id, 0);
       v["draining"] = json::Value::make_bool(true);
       emit(v.dump(0));
@@ -123,6 +146,7 @@ bool Service::handle_line(const std::string& client, std::string_view line,
       job.client = client;
       job.emit = std::move(emit);
       job.admitted_at = Clock::now();
+      job.request_number = next_request_.fetch_add(1, std::memory_order_relaxed) + 1;
       queue_.push_back(std::move(job));
       registry_.gauge("serve.queue_depth", static_cast<double>(queue_.size()));
     }
@@ -130,6 +154,8 @@ bool Service::handle_line(const std::string& client, std::string_view line,
   if (refusal.has_value()) {
     const std::string code = refusal->at("error").at("code").string;
     registry_.count("serve.errors." + code);
+    ZC_LOG_WARN("serve", "request refused", log::field("client", client),
+                log::field("error", code));
     emit(refusal->dump(0));
   } else {
     registry_.count("serve.admitted");
@@ -154,7 +180,8 @@ void Service::worker_loop() {
       registry_.gauge("serve.queue_depth", static_cast<double>(queue_.size()));
     }
     if (options_.on_job_start) options_.on_job_start();
-    registry_.observe("serve.queue_wait_seconds", seconds_since(job.admitted_at),
+    job.queue_wait_seconds = seconds_since(job.admitted_at);
+    registry_.observe("serve.queue_wait_seconds", job.queue_wait_seconds,
                       latency_bounds());
     execute(job);
     {
@@ -219,6 +246,24 @@ void Service::execute(const Job& job) {
   const std::string& id = job.request.id;
   const Clock::time_point started = Clock::now();
   json::Value last;  // the request's terminal line (done or error)
+
+  // Request-scoped host profiler: each optimize request gets its own span
+  // tree ("parse" / "plan" / "sim" roots with the instrumented subsystems
+  // nesting underneath), correlated by the request number. Only exists
+  // when the flight recorder is on — capacity 0 restores the unprofiled
+  // path, and the Attach below becomes a no-op.
+  std::optional<prof::Profiler> profiler;
+  if (flight_) profiler.emplace(/*max_timeline_events=*/0);
+  prof::Attach prof_attach(profiler ? &*profiler : nullptr);
+
+  if (options_.debug_sleep_ms > 0) {
+    ZC_PROF_SPAN("debug_sleep");
+    std::this_thread::sleep_for(std::chrono::milliseconds(options_.debug_sleep_ms));
+  }
+
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  std::string error_code;  // empty = success
   try {
     for (const int p : o.procs) {
       if (p > options_.max_procs) {
@@ -246,7 +291,11 @@ void Service::execute(const Job& job) {
       }
     }
 
-    const ResolvedProgram rp = resolve_program(o);
+    ResolvedProgram rp;
+    {
+      ZC_PROF_SPAN("parse");
+      rp = resolve_program(o);
+    }
     const machine::MachineModel model =
         o.machine == "paragon" ? machine::paragon_model() : machine::t3d_model();
     std::map<std::string, long long> configs = rp.base_configs;
@@ -261,28 +310,37 @@ void Service::execute(const Job& job) {
     // blur each other's deltas.
     std::vector<std::shared_ptr<const comm::CommPlan>> plans;
     plans.reserve(experiments.size());
-    for (const driver::Experiment& e : experiments) {
-      metrics::Registry scratch;
-      std::shared_ptr<const comm::CommPlan> plan;
-      {
-        metrics::ScopedRegistry scoped(scratch);
-        plan = cache_->get_or_plan(*rp.program, *rp.canonical, e.opts, model.name);
-      }
-      const bool hit = scratch.counter("exec.plan_cache.hits") > 0;
-      registry_.merge_from(scratch);
+    // One span for the whole planning phase (cache lookups plus plan-line
+    // emission): per-experiment spans would aggregate into the same flat
+    // node anyway, at six clock pairs per request instead of one.
+    {
+      ZC_PROF_SPAN("plan");
+      for (const driver::Experiment& e : experiments) {
+        metrics::Registry scratch;
+        std::shared_ptr<const comm::CommPlan> plan;
+        {
+          metrics::ScopedRegistry scoped(scratch);
+          plan = cache_->get_or_plan(*rp.program, *rp.canonical, e.opts, model.name);
+        }
+        const long long hits = scratch.counter("exec.plan_cache.hits");
+        cache_hits += hits;
+        cache_misses += scratch.counter("exec.plan_cache.misses");
+        const bool hit = hits > 0;
+        registry_.merge_from(scratch);
 
-      json::Value line = response_base("plan", id, seq++);
-      line["item"] = json::Value::make_str(program_label + "/" + e.name);
-      line["experiment"] = json::Value::make_str(e.name);
-      line["machine"] = json::Value::make_str(model.name);
-      line["cache"] = json::Value::make_str(hit ? "hit" : "miss");
-      line["static_count"] = json::Value::make_int(plan->static_count());
-      if (job.request.optimize.plan_text) {
-        line["plan_text"] =
-            json::Value::make_str(comm::to_string(*plan, *rp.program));
+        json::Value line = response_base("plan", id, seq++);
+        line["item"] = json::Value::make_str(program_label + "/" + e.name);
+        line["experiment"] = json::Value::make_str(e.name);
+        line["machine"] = json::Value::make_str(model.name);
+        line["cache"] = json::Value::make_str(hit ? "hit" : "miss");
+        line["static_count"] = json::Value::make_int(plan->static_count());
+        if (job.request.optimize.plan_text) {
+          line["plan_text"] =
+              json::Value::make_str(comm::to_string(*plan, *rp.program));
+        }
+        job.emit(line.dump(0));
+        plans.push_back(std::move(plan));
       }
-      job.emit(line.dump(0));
-      plans.push_back(std::move(plan));
     }
 
     // Phase 2 — the run grid (experiments x procs), fanned onto an
@@ -336,11 +394,17 @@ void Service::execute(const Job& job) {
           }
         }
       };
-      if (options_.batch_jobs > 1 && n > 1) {
-        exec::ThreadPool pool(options_.batch_jobs);
-        pool.run(n, run_one);
-      } else {
-        for (std::size_t i = 0; i < n; ++i) run_one(i);
+      {
+        // The span wraps the whole grid: with batch_jobs > 1 the pool's
+        // threads are not attached to the request profiler, so the grid's
+        // cost shows up as this span's (wall-clock) self time.
+        ZC_PROF_SPAN("sim");
+        if (options_.batch_jobs > 1 && n > 1) {
+          exec::ThreadPool pool(options_.batch_jobs);
+          pool.run(n, run_one);
+        } else {
+          for (std::size_t i = 0; i < n; ++i) run_one(i);
+        }
       }
 
       for (std::size_t idx = 0; idx < n; ++idx) {
@@ -369,16 +433,81 @@ void Service::execute(const Job& job) {
     registry_.count("serve.completed");
     last = std::move(done);
   } catch (const RequestError& e) {
-    registry_.count("serve.errors." + std::string(to_string(e.code)));
+    error_code = to_string(e.code);
+    registry_.count("serve.errors." + error_code);
     last = error_response(id, e.code, e.what(), e.offset);
   } catch (const std::exception& e) {
+    error_code = to_string(ErrorCode::kInternal);
     registry_.count("serve.errors.internal");
     last = error_response(id, ErrorCode::kInternal, e.what());
   }
-  // Every metric for this request settles before its terminal line goes
-  // out: a client that saw "done" (or the error) and immediately asks for
-  // stats must see itself counted and its latency observed.
-  registry_.observe("serve.request_seconds", seconds_since(started), latency_bounds());
+
+  // Everything observable about this request — latency histogram, flight
+  // entry, log lines — settles before its terminal line goes out: a client
+  // that saw "done" (or the error) and immediately asks for stats or the
+  // flight dump must see itself there.
+  const double latency = seconds_since(started);
+
+  const std::string cache_label = cache_hits > 0 && cache_misses > 0 ? "mixed"
+                                  : cache_hits > 0                   ? "hit"
+                                  : cache_misses > 0                 ? "miss"
+                                                                     : "";
+  const std::string label = o.label();
+  if (flight_) {
+    std::vector<prof::Profiler::FlatSpan> spans = profiler->flat(/*max_depth=*/3);
+    // The slow classification is known before recording (same rule the
+    // recorder applies), so the warn line's phase breakdown can be built
+    // before the span paths are moved into the entry.
+    const double threshold = flight_->slow_threshold_seconds();
+    const bool slow = threshold > 0.0 && latency >= threshold;
+    if (slow) {
+      std::string breakdown;  // top-level phases only: "plan=1.2ms sim=40.0ms"
+      for (const prof::Profiler::FlatSpan& s : spans) {
+        if (s.depth != 0) continue;
+        if (!breakdown.empty()) breakdown += ' ';
+        breakdown += s.path + '=' + ms_string(s.total_seconds) + "ms";
+      }
+      ZC_LOG_WARN("serve", "slow request", log::field("req", job.request_number),
+                  log::field("id", id), log::field("client", job.client),
+                  log::field("label", label),
+                  log::field("latency_ms", ms_string(latency)),
+                  log::field("phases", breakdown));
+    }
+    FlightEntry entry;
+    entry.request_number = job.request_number;
+    entry.id = id;
+    entry.client = job.client;
+    entry.label = label;
+    entry.cache = cache_label;
+    entry.error_code = error_code;
+    entry.cache_hits = cache_hits;
+    entry.cache_misses = cache_misses;
+    entry.queue_wait_seconds = job.queue_wait_seconds;
+    entry.latency_seconds = latency;
+    entry.finished_uptime_seconds = uptime_seconds();
+    entry.phases.reserve(spans.size());
+    for (prof::Profiler::FlatSpan& s : spans) {
+      entry.phases.push_back({std::move(s.path), s.count, s.total_seconds});
+    }
+    flight_->record(std::move(entry));
+  }
+  // Debug, not info: completion lines scale with traffic, and the default
+  // (info) log must stay proportional to lifecycle events. Per-request
+  // observability at default settings comes from the latency histogram and
+  // the flight recorder; slow requests still announce themselves at warn.
+  ZC_LOG_DEBUG("serve", "request finished", log::field("req", job.request_number),
+              log::field("id", id), log::field("client", job.client),
+              log::field("label", label), log::field("cache", cache_label),
+              log::field("error", error_code),
+              log::field("queue_ms", ms_string(job.queue_wait_seconds)),
+              log::field("latency_ms", ms_string(latency)));
+
+  // Observed last so the histogram prices the whole request — execution
+  // AND its telemetry (flight record, log lines). The flight entry's own
+  // latency is necessarily the pre-telemetry reading.
+  registry_.observe("serve.request_seconds", seconds_since(started),
+                    latency_bounds());
+
   job.emit(last.dump(0));
 }
 
@@ -396,6 +525,16 @@ void Service::drain() {
   workers_.clear();
 }
 
+void Service::begin_drain() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (draining_) return;
+    draining_ = true;
+  }
+  ZC_LOG_INFO("serve", "drain started",
+              log::field("in_flight", static_cast<long long>(in_flight())));
+}
+
 bool Service::draining() const {
   const std::lock_guard<std::mutex> lk(mu_);
   return draining_;
@@ -408,6 +547,8 @@ int Service::in_flight() const {
 
 json::Value Service::stats_json() const {
   json::Value v = response_base("stats", "", 0);
+  v["stats_version"] = json::Value::make_int(2);
+  v["uptime_seconds"] = json::Value::make_num(uptime_seconds());
   v["serve"] = registry_.to_json();
   v["plan_cache"] = cache_->stats().to_json();
   json::Value q = json::Value::make_object();
@@ -419,8 +560,56 @@ json::Value Service::stats_json() const {
   }
   q["max_depth"] = json::Value::make_int(options_.max_queue_depth);
   v["queue"] = std::move(q);
+  // Per-error-code counts as a first-class object (they also appear in the
+  // registry dump above, but clients should not parse counter names).
+  json::Value errors = json::Value::make_object();
+  for (const ErrorCode code : {ErrorCode::kBadRequest, ErrorCode::kOverloaded,
+                               ErrorCode::kShuttingDown, ErrorCode::kInternal}) {
+    const std::string name(to_string(code));
+    errors[name] = json::Value::make_int(registry_.counter("serve.errors." + name));
+  }
+  v["errors"] = std::move(errors);
   return v;
 }
+
+json::Value Service::flight_json() const {
+  json::Value v = response_base("flight", "", 0);
+  if (flight_ != nullptr) {
+    v["flight"] = flight_->to_json();
+  } else {
+    // Disabled recorder: the same shape, permanently empty.
+    json::Value off = json::Value::make_object();
+    off["capacity"] = json::Value::make_int(0);
+    off["slow_threshold_ms"] = json::Value::make_num(0.0);
+    off["recorded"] = json::Value::make_int(0);
+    off["recent"] = json::Value::make_array();
+    off["slowest"] = json::Value::make_array();
+    v["flight"] = std::move(off);
+  }
+  return v;
+}
+
+std::string Service::metrics_prometheus() {
+  // Derived gauges refresh at scrape time; everything else in the registry
+  // is maintained on the request path.
+  registry_.gauge("serve.uptime_seconds", uptime_seconds());
+  const exec::PlanCacheStats cs = cache_->stats();
+  registry_.gauge("serve.plan_cache.hit_ratio", cs.hit_rate());
+  registry_.gauge("serve.plan_cache.entries", static_cast<double>(cs.entries));
+  registry_.gauge("serve.plan_cache.bytes", static_cast<double>(cs.bytes));
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    registry_.gauge("serve.queue_depth", static_cast<double>(queue_.size()));
+    registry_.gauge("serve.executing", static_cast<double>(executing_));
+    registry_.gauge("serve.draining", draining_ ? 1.0 : 0.0);
+  }
+  if (flight_ != nullptr) {
+    registry_.gauge("serve.flight.recorded", static_cast<double>(flight_->recorded()));
+  }
+  return registry_.to_prometheus();
+}
+
+double Service::uptime_seconds() const { return seconds_since(started_at_); }
 
 void Service::clear_caches() {
   cache_->clear();

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "src/exec/plan_cache.h"
+#include "src/serve/flight.h"
 #include "src/serve/protocol.h"
 #include "src/support/metrics.h"
 #include "src/zir/program.h"
@@ -65,6 +66,18 @@ struct ServiceOptions {
   int max_depth = 64;
   /// The plan cache to answer from; null = the process-wide shared cache.
   exec::PlanCache* plan_cache = nullptr;
+  /// Flight-recorder depth (recent ring + slowest set, see serve/flight.h).
+  /// 0 disables the recorder AND the per-request profiler — the
+  /// zero-cost-when-off path back to plain PR 6 execution.
+  std::size_t flight_capacity = 16;
+  /// Requests whose execution latency meets this threshold are logged at
+  /// warn with their phase breakdown; <= 0 disables the slow
+  /// classification (entries still record).
+  double slow_request_seconds = 1.0;
+  /// Test/ops seam: every optimize request sleeps this long inside a
+  /// "debug_sleep" profiler span before any work — a deterministic slow
+  /// request for exercising the flight recorder (0 = off).
+  int debug_sleep_ms = 0;
   /// Test seam: runs on the worker thread as it picks up each admitted
   /// request, before any work — lets tests hold workers at a barrier to
   /// fill the queue deterministically.
@@ -95,18 +108,37 @@ class Service {
   /// Idempotent; the destructor calls it.
   void drain();
 
+  /// Stops admission (new optimize requests get "shutting_down") without
+  /// waiting — flips /healthz to draining the moment a shutdown begins,
+  /// while drain() finishes the admitted work. Idempotent.
+  void begin_drain();
+
   [[nodiscard]] bool draining() const;
 
   /// Admitted-but-unfinished optimize requests (queued + executing).
   [[nodiscard]] int in_flight() const;
 
-  /// The {"cmd":"stats"} payload: the service registry (request counts,
-  /// latency histograms, per-client counters), plan-cache stats, and the
-  /// admission queue's state.
+  /// The {"cmd":"stats"} payload (stats_version 2): the service registry
+  /// (request counts, latency histograms, per-client counters), plan-cache
+  /// stats, the admission queue's state, server uptime, and per-error-code
+  /// counts. Field ordering is bit-stable (json::Value dumps sorted keys).
   [[nodiscard]] json::Value stats_json() const;
+
+  /// The {"cmd":"flight"} payload: the flight recorder's rings (empty
+  /// rings when the recorder is disabled).
+  [[nodiscard]] json::Value flight_json() const;
+
+  /// The `GET /metrics` body: refreshes the derived gauges (uptime, queue
+  /// depth, plan-cache hit ratio and totals, flight-recorder count) and
+  /// renders the registry as Prometheus text exposition.
+  [[nodiscard]] std::string metrics_prometheus();
+
+  /// Seconds since this service was constructed.
+  [[nodiscard]] double uptime_seconds() const;
 
   [[nodiscard]] metrics::Registry& registry() { return registry_; }
   [[nodiscard]] exec::PlanCache& plan_cache() { return *cache_; }
+  [[nodiscard]] const FlightRecorder* flight_recorder() const { return flight_.get(); }
 
   /// Drops memoized programs and plans (the bench harness's cold mode).
   void clear_caches();
@@ -119,6 +151,8 @@ class Service {
     std::string client;
     Emit emit;
     Clock::time_point admitted_at{};
+    long long request_number = 0;     ///< service-wide monotonic id
+    double queue_wait_seconds = 0.0;  ///< stamped by the worker at pickup
   };
 
   void worker_loop();
@@ -138,6 +172,9 @@ class Service {
   ServiceOptions options_;
   exec::PlanCache* cache_;
   metrics::Registry registry_;
+  const Clock::time_point started_at_ = Clock::now();
+  std::atomic<long long> next_request_{0};
+  std::unique_ptr<FlightRecorder> flight_;  ///< null when flight_capacity == 0
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  ///< wakes workers on enqueue / stop

@@ -1,0 +1,256 @@
+#include "src/support/log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <ctime>
+
+#include "src/support/str.h"
+
+namespace zc::log {
+
+std::string_view to_string(Level level) {
+  switch (level) {
+    case Level::kTrace: return "trace";
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "info";
+}
+
+bool parse_level(std::string_view text, Level& out) {
+  for (const Level l : {Level::kTrace, Level::kDebug, Level::kInfo, Level::kWarn,
+                        Level::kError, Level::kOff}) {
+    if (text == to_string(l)) {
+      out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Numbers render integral when exact, else with enough digits for
+/// millisecond latencies (the main numeric payload).
+std::string render_num(double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15 && v > -1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return str::format_f(v, 6);
+}
+
+/// Escapes into `out` for a double-quoted context shared by logfmt and
+/// JSON strings. Append-only: the hot path builds one line buffer and
+/// never allocates temporaries.
+void append_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Field field(std::string_view key, std::string_view value) {
+  return Field{std::string(key), std::string(value), true};
+}
+Field field(std::string_view key, const char* value) {
+  return field(key, std::string_view(value));
+}
+Field field(std::string_view key, const std::string& value) {
+  return field(key, std::string_view(value));
+}
+Field field(std::string_view key, long long value) {
+  return Field{std::string(key), std::to_string(value), false};
+}
+Field field(std::string_view key, unsigned long long value) {
+  return Field{std::string(key), std::to_string(value), false};
+}
+Field field(std::string_view key, int value) {
+  return field(key, static_cast<long long>(value));
+}
+Field field(std::string_view key, double value) {
+  return Field{std::string(key), render_num(value), false};
+}
+Field field(std::string_view key, bool value) {
+  return Field{std::string(key), value ? "true" : "false", false};
+}
+
+void Logger::set_rate_limit(int max_lines_per_second) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  rate_limit_ = max_lines_per_second;
+  window_second_ = -1;
+  window_count_ = 0;
+}
+
+bool Logger::set_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ae");
+  if (f == nullptr) return false;
+  const std::lock_guard<std::mutex> lk(mu_);
+  close_file();
+  owned_file_ = f;
+  stream_ = f;
+  capture_ = nullptr;
+  return true;
+}
+
+void Logger::set_stream(std::FILE* stream) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  close_file();
+  stream_ = stream;
+  capture_ = nullptr;
+}
+
+void Logger::set_capture(std::string* buffer) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  capture_ = buffer;
+}
+
+void Logger::close_file() {
+  if (owned_file_ != nullptr) {
+    std::fclose(owned_file_);
+    owned_file_ = nullptr;
+    stream_ = nullptr;
+  }
+}
+
+/// Appends "2026-08-08T12:34:56.789Z". The second-granularity prefix is
+/// cached under mu_ — gmtime_r + snprintf run once per wall-clock second,
+/// not once per line (the hot-path win the serve overhead gate prices).
+void Logger::append_timestamp(std::string& out) {
+  const auto now = std::chrono::system_clock::now();
+  const long long total_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch())
+          .count();
+  const long long secs = total_ms / 1000;
+  if (secs != ts_second_) {
+    std::tm tm{};
+    const std::time_t t = static_cast<std::time_t>(secs);
+    gmtime_r(&t, &tm);
+    std::snprintf(ts_prefix_, sizeof(ts_prefix_), "%04d-%02d-%02dT%02d:%02d:%02d",
+                  (tm.tm_year + 1900) % 10000, tm.tm_mon + 1, tm.tm_mday,
+                  tm.tm_hour, tm.tm_min, tm.tm_sec);
+    ts_second_ = secs;
+  }
+  out += ts_prefix_;
+  char frac[8];
+  std::snprintf(frac, sizeof(frac), ".%03dZ", static_cast<int>(total_ms % 1000));
+  out += frac;
+}
+
+void Logger::write(Level level, std::string_view subsystem, std::string_view message,
+                   const std::vector<Field>& fields) {
+  if (!enabled(level)) return;
+  const Format format = format_.load(std::memory_order_relaxed);
+
+  const std::lock_guard<std::mutex> lk(mu_);
+
+  long long report_dropped = 0;
+  if (rate_limit_ > 0) {
+    const long long second =
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    if (second != window_second_) {
+      window_second_ = second;
+      window_count_ = 0;
+    }
+    if (window_count_ >= rate_limit_) {
+      ++window_dropped_;
+      dropped_total_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++window_count_;
+    report_dropped = window_dropped_;
+    window_dropped_ = 0;
+  }
+
+  std::string line;
+  line.reserve(192);
+  if (format == Format::kJson) {
+    line += "{\"ts\":\"";
+    append_timestamp(line);
+    line += "\",\"level\":\"";
+    line += to_string(level);
+    line += "\",\"subsys\":\"";
+    append_escaped(line, subsystem);
+    line += "\",\"msg\":\"";
+    append_escaped(line, message);
+    line += '"';
+    for (const Field& f : fields) {
+      line += ",\"";
+      append_escaped(line, f.key);
+      line += "\":";
+      if (f.quote) {
+        line += '"';
+        append_escaped(line, f.value);
+        line += '"';
+      } else {
+        line += f.value;
+      }
+    }
+    if (report_dropped > 0) {
+      line += ",\"log_dropped\":";
+      line += std::to_string(report_dropped);
+    }
+    line += '}';
+  } else {
+    line += "ts=";
+    append_timestamp(line);
+    line += " level=";
+    line += to_string(level);
+    line += " subsys=";
+    line += subsystem;
+    line += " msg=\"";
+    append_escaped(line, message);
+    line += '"';
+    for (const Field& f : fields) {
+      line += ' ';
+      line += f.key;
+      line += '=';
+      if (f.quote) {
+        line += '"';
+        append_escaped(line, f.value);
+        line += '"';
+      } else {
+        line += f.value;
+      }
+    }
+    if (report_dropped > 0) {
+      line += " log_dropped=";
+      line += std::to_string(report_dropped);
+    }
+  }
+  line += '\n';
+
+  if (capture_ != nullptr) {
+    *capture_ += line;
+    return;
+  }
+  std::FILE* out = stream_ != nullptr ? stream_ : stderr;
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+}  // namespace zc::log

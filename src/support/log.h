@@ -1,0 +1,144 @@
+// Structured, leveled logging for the long-running surfaces (the serve
+// subsystem and the zcomm_serve daemon). One line per event, in logfmt
+// text (`ts=... level=info subsys=serve msg="..." key=value ...`) or
+// JSON-lines; field order is the call site's order in both formats.
+//
+// Contracts, mirroring the other observability layers (trace, passlog,
+// prof):
+//  - cheap when filtered: the ZC_LOG_* macros test one relaxed atomic
+//    before evaluating any field argument — a disabled level costs a
+//    load and a branch, and building the fields is never reached;
+//  - compile-out-able: building with -DZC_LOG_COMPILED_OUT (CMake option
+//    ZC_LOG_OFF) turns every macro into `(void)0`, so the binary carries
+//    no logging code at all;
+//  - bit-identity: log lines go to the configured sink (stderr, a file,
+//    or a capture buffer), never into response streams or reports, so
+//    optimize responses are bit-identical with logging on or off
+//    (pinned by tests/serve_test.cpp);
+//  - rate-limited: an optional lines-per-second cap drops excess lines
+//    (counting them) and reports the drop count on the next admitted
+//    line, so a hot error path cannot turn the daemon into a log firehose;
+//  - thread-safe: the sink write is serialized under one mutex; level
+//    and format reads are lock-free.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zc::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(Level level);
+
+/// Parses "trace" / "debug" / "info" / "warn" / "error" / "off".
+/// Returns false (leaving `out` untouched) on anything else.
+[[nodiscard]] bool parse_level(std::string_view text, Level& out);
+
+enum class Format { kText, kJson };
+
+/// One structured field, rendered at the call site. `quote` marks string
+/// values (numbers and booleans emit bare in both formats).
+struct Field {
+  std::string key;
+  std::string value;
+  bool quote = true;
+};
+
+[[nodiscard]] Field field(std::string_view key, std::string_view value);
+[[nodiscard]] Field field(std::string_view key, const char* value);
+[[nodiscard]] Field field(std::string_view key, const std::string& value);
+[[nodiscard]] Field field(std::string_view key, long long value);
+[[nodiscard]] Field field(std::string_view key, unsigned long long value);
+[[nodiscard]] Field field(std::string_view key, int value);
+[[nodiscard]] Field field(std::string_view key, double value);
+[[nodiscard]] Field field(std::string_view key, bool value);
+
+class Logger {
+ public:
+  Logger() = default;
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  void set_level(Level level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] Level level() const { return level_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled(Level level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
+
+  void set_format(Format format) { format_.store(format, std::memory_order_relaxed); }
+
+  /// Caps admitted lines per wall-clock second; <= 0 removes the cap.
+  /// Lines over the cap are dropped and counted; the first admitted line
+  /// of a later second carries a `log_dropped=N` field reporting them.
+  void set_rate_limit(int max_lines_per_second);
+
+  /// Appends to `path`; returns false (keeping the current sink) when the
+  /// file cannot be opened. The logger owns the handle until replaced.
+  [[nodiscard]] bool set_file(const std::string& path);
+
+  /// Unowned stream sink (the default is stderr).
+  void set_stream(std::FILE* stream);
+
+  /// Test seam: append rendered lines to `buffer` instead of any stream
+  /// (null restores the stream sink). The buffer must outlive the redirect.
+  void set_capture(std::string* buffer);
+
+  /// Renders and writes one line. Call through the ZC_LOG_* macros so
+  /// filtered levels never evaluate their fields.
+  void write(Level level, std::string_view subsystem, std::string_view message,
+             const std::vector<Field>& fields = {});
+
+  /// Lines discarded by the rate limiter so far.
+  [[nodiscard]] long long dropped() const {
+    return dropped_total_.load(std::memory_order_relaxed);
+  }
+
+  /// The process-wide logger (default: info level, text format, stderr).
+  static Logger& global();
+
+ private:
+  void close_file();
+  void append_timestamp(std::string& out);
+
+  std::atomic<Level> level_{Level::kInfo};
+  std::atomic<Format> format_{Format::kText};
+  std::atomic<long long> dropped_total_{0};
+
+  std::mutex mu_;  ///< guards everything below plus the sink write
+  std::FILE* stream_ = nullptr;  ///< null = stderr
+  std::FILE* owned_file_ = nullptr;
+  std::string* capture_ = nullptr;
+  int rate_limit_ = 0;  ///< admitted lines per second; <= 0 = unlimited
+  long long window_second_ = -1;
+  int window_count_ = 0;
+  long long window_dropped_ = 0;  ///< drops not yet reported on a line
+  long long ts_second_ = -1;  ///< second the cached timestamp prefix is for
+  char ts_prefix_[24] = {};   ///< "2026-08-08T12:34:56" — gmtime once/second
+};
+
+#ifndef ZC_LOG_COMPILED_OUT
+#define ZC_LOG_AT(lvl, subsys, msg, ...)                                     \
+  (::zc::log::Logger::global().enabled(lvl)                                  \
+       ? ::zc::log::Logger::global().write(lvl, subsys, msg,                 \
+                                           ::std::vector<::zc::log::Field>{  \
+                                               __VA_ARGS__})                 \
+       : (void)0)
+#else
+#define ZC_LOG_AT(lvl, subsys, msg, ...) ((void)0)
+#endif
+
+#define ZC_LOG_DEBUG(subsys, msg, ...) \
+  ZC_LOG_AT(::zc::log::Level::kDebug, subsys, msg, ##__VA_ARGS__)
+#define ZC_LOG_INFO(subsys, msg, ...) \
+  ZC_LOG_AT(::zc::log::Level::kInfo, subsys, msg, ##__VA_ARGS__)
+#define ZC_LOG_WARN(subsys, msg, ...) \
+  ZC_LOG_AT(::zc::log::Level::kWarn, subsys, msg, ##__VA_ARGS__)
+#define ZC_LOG_ERROR(subsys, msg, ...) \
+  ZC_LOG_AT(::zc::log::Level::kError, subsys, msg, ##__VA_ARGS__)
+
+}  // namespace zc::log

@@ -233,6 +233,64 @@ std::string Registry::to_text() const {
   return out;
 }
 
+namespace {
+
+/// Prometheus sample values: render()'s fixed precision with trailing
+/// zeros trimmed, so bucket bounds read le="0.01", not le="0.010000000".
+std::string prom_value(double v) {
+  std::string s = render(v);
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+/// Prometheus metric names admit [a-zA-Z0-9_:] only (and no leading
+/// digit); the registry's dotted names map onto that alphabet.
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+  const Snapshot snap = snapshot();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + prom_value(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " histogram\n";
+    long long cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const std::string le = i < h.bounds.size() ? prom_value(h.bounds[i]) : "+Inf";
+      out += n + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) + "\n";
+    }
+    if (h.buckets.empty()) out += n + "_bucket{le=\"+Inf\"} 0\n";
+    out += n + "_sum " + prom_value(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
 json::Value Registry::to_json() const {
   const Snapshot snap = snapshot();
   using json::Value;

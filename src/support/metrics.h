@@ -81,6 +81,14 @@ class Registry {
   /// "histograms": {name: {bounds, buckets, count, sum, min, max}}}.
   [[nodiscard]] json::Value to_json() const;
 
+  /// Prometheus text exposition (format version 0.0.4): metric names are
+  /// sanitized (every char outside [a-zA-Z0-9_:] becomes '_'), each metric
+  /// gets a `# TYPE` line, and histograms render as cumulative
+  /// `<name>_bucket{le="..."}` series (ending at le="+Inf") plus
+  /// `<name>_sum` / `<name>_count`. Deterministic: name-sorted, bit-stable
+  /// for a given registry state — what `GET /metrics` serves.
+  [[nodiscard]] std::string to_prometheus() const;
+
   /// Folds another registry into this one: counters add, gauges take the
   /// other's value (last write wins, and `other` is the later run), and
   /// histograms add bucket-wise when the bounds match — on a bounds mismatch

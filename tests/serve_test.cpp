@@ -1,6 +1,8 @@
 // The serve subsystem end to end: strict request validation, the
 // admission-controlled service answering from the shared plan cache with
-// bit-identical streams, and the socket transport with graceful drain.
+// bit-identical streams, the observability plane (flight recorder, stats
+// v2, structured logging, Prometheus scrape, drain-aware health), and the
+// socket transport with graceful drain.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -28,6 +30,7 @@
 #include "src/serve/server.h"
 #include "src/serve/service.h"
 #include "src/support/json.h"
+#include "src/support/log.h"
 
 namespace zc::serve {
 namespace {
@@ -403,6 +406,219 @@ TEST(Service, SurvivesAdversarialInputAndKeepsServing) {
   EXPECT_TRUE(ok.wait_for(R"("kind":"done")"));
 }
 
+// ----------------------------------------------------------- observability
+
+TEST(Protocol, ParsesTheFlightCommand) {
+  const Request req = parse_request(R"({"v":1,"cmd":"flight","id":"f1"})");
+  EXPECT_EQ(req.cmd, Request::Cmd::kFlight);
+  EXPECT_EQ(req.id, "f1");
+  // Strictness holds for the new command too: no optimize members allowed.
+  try {
+    (void)parse_request(R"({"v":1,"cmd":"flight","bench":"jacobi"})");
+    FAIL() << "flight with an optimize member parsed";
+  } catch (const RequestError& e) {
+    EXPECT_EQ(e.code, ErrorCode::kBadRequest);
+  }
+}
+
+TEST(Service, StatsV2CarriesUptimeAndPerErrorCodeCounts) {
+  exec::PlanCache cache;
+  ServiceOptions sopts;
+  sopts.jobs = 1;
+  sopts.plan_cache = &cache;
+  Service service(sopts);
+
+  Collector bad;
+  service.handle_line("t", "not json", bad.emit());
+  ASSERT_TRUE(bad.wait_for(R"("code":"bad_request")"));
+
+  Collector s;
+  service.handle_line("t", R"({"v":1,"cmd":"stats","id":"s"})", s.emit());
+  ASSERT_TRUE(s.wait_for(R"("kind":"stats")"));
+  const json::Value stats = json::parse(s.snapshot().at(0));
+  EXPECT_EQ(static_cast<int>(stats.at("stats_version").number), 2);
+  EXPECT_GT(stats.at("uptime_seconds").number, 0.0);
+  const json::Value& errors = stats.at("errors");
+  EXPECT_EQ(errors.at("bad_request").number, 1);
+  EXPECT_EQ(errors.at("overloaded").number, 0);
+  EXPECT_EQ(errors.at("shutting_down").number, 0);
+  EXPECT_EQ(errors.at("internal").number, 0);
+}
+
+TEST(Service, FlightRecorderCapturesPhaseAttributedEntries) {
+  exec::PlanCache cache;
+  ServiceOptions sopts;
+  sopts.jobs = 1;
+  sopts.plan_cache = &cache;
+  sopts.flight_capacity = 4;
+  sopts.slow_request_seconds = 0.001;  // the sleep below always qualifies
+  sopts.debug_sleep_ms = 15;           // deterministic slow phase
+  Service service(sopts);
+
+  Collector work;
+  service.handle_line("t", kOptimizeJacobi, work.emit());
+  ASSERT_TRUE(work.wait_for(R"("kind":"done")"));
+
+  Collector f;
+  service.handle_line("t", R"({"v":1,"cmd":"flight","id":"f"})", f.emit());
+  ASSERT_TRUE(f.wait_for(R"("kind":"flight")"));
+  const json::Value dump = json::parse(f.snapshot().at(0));
+  const json::Value& flight = dump.at("flight");
+  EXPECT_EQ(static_cast<int>(flight.at("capacity").number), 4);
+  EXPECT_EQ(static_cast<int>(flight.at("recorded").number), 1);
+  ASSERT_EQ(flight.at("recent").array.size(), 1u);
+  ASSERT_EQ(flight.at("slowest").array.size(), 1u);
+
+  const json::Value& entry = flight.at("recent").array[0];
+  EXPECT_EQ(static_cast<long long>(entry.at("request_number").number), 1);
+  EXPECT_EQ(entry.at("id").string, "r1");
+  EXPECT_EQ(entry.at("client").string, "t");
+  EXPECT_EQ(entry.at("label").string, "jacobi/pl/p4");
+  EXPECT_EQ(entry.at("cache").string, "miss");
+  EXPECT_EQ(entry.at("error_code").string, "");
+  EXPECT_EQ(static_cast<int>(entry.at("cache_misses").number), 1);
+  EXPECT_GE(entry.at("latency_ms").number, 15.0);
+
+  // The phase breakdown attributes the injected sleep and the real work.
+  bool saw_sleep = false, saw_plan = false;
+  double sleep_ms = 0.0;
+  for (const json::Value& phase : entry.at("phases").array) {
+    const std::string& path = phase.at("path").string;
+    if (path == "debug_sleep") {
+      saw_sleep = true;
+      sleep_ms = phase.at("ms").number;
+    }
+    if (path == "plan") saw_plan = true;
+  }
+  EXPECT_TRUE(saw_sleep) << "injected sleep missing from the phase breakdown";
+  EXPECT_TRUE(saw_plan) << "planning phase missing from the phase breakdown";
+  EXPECT_GE(sleep_ms, 14.0) << "the sleep phase carries its real duration";
+}
+
+TEST(Service, FlightSlowestRingOrdersByLatencyAndRecentByArrival) {
+  exec::PlanCache cache;
+  ServiceOptions sopts;
+  sopts.jobs = 1;
+  sopts.plan_cache = &cache;
+  sopts.flight_capacity = 2;  // 3 requests overflow both rings
+  Service service(sopts);
+
+  for (int i = 1; i <= 3; ++i) {
+    Collector c;
+    service.handle_line(
+        "t",
+        R"({"v":1,"cmd":"optimize","id":"q)" + std::to_string(i) +
+            R"(","bench":"jacobi","experiment":"pl","procs":4,"plan_text":false})",
+        c.emit());
+    ASSERT_TRUE(c.wait_for(R"("kind":"done")"));
+  }
+
+  Collector f;
+  service.handle_line("t", R"({"v":1,"cmd":"flight"})", f.emit());
+  ASSERT_TRUE(f.wait_for(R"("kind":"flight")"));
+  const json::Value dump = json::parse(f.snapshot().at(0));
+  const json::Value& flight = dump.at("flight");
+  EXPECT_EQ(static_cast<int>(flight.at("recorded").number), 3);
+  ASSERT_EQ(flight.at("recent").array.size(), 2u) << "recent ring is bounded";
+  ASSERT_EQ(flight.at("slowest").array.size(), 2u) << "slowest set is bounded";
+  // Recent is newest-first; slowest is descending latency.
+  EXPECT_EQ(flight.at("recent").array[0].at("id").string, "q3");
+  EXPECT_EQ(flight.at("recent").array[1].at("id").string, "q2");
+  EXPECT_GE(flight.at("slowest").array[0].at("latency_ms").number,
+            flight.at("slowest").array[1].at("latency_ms").number);
+}
+
+TEST(Service, FlightDisabledAnswersWithTheEmptyShape) {
+  exec::PlanCache cache;
+  ServiceOptions sopts;
+  sopts.jobs = 1;
+  sopts.plan_cache = &cache;
+  sopts.flight_capacity = 0;  // recorder AND per-request profiler off
+  Service service(sopts);
+
+  Collector work;
+  service.handle_line("t", kOptimizeJacobi, work.emit());
+  ASSERT_TRUE(work.wait_for(R"("kind":"done")"));
+
+  Collector f;
+  service.handle_line("t", R"({"v":1,"cmd":"flight","id":"f"})", f.emit());
+  ASSERT_TRUE(f.wait_for(R"("kind":"flight")"));
+  const json::Value dump = json::parse(f.snapshot().at(0));
+  const json::Value& flight = dump.at("flight");
+  EXPECT_EQ(static_cast<int>(flight.at("capacity").number), 0);
+  EXPECT_EQ(static_cast<int>(flight.at("recorded").number), 0);
+  EXPECT_TRUE(flight.at("recent").array.empty());
+  EXPECT_TRUE(flight.at("slowest").array.empty());
+}
+
+TEST(Service, ResponsesAreBitIdenticalWithObservabilityOnAndOff) {
+  // The PR 6 determinism contract extended to the observability plane:
+  // logging at debug and the flight recorder (with its per-request
+  // profiler) must not perturb a single response byte. Log lines go to a
+  // capture buffer here so the comparison also proves they carry the
+  // request's correlation id without leaking into the stream.
+  const auto run_once = [](bool observed) {
+    std::string captured;
+    if (observed) {
+      log::Logger::global().set_level(log::Level::kDebug);
+      log::Logger::global().set_capture(&captured);
+    } else {
+      log::Logger::global().set_level(log::Level::kOff);
+    }
+    exec::PlanCache cache;
+    ServiceOptions sopts;
+    sopts.jobs = 1;
+    sopts.plan_cache = &cache;
+    sopts.flight_capacity = observed ? 8 : 0;
+    Service service(sopts);
+    Collector c;
+    service.handle_line("t", kOptimizeJacobi, c.emit());
+    EXPECT_TRUE(c.wait_for(R"("kind":"done")"));
+    service.drain();
+    log::Logger::global().set_capture(nullptr);
+    log::Logger::global().set_level(log::Level::kInfo);
+    return std::make_pair(c.snapshot(), captured);
+  };
+
+  const auto [observed_lines, log_text] = run_once(true);
+  const auto [plain_lines, no_log] = run_once(false);
+  EXPECT_EQ(observed_lines, plain_lines)
+      << "observability must never change a response byte";
+  EXPECT_TRUE(no_log.empty());
+  // The completion log line correlates the request: number, id, outcome.
+  EXPECT_NE(log_text.find("msg=\"request finished\""), std::string::npos);
+  EXPECT_NE(log_text.find("req=1"), std::string::npos);
+  EXPECT_NE(log_text.find("id=\"r1\""), std::string::npos);
+  EXPECT_NE(log_text.find("cache=\"miss\""), std::string::npos);
+}
+
+TEST(Service, PrometheusExpositionReflectsServedRequests) {
+  exec::PlanCache cache;
+  ServiceOptions sopts;
+  sopts.jobs = 1;
+  sopts.plan_cache = &cache;
+  Service service(sopts);
+
+  Collector c;
+  service.handle_line("t", kOptimizeJacobi, c.emit());
+  ASSERT_TRUE(c.wait_for(R"("kind":"done")"));
+
+  const std::string text = service.metrics_prometheus();
+  EXPECT_NE(text.find("# TYPE serve_requests counter\nserve_requests 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_completed 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_request_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find(R"(serve_request_seconds_bucket{le="+Inf"} 1)"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_request_seconds_count 1"), std::string::npos);
+  // Scrape-time derived gauges.
+  EXPECT_NE(text.find("# TYPE serve_uptime_seconds gauge"), std::string::npos);
+  EXPECT_NE(text.find("serve_plan_cache_hit_ratio 0"), std::string::npos);
+  EXPECT_NE(text.find("serve_queue_depth 0"), std::string::npos);
+  EXPECT_NE(text.find("serve_draining 0"), std::string::npos);
+  EXPECT_NE(text.find("serve_flight_recorded 1"), std::string::npos);
+}
+
 // ------------------------------------------------------------------ server
 
 /// A minimal blocking JSON-lines client for the socket tests.
@@ -509,6 +725,129 @@ TEST(Server, TcpEphemeralPortServesAndShutdownCommandStopsRun) {
   client.send_line(R"({"v":1,"cmd":"shutdown"})");
   EXPECT_NE(client.read_line().find(R"("kind":"shutdown")"), std::string::npos);
   runner.join();  // the shutdown request ends run() on its own
+}
+
+// ------------------------------------------------------------- http plane
+
+int connect_loopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+/// One HTTP/1.0 exchange: sends `GET target`, returns the full response
+/// (head + body; the server closes after writing).
+std::string http_get(int port, const std::string& target) {
+  const int fd = connect_loopback(port);
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(Server, HttpPlaneServesMetricsHealthAndFlight) {
+  ServerOptions opts;
+  opts.tcp_port = 0;
+  opts.http_port = 0;  // kernel-chosen
+  opts.service.jobs = 1;
+  exec::PlanCache cache;
+  opts.service.plan_cache = &cache;
+  Server server(opts);
+  ASSERT_GT(server.http_port(), 0);
+  std::thread runner([&] { server.run(); });
+
+  {
+    LineClient client(connect_loopback(server.tcp_port()));
+    client.send_line(std::string(kOptimizeJacobi));
+    EXPECT_NE(client.read_line().find(R"("kind":"plan")"), std::string::npos);
+    EXPECT_NE(client.read_line().find(R"("kind":"report")"), std::string::npos);
+    EXPECT_NE(client.read_line().find(R"("kind":"done")"), std::string::npos);
+  }
+
+  const std::string health = http_get(server.http_port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string metrics = http_get(server.http_port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE serve_requests counter"), std::string::npos);
+  EXPECT_NE(metrics.find("serve_completed 1"), std::string::npos);
+  EXPECT_NE(metrics.find(R"(serve_request_seconds_bucket{le="+Inf"} 1)"),
+            std::string::npos);
+
+  const std::string flight = http_get(server.http_port(), "/flight");
+  EXPECT_NE(flight.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(flight.find("application/json"), std::string::npos);
+  EXPECT_NE(flight.find(R"("kind":"flight")"), std::string::npos);
+  EXPECT_NE(flight.find(R"("label":"jacobi/pl/p4")"), std::string::npos);
+
+  EXPECT_NE(http_get(server.http_port(), "/nope").find("HTTP/1.0 404"),
+            std::string::npos);
+
+  server.request_stop();
+  runner.join();
+}
+
+TEST(Server, HealthzReports503WhileTheDrainRuns) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool released = false;
+
+  ServerOptions opts;
+  opts.tcp_port = 0;
+  opts.http_port = 0;
+  opts.service.jobs = 1;
+  exec::PlanCache cache;
+  opts.service.plan_cache = &cache;
+  // Hold the worker at pickup so one request is deterministically
+  // executing when the stop lands.
+  opts.service.on_job_start = [&] {
+    std::unique_lock<std::mutex> lk(gate_mu);
+    gate_cv.wait(lk, [&] { return released; });
+  };
+  Server server(opts);
+  std::thread runner([&] { server.run(); });
+
+  LineClient client(connect_loopback(server.tcp_port()));
+  client.send_line(std::string(kOptimizeJacobi));
+  // Wait until the worker holds the job (draining starts only after that).
+  while (server.service().in_flight() == 0) std::this_thread::sleep_for(1ms);
+
+  server.request_stop();
+  while (!server.service().draining()) std::this_thread::sleep_for(1ms);
+
+  // The JSON listeners are gone but the HTTP plane still answers: health
+  // says draining (503), metrics still scrape and show the in-flight work.
+  const std::string health = http_get(server.http_port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 503"), std::string::npos);
+  EXPECT_NE(health.find("draining"), std::string::npos);
+  const std::string metrics = http_get(server.http_port(), "/metrics");
+  EXPECT_NE(metrics.find("serve_draining 1"), std::string::npos);
+  EXPECT_NE(metrics.find("serve_executing 1"), std::string::npos);
+
+  {
+    const std::lock_guard<std::mutex> lk(gate_mu);
+    released = true;
+  }
+  gate_cv.notify_all();
+  // The held request still answers its client through the drain.
+  EXPECT_NE(client.read_line().find(R"("kind":"plan")"), std::string::npos);
+  EXPECT_NE(client.read_line().find(R"("kind":"report")"), std::string::npos);
+  EXPECT_NE(client.read_line().find(R"("kind":"done")"), std::string::npos);
+  runner.join();
 }
 
 }  // namespace
