@@ -63,6 +63,25 @@ set_tests_properties(bench_serve_throughput_smoke PROPERTIES
   PASS_REGULAR_EXPRESSION
     "acceptance: plan-mode warm/cold throughput >= 3x.*acceptance: observability overhead within 5%")
 
+zc_bench_binary(bench_tseries_overhead)
+target_link_libraries(bench_tseries_overhead PRIVATE zc_tseries)
+
+# Smoke-run the timeline-sink guard bench: asserts attaching the windowed
+# telemetry sink leaves engine results bit-identical and costs <= 5% on the
+# engine hot path. The regex spans both verdict lines (CMake "." matches
+# newlines), so both gates must pass. Absolute us/run is hardware-dependent
+# and never gated.
+add_test(NAME bench_tseries_overhead_smoke
+  COMMAND bench_tseries_overhead --procs=4
+          --bench-json=${CMAKE_BINARY_DIR}/bench/BENCH_tseries_overhead_smoke.json)
+# RUN_SERIAL: the gate is a timing ratio; sharing the core with other ctest
+# jobs skews the compared arms unpredictably.
+set_tests_properties(bench_tseries_overhead_smoke PROPERTIES
+  LABELS "smoke;tsan"
+  RUN_SERIAL TRUE
+  PASS_REGULAR_EXPRESSION
+    "determinism: results bit-identical with the sink attached.*acceptance: timeline sink overhead within 5%")
+
 zc_bench_binary(bench_abl_hybrid)
 zc_bench_binary(bench_abl_interblock)
 zc_bench_binary(bench_paragon_suite)

@@ -40,6 +40,8 @@
 #include "src/support/metrics.h"
 #include "src/trace/chrome.h"
 #include "src/trace/stats.h"
+#include "src/tseries/render.h"
+#include "src/tseries/tseries.h"
 
 namespace {
 
@@ -119,13 +121,20 @@ struct TraceOptions {
   std::string sweep_spec;        // --sweep <grid-spec>
   int jobs = 1;                  // --jobs <N>, 0 = hardware concurrency
   bool jobs_given = false;
+  bool timeline = false;         // --timeline[=<windows>]: print the heatmap
+  int timeline_windows = 64;
+  std::string timeline_csv_path;   // --timeline-csv <out.csv>
+  std::string timeline_json_path;  // --timeline-json <out.json>
 
   [[nodiscard]] bool profile_requested() const {
     return profile || !profile_folded_path.empty() || !profile_chrome_path.empty();
   }
+  [[nodiscard]] bool timeline_requested() const {
+    return timeline || !timeline_csv_path.empty() || !timeline_json_path.empty();
+  }
   [[nodiscard]] bool run_requested() const {
     return trace_requested || explain || !report_path.empty() || print_metrics ||
-           profile_requested();
+           profile_requested() || timeline_requested();
   }
 };
 
@@ -181,7 +190,19 @@ struct TraceOptions {
       "                               order regardless of scheduling\n"
       "  --jobs <N>                   worker contexts for --sweep (default 1\n"
       "                               = serial; 0 = hardware concurrency).\n"
-      "                               Any N produces bit-identical results\n";
+      "                               Any N produces bit-identical results\n"
+      "  --timeline[=<windows>]       windowed time-series telemetry (default\n"
+      "                               64 windows, bounded memory at any run\n"
+      "                               length). Experiments: per-processor\n"
+      "                               utilization heatmap over simulated time\n"
+      "                               (cpu/wait/wire/compute/barrier; totals\n"
+      "                               reconcile exactly with --trace-stats).\n"
+      "                               With --sweep: per-worker busy/steal/\n"
+      "                               latency series plus live progress on\n"
+      "                               stderr\n"
+      "  --timeline-csv <out.csv>     write the windowed series as CSV\n"
+      "                               (experiments mode)\n"
+      "  --timeline-json <out.json>   write the windowed series as JSON\n";
   std::exit(code);
 }
 
@@ -331,11 +352,27 @@ int run_sweep_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) {
     }
   }
 
+  if (!opt.timeline_csv_path.empty()) {
+    std::cerr << "--timeline-csv applies to experiments mode, not --sweep "
+                 "(use --timeline-json)\n";
+    return 1;
+  }
+
   exec::PlanCache cache;  // per-invocation, so the summary's stats are this sweep's
   exec::SweepOptions sopts;
   sopts.jobs = opt.jobs;
   sopts.plan_cache = &cache;
   sopts.host_profiler = profiler;
+  std::unique_ptr<tseries::WallSeries> telemetry;
+  if (opt.timeline_requested()) {
+    telemetry = exec::make_sweep_series(opt.jobs, opt.timeline_windows);
+    sopts.telemetry = telemetry.get();
+    // Live progress on stderr: stdout stays bit-identical across schedules
+    // (the sweep determinism contract), completion order does not.
+    sopts.progress = [](std::size_t done, std::size_t total) {
+      std::cerr << "sweep: " << done << "/" << total << " done\n";
+    };
+  }
 
   const auto wall_start = std::chrono::steady_clock::now();
   const std::vector<exec::SweepResult> results = exec::run_sweep(items, sopts);
@@ -361,6 +398,13 @@ int run_sweep_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) {
             << (jobs == 1 ? "" : "s") << ", " << wall << " s wall; programs parsed: "
             << parsed.size() << "; plan cache: " << cs.hits << " hits, " << cs.misses
             << " misses (hit rate " << cs.hit_rate() << ")\n";
+  if (telemetry != nullptr) {
+    if (opt.timeline) std::cout << tseries::sweep_summary(*telemetry);
+    if (!opt.timeline_json_path.empty()) {
+      io::write_text_file(opt.timeline_json_path, telemetry->to_json().dump() + "\n");
+      std::cout << "wrote sweep timeline JSON: " << opt.timeline_json_path << "\n";
+    }
+  }
   if (opt.print_metrics) std::cout << metrics::Registry::global().to_text();
   return failures == 0 ? 0 : 1;
 }
@@ -392,19 +436,25 @@ int run_experiments_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) 
   }
 
   const bool want_provenance = opt.explain || !opt.report_path.empty();
-  // Keeps the last experiment's recorder alive past the loop so
+  // Keeps the last experiment's recorder / timeline alive past the loop so
   // --profile-chrome can pair the simulated tracks with the host tracks.
   std::unique_ptr<trace::Recorder> kept_recorder;
+  std::unique_ptr<tseries::SimSeries> kept_timeline;
   for (driver::Experiment e : experiments) {
     report::PassLog log;
     if (want_provenance) e.opts.pass_log = &log;
 
     auto recorder_ptr = std::make_unique<trace::Recorder>(opt.procs);
     trace::Recorder& recorder = *recorder_ptr;
+    std::unique_ptr<tseries::SimSeries> timeline_ptr;
     sim::RunConfig cfg;
     cfg.procs = opt.procs;
     cfg.config_overrides = configs;
     if (opt.trace_requested) cfg.recorder = &recorder;
+    if (opt.timeline_requested()) {
+      timeline_ptr = std::make_unique<tseries::SimSeries>(opt.procs, opt.timeline_windows);
+      cfg.timeline = timeline_ptr.get();
+    }
     const driver::Metrics m = driver::run_experiment(program, e, cfg);
 
     std::cout << "== " << opt.bench << " / " << e.name << ": static " << m.static_count
@@ -418,6 +468,7 @@ int run_experiments_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) 
       driver::ReportOptions ropts;
       ropts.benchmark = opt.bench;
       ropts.host_profiler = profiler;
+      ropts.timeline = timeline_ptr.get();
       json::Value doc = driver::build_report(m, e, opt.procs, &log, ropts);
       if (opt.trace_requested) {
         driver::attach_attribution(doc, recorder, program, m.plan, ropts.max_attribution_rows);
@@ -453,7 +504,8 @@ int run_experiments_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) 
       const std::string path = experiments.size() > 1
                                    ? with_experiment_suffix(opt.trace_path, e.name)
                                    : opt.trace_path;
-      trace::write_chrome_trace(recorder, path);
+      // The timeline, when present, rides along as pid-4 counter tracks.
+      trace::write_chrome_trace(&recorder, nullptr, timeline_ptr.get(), path);
       std::cout << "wrote Chrome trace: " << path << "\n";
     }
     if (opt.print_stats) std::cout << m.trace_stats->to_string();
@@ -464,12 +516,32 @@ int run_experiments_mode(const TraceOptions& opt, zc::prof::Profiler* profiler) 
       io::write_text_file(path, m.trace_stats->to_csv());
       std::cout << "wrote trace stats CSV: " << path << "\n";
     }
+    if (timeline_ptr != nullptr) {
+      if (opt.timeline) {
+        std::cout << tseries::heatmap(*timeline_ptr, opt.bench + " / " + e.name);
+      }
+      if (!opt.timeline_csv_path.empty()) {
+        const std::string path = experiments.size() > 1
+                                     ? with_experiment_suffix(opt.timeline_csv_path, e.name)
+                                     : opt.timeline_csv_path;
+        io::write_text_file(path, timeline_ptr->to_csv());
+        std::cout << "wrote timeline CSV: " << path << "\n";
+      }
+      if (!opt.timeline_json_path.empty()) {
+        const std::string path = experiments.size() > 1
+                                     ? with_experiment_suffix(opt.timeline_json_path, e.name)
+                                     : opt.timeline_json_path;
+        io::write_text_file(path, timeline_ptr->to_json().dump() + "\n");
+        std::cout << "wrote timeline JSON: " << path << "\n";
+      }
+    }
     kept_recorder = std::move(recorder_ptr);
+    kept_timeline = std::move(timeline_ptr);
   }
   if (opt.print_metrics) std::cout << metrics::Registry::global().to_text();
   if (!opt.profile_chrome_path.empty()) {
     trace::write_chrome_trace(opt.trace_requested ? kept_recorder.get() : nullptr, profiler,
-                              opt.profile_chrome_path);
+                              kept_timeline.get(), opt.profile_chrome_path);
     std::cout << "wrote host profile Chrome trace: " << opt.profile_chrome_path << "\n";
   }
   return 0;
@@ -528,6 +600,25 @@ int main(int argc, char** argv) {
     else if (a == "--profile-chrome") opt.profile_chrome_path = value();
     else if (a.rfind("--profile-chrome=", 0) == 0) {
       opt.profile_chrome_path = a.substr(std::string("--profile-chrome=").size());
+    }
+    else if (a == "--timeline") opt.timeline = true;
+    else if (a.rfind("--timeline=", 0) == 0) {
+      opt.timeline = true;
+      const std::string v = a.substr(std::string("--timeline=").size());
+      char* end = nullptr;
+      opt.timeline_windows = static_cast<int>(std::strtol(v.c_str(), &end, 10));
+      if (end == v.c_str() || *end != '\0' || opt.timeline_windows <= 0) {
+        std::cerr << "--timeline needs a positive window count, got '" << v << "'\n";
+        usage(1);
+      }
+    }
+    else if (a == "--timeline-csv") opt.timeline_csv_path = value();
+    else if (a.rfind("--timeline-csv=", 0) == 0) {
+      opt.timeline_csv_path = a.substr(std::string("--timeline-csv=").size());
+    }
+    else if (a == "--timeline-json") opt.timeline_json_path = value();
+    else if (a.rfind("--timeline-json=", 0) == 0) {
+      opt.timeline_json_path = a.substr(std::string("--timeline-json=").size());
     }
     else if (a == "--sweep") opt.sweep_spec = value();
     else if (a.rfind("--sweep=", 0) == 0) opt.sweep_spec = a.substr(std::string("--sweep=").size());

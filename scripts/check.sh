@@ -17,9 +17,19 @@ ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j
 
 # Exercise the parallel sweep path explicitly (beyond the smoke-labelled
 # sweep tests): a two-worker grid through the scheduler + plan cache must
-# come back clean. scripts/bench_sweep.sh is the full scaling harness.
+# come back clean, with the per-worker timeline summary on. scripts/
+# bench_sweep.sh is the full scaling harness.
 "$BUILD_DIR"/examples/comm_explorer \
-  --sweep "bench=figure1;experiment=all;procs=4" --jobs 2 > /dev/null
+  --sweep "bench=figure1;experiment=all;procs=4" --jobs 2 --timeline 2>/dev/null \
+  | grep -q 'worker 0' \
+  || { echo "check: FAILED — sweep timeline summary missing"; exit 1; }
+
+# Timeline heatmap end to end: a traced run with the windowed telemetry
+# sink attached must print conserved channel totals.
+"$BUILD_DIR"/examples/comm_explorer \
+  --bench figure1 --experiment pl --procs 4 --timeline=16 \
+  | grep -q 'totals (s):' \
+  || { echo "check: FAILED — timeline heatmap missing its totals line"; exit 1; }
 
 # Observability smoke: launch the daemon with the HTTP plane on an
 # ephemeral port, scrape /metrics live, inject a slow request through the
@@ -55,6 +65,8 @@ http_get "$OBS_PORT" /metrics | grep -qE '^serve_requests [1-9]' \
   || { echo "check: FAILED — /metrics missing serve_requests"; exit 1; }
 http_get "$OBS_PORT" /flight | grep -q 'debug_sleep' \
   || { echo "check: FAILED — flight recorder missing the slow request"; exit 1; }
+http_get "$OBS_PORT" /timeseries | grep -q 'zc-wall-timeline' \
+  || { echo "check: FAILED — /timeseries missing the live series"; exit 1; }
 kill -TERM "$OBS_PID"
 wait "$OBS_PID" || { echo "check: FAILED — daemon drain exited non-zero"; exit 1; }
-echo "check: smoke tier + --jobs 2 sweep + observability probe OK"
+echo "check: smoke tier + --jobs 2 sweep + timeline + observability probe OK"

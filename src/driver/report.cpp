@@ -50,7 +50,7 @@ Value build_report(const Metrics& metrics, const Experiment& experiment, int pro
                    const report::PassLog* log, const ReportOptions& ropts) {
   Value doc = Value::make_object();
   doc["schema"] = Value::make_str("zcomm-run-report");
-  doc["schema_version"] = Value::make_int(3);
+  doc["schema_version"] = Value::make_int(4);
   doc["benchmark"] = Value::make_str(ropts.benchmark);
   doc["experiment"] = Value::make_str(experiment.name);
   doc["library"] = Value::make_str(ironman::to_string(experiment.library));
@@ -72,6 +72,7 @@ Value build_report(const Metrics& metrics, const Experiment& experiment, int pro
     hp["peak_rss_bytes"] = Value::make_int(prof::peak_rss_bytes());
     doc["host_profile"] = std::move(hp);
   }
+  if (ropts.timeline != nullptr) doc["timeline"] = ropts.timeline->to_json();
   return doc;
 }
 
@@ -86,6 +87,9 @@ Value run_report(const zir::Program& program, const Experiment& experiment,
 
   const int procs = config.procs;
   const trace::Recorder* recorder = config.recorder;
+  // A timeline attached to the run lands in the report unless the caller
+  // explicitly supplied a (possibly different) series to embed.
+  if (opts.timeline == nullptr) opts.timeline = config.timeline;
   const Metrics m = run_experiment(program, e, std::move(config));
   Value doc = build_report(m, e, procs, opts.provenance ? &log : nullptr, opts);
   if (recorder != nullptr && opts.attribution) {
@@ -171,8 +175,8 @@ json::Value diff_run_reports(const json::Value& before, const json::Value& after
   // profiled, the other not). Presence asymmetry is reported, never treated
   // as a regression or a structural error.
   Value blocks = Value::make_array();
-  for (const char* name :
-       {"passes", "trace", "blame", "critical_path", "metrics", "host_profile"}) {
+  for (const char* name : {"passes", "trace", "blame", "critical_path", "metrics",
+                           "host_profile", "timeline"}) {
     const bool in_before = before.has(name);
     const bool in_after = after.has(name);
     if (!in_before && !in_after) continue;

@@ -9,7 +9,7 @@
 //
 // Schema (validated by tests/report_schema_test.cpp):
 //   schema               "zcomm-run-report"
-//   schema_version       3
+//   schema_version       4
 //   benchmark            caller's label (defaults to the program name)
 //   program, experiment, library, procs
 //   options              {remove_redundant, combine, pipeline, heuristic,
@@ -27,10 +27,15 @@
 //                        the toolchain's own span tree (prof::Profiler
 //                        ::to_json) plus peak_rss_bytes — host cost, not
 //                        simulated time
+//   timeline             present iff ReportOptions::timeline was set: the
+//                        run's windowed utilization series
+//                        (tseries::SimSeries::to_json)
 //
 // Version history: v1 had everything above except blame / critical_path;
-// v2 added those; v3 added the optional host_profile block (reports built
-// without a profiler are byte-identical to v2 apart from the version).
+// v2 added those; v3 added the optional host_profile block; v4 added the
+// optional timeline block (reports built without the corresponding
+// producer are byte-identical to the prior version apart from the
+// version number).
 #pragma once
 
 #include <vector>
@@ -40,6 +45,7 @@
 #include "src/report/passlog.h"
 #include "src/support/json.h"
 #include "src/trace/recorder.h"
+#include "src/tseries/tseries.h"
 
 namespace zc::driver {
 
@@ -54,6 +60,10 @@ struct ReportOptions {
   /// aggregated span tree (snapshotted at build time) and the process's peak
   /// RSS. Null (the default) leaves the report bit-identical to unprofiled.
   const prof::Profiler* host_profiler = nullptr;
+  /// When set, the report gains a "timeline" block with this series'
+  /// windowed utilization data (the sink the run fed via
+  /// sim::RunConfig::timeline). Null (the default) omits the block.
+  const tseries::SimSeries* timeline = nullptr;
 };
 
 /// Assembles the report for an already-executed run. `log` may be null

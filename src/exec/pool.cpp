@@ -1,10 +1,36 @@
 #include "src/exec/pool.h"
 
 #include <algorithm>
+#include <string>
 
+#include "src/prof/prof.h"
 #include "src/support/diag.h"
+#include "src/support/metrics.h"
 
 namespace zc::exec {
+
+namespace {
+
+// Which pool context this thread is, -1 off-pool. File-local thread_locals:
+// a thread belongs to at most one pool at a time (contexts are created by
+// one pool and run() serializes), so plain globals are unambiguous.
+thread_local int tl_context = -1;
+thread_local bool tl_stolen = false;
+
+// prof::Span keeps the name pointer for the profiler's lifetime, so
+// per-worker names must outlive every pool: intern them once, forever.
+const char* worker_span_name(int context) {
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<std::string>> names;
+  const std::lock_guard<std::mutex> lk(mu);
+  while (static_cast<int>(names.size()) <= context) {
+    names.push_back(std::make_unique<std::string>(
+        "pool/worker/" + std::to_string(static_cast<int>(names.size()))));
+  }
+  return names[static_cast<std::size_t>(context)]->c_str();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int jobs) : jobs_(jobs) {
   if (jobs < 1) throw Error("thread pool needs jobs >= 1");
@@ -28,6 +54,18 @@ ThreadPool::~ThreadPool() {
 int ThreadPool::hardware_jobs() {
   return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 }
+
+PoolCounters ThreadPool::counters() const {
+  PoolCounters c;
+  c.own_pops = own_pops_.load(std::memory_order_relaxed);
+  c.steals = steals_.load(std::memory_order_relaxed);
+  c.parks = parks_.load(std::memory_order_relaxed);
+  return c;
+}
+
+int ThreadPool::current_context() { return tl_context; }
+
+bool ThreadPool::current_task_stolen() { return tl_stolen; }
 
 bool ThreadPool::pop_own(int self, std::size_t& task) {
   Queue& q = *queues_[static_cast<std::size_t>(self)];
@@ -54,19 +92,45 @@ bool ThreadPool::steal(int self, std::size_t& task) {
 
 bool ThreadPool::run_one(int self) {
   std::size_t task = 0;
-  if (!pop_own(self, task) && !steal(self, task)) return false;
+  bool stolen = false;
+  if (pop_own(self, task)) {
+    own_pops_.fetch_add(1, std::memory_order_relaxed);
+  } else if (steal(self, task)) {
+    stolen = true;
+    steals_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    return false;
+  }
+  tl_stolen = stolen;
   std::exception_ptr error;
   try {
     (*fn_)(task);
   } catch (...) {
     error = std::current_exception();
   }
+  tl_stolen = false;
   {
     const std::lock_guard<std::mutex> lk(mu_);
     if (error) errors_[task] = std::move(error);
     if (--remaining_ == 0) done_cv_.notify_all();
   }
   return true;
+}
+
+void ThreadPool::drain_epoch(int self) {
+  tl_context = self;
+  if (profiler_ != nullptr) {
+    // Attach only when a profiler is actually set: prof::Attach(nullptr)
+    // would *detach* whatever profiler the caller context already carries.
+    const prof::Attach attach(profiler_);
+    const prof::Span span(worker_span_name(self));
+    while (run_one(self)) {
+    }
+  } else {
+    while (run_one(self)) {
+    }
+  }
+  tl_context = -1;
 }
 
 void ThreadPool::worker_loop(int self) {
@@ -80,8 +144,8 @@ void ThreadPool::worker_loop(int self) {
     }
     // Tasks are only enqueued at the start of an epoch (tasks never spawn
     // tasks), so once every deque is empty this epoch is over for us.
-    while (run_one(self)) {
-    }
+    drain_epoch(self);
+    parks_.fetch_add(1, std::memory_order_relaxed);  // back to the epoch wait
   }
 }
 
@@ -91,10 +155,12 @@ void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) 
 
   if (jobs_ == 1) {
     // Inline serial path: no threads, no queues — submission order exactly.
+    // tl_context stays -1: there is no scheduler, so there is no context.
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
+  const PoolCounters before = counters();
   {
     const std::lock_guard<std::mutex> lk(mu_);
     fn_ = &fn;
@@ -110,13 +176,23 @@ void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) 
   }
   work_cv_.notify_all();
 
-  while (run_one(0)) {
-  }
+  drain_epoch(0);
   {
     std::unique_lock<std::mutex> lk(mu_);
     done_cv_.wait(lk, [&] { return remaining_ == 0; });
     fn_ = nullptr;
   }
+
+  // Publish the epoch's scheduler deltas into the *caller's* registry. Task
+  // registries (ScopedRegistry inside fn) never see these: the own/steal
+  // split depends on scheduling and must stay out of the deterministic
+  // per-task merges.
+  const PoolCounters after = counters();
+  metrics::Registry& reg = metrics::Registry::current();
+  reg.count("exec.pool.own_pops", after.own_pops - before.own_pops);
+  reg.count("exec.pool.steals", after.steals - before.steals);
+  reg.count("exec.pool.parks", after.parks - before.parks);
+
   for (std::exception_ptr& e : errors_) {
     if (e) std::rethrow_exception(e);
   }

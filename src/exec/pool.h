@@ -18,6 +18,7 @@
 // from run() after the join.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -28,7 +29,21 @@
 #include <thread>
 #include <vector>
 
+namespace zc::prof {
+class Profiler;
+}  // namespace zc::prof
+
 namespace zc::exec {
+
+/// Scheduler-level counters, summed over every context since construction.
+/// own_pops + steals = tasks executed; parks = epoch waits a worker slept
+/// through. The split is scheduling-dependent (never part of any
+/// determinism contract) — it answers "did work actually balance?"
+struct PoolCounters {
+  long long own_pops = 0;
+  long long steals = 0;
+  long long parks = 0;
+};
 
 class ThreadPool {
  public:
@@ -43,7 +58,32 @@ class ThreadPool {
   /// Executes fn(0) .. fn(n-1), in parallel across the pool, and returns
   /// when all have finished. One run at a time (calls serialize). Rethrows
   /// the lowest-index task exception, if any, after every task completed.
+  ///
+  /// After the join, the epoch's own-pop/steal/park deltas are published to
+  /// metrics::Registry::current() as exec.pool.{own_pops,steals,parks}
+  /// counters — the caller's registry, never a task's (the split is
+  /// scheduling-dependent, so it must stay out of the deterministic
+  /// per-task merges).
   void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Attaches a host profiler: each context wraps its share of every epoch
+  /// in a per-worker "pool/worker/<i>" span (interned names), so --profile
+  /// attributes scheduler overhead per worker — the span's self time is
+  /// pop/steal/park cost, its children are the tasks. nullptr (default)
+  /// keeps the loops span-free.
+  void set_profiler(prof::Profiler* profiler) { profiler_ = profiler; }
+
+  /// Cumulative scheduler counters across all epochs (snapshot).
+  [[nodiscard]] PoolCounters counters() const;
+
+  /// The executing context's index (0 = the run() caller) while inside a
+  /// task run by this pool family; -1 on threads that are not pool
+  /// contexts (including tasks executed on the jobs == 1 inline path).
+  [[nodiscard]] static int current_context();
+
+  /// True while the current task was obtained by stealing rather than
+  /// popped from its own deque. Meaningful only inside a task.
+  [[nodiscard]] static bool current_task_stolen();
 
   /// The machine's hardware concurrency, clamped to >= 1 — what `--jobs 0`
   /// resolves to in the CLI surfaces.
@@ -62,10 +102,19 @@ class ThreadPool {
   bool run_one(int self);
   bool pop_own(int self, std::size_t& task);
   bool steal(int self, std::size_t& task);
+  void drain_epoch(int self);
 
   const int jobs_;
   std::vector<std::unique_ptr<Queue>> queues_;  // [0] = the caller's
   std::vector<std::thread> threads_;            // jobs_ - 1 workers
+
+  // Scheduler counters: relaxed atomics — written by the owning context,
+  // read by counters()/run() at any time; ordering is irrelevant for
+  // monotonic telemetry sums.
+  std::atomic<long long> own_pops_{0};
+  std::atomic<long long> steals_{0};
+  std::atomic<long long> parks_{0};
+  prof::Profiler* profiler_ = nullptr;
 
   std::mutex mu_;                    // guards the epoch / completion state
   std::condition_variable work_cv_;  // wakes workers at a new epoch

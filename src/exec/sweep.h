@@ -18,6 +18,7 @@
 //     produce bit-identical checksums, plans, and trace Stats against it.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -28,6 +29,7 @@
 #include "src/exec/pool.h"
 #include "src/support/metrics.h"
 #include "src/trace/recorder.h"
+#include "src/tseries/tseries.h"
 
 namespace zc::prof {
 class Profiler;
@@ -78,7 +80,27 @@ struct SweepOptions {
   /// at join (submission order). Off only for callers that inspect
   /// per-result registries themselves.
   bool merge_metrics = true;
+  /// Optional per-worker wall-clock telemetry sink (see make_sweep_series;
+  /// rows must cover the resolved jobs count). Each task adds its busy span
+  /// plus tasks / latency / own_pop-or-steal / cache_hit-or-miss point
+  /// samples at completion. nullptr = off, no per-task telemetry work.
+  /// Telemetry never feeds back into results: checksums, plans, and merged
+  /// metrics stay bit-identical with it on or off.
+  tseries::WallSeries* telemetry = nullptr;
+  /// Called after each task completes with (finished, total), serialized by
+  /// an internal mutex (safe to print from). Invocation order is
+  /// scheduling-dependent — progress output must go to stderr, never to a
+  /// determinism-pinned stream.
+  std::function<void(std::size_t done, std::size_t total)> progress;
 };
+
+/// Builds the WallSeries a sweep feeds: one row per execution context
+/// (max(1, jobs) — the jobs == 1 inline path maps to row 0) and the
+/// channels {"busy", "tasks", "latency", "own_pop", "steal", "cache_hit",
+/// "cache_miss"}. busy is seconds-in-task (utilization = busy / width),
+/// tasks / own_pop / steal / cache_* are counts, latency is summed task
+/// wall seconds (mean = latency / tasks).
+std::unique_ptr<tseries::WallSeries> make_sweep_series(int jobs, int window_count = 64);
 
 /// Runs every item and returns results in submission order. Item failures
 /// are reported per-result (ok = false), never thrown; only pool-level

@@ -300,10 +300,14 @@ void Server::serve_http(const std::shared_ptr<Connection>& conn) {
     content_type = "application/json";
     body = service_.flight_json().dump(0);
     body += '\n';
+  } else if (target == "/timeseries") {
+    content_type = "application/json";
+    body = service_.timeseries_json().dump(0);
+    body += '\n';
   } else {
     status = 404;
     reason = "Not Found";
-    body = "serves /metrics, /healthz, and /flight\n";
+    body = "serves /metrics, /healthz, /flight, and /timeseries\n";
   }
   service_.registry().count("serve.http.requests");
   service_.registry().count("serve.http.status." + std::to_string(status));

@@ -85,6 +85,7 @@ bool Service::handle_line(const std::string& client, std::string_view line,
     req = parse_request(line, limits);
   } catch (const RequestError& e) {
     registry_.count("serve.errors.bad_request");
+    timeseries_.add_at(0, kTsErrors, timeseries_.now(), 1.0);
     ZC_LOG_DEBUG("serve", "request rejected", log::field("client", client),
                  log::field("error", "bad_request"),
                  log::field("message", std::string_view(e.what())));
@@ -128,6 +129,7 @@ bool Service::handle_line(const std::string& client, std::string_view line,
   // Admission: decide under the queue lock, emit after releasing it so a
   // slow client write never blocks the workers.
   std::optional<json::Value> refusal;
+  std::size_t admitted_depth = 0;
   {
     const std::lock_guard<std::mutex> lk(mu_);
     const int admitted = static_cast<int>(queue_.size()) + executing_;
@@ -148,17 +150,23 @@ bool Service::handle_line(const std::string& client, std::string_view line,
       job.admitted_at = Clock::now();
       job.request_number = next_request_.fetch_add(1, std::memory_order_relaxed) + 1;
       queue_.push_back(std::move(job));
+      admitted_depth = queue_.size();
       registry_.gauge("serve.queue_depth", static_cast<double>(queue_.size()));
     }
   }
   if (refusal.has_value()) {
     const std::string code = refusal->at("error").at("code").string;
     registry_.count("serve.errors." + code);
+    timeseries_.add_at(0, kTsErrors, timeseries_.now(), 1.0);
     ZC_LOG_WARN("serve", "request refused", log::field("client", client),
                 log::field("error", code));
     emit(refusal->dump(0));
   } else {
     registry_.count("serve.admitted");
+    // Admission-time depth sample: queue_depth / requests-admitted in a
+    // window is the window's average depth at admission.
+    timeseries_.add_at(0, kTsQueueDepth, timeseries_.now(),
+                       static_cast<double>(admitted_depth));
     work_cv_.notify_one();
   }
   return true;
@@ -507,6 +515,12 @@ void Service::execute(const Job& job) {
   // latency is necessarily the pre-telemetry reading.
   registry_.observe("serve.request_seconds", seconds_since(started),
                     latency_bounds());
+  {
+    const double t = timeseries_.now();
+    timeseries_.add_at(0, kTsRequests, t, 1.0);
+    timeseries_.add_at(0, kTsLatency, t, latency);
+    if (!error_code.empty()) timeseries_.add_at(0, kTsErrors, t, 1.0);
+  }
 
   job.emit(last.dump(0));
 }
@@ -586,6 +600,12 @@ json::Value Service::flight_json() const {
     off["slowest"] = json::Value::make_array();
     v["flight"] = std::move(off);
   }
+  return v;
+}
+
+json::Value Service::timeseries_json() const {
+  json::Value v = timeseries_.to_json();
+  v["uptime_seconds"] = json::Value::make_num(uptime_seconds());
   return v;
 }
 

@@ -41,6 +41,7 @@
 #include "src/serve/flight.h"
 #include "src/serve/protocol.h"
 #include "src/support/metrics.h"
+#include "src/tseries/tseries.h"
 #include "src/zir/program.h"
 
 namespace zc::serve {
@@ -128,6 +129,14 @@ class Service {
   /// rings when the recorder is disabled).
   [[nodiscard]] json::Value flight_json() const;
 
+  /// The `GET /timeseries` body: the daemon's windowed wall-clock series
+  /// (zc-wall-timeline; bounded memory over any uptime via folding).
+  /// Channels: "requests" (completions per window), "errors" (refusals +
+  /// failures), "latency" (summed request seconds; mean = latency /
+  /// requests), "queue_depth" (admission-time depth samples; average =
+  /// queue_depth / requests admitted in the window).
+  [[nodiscard]] json::Value timeseries_json() const;
+
   /// The `GET /metrics` body: refreshes the derived gauges (uptime, queue
   /// depth, plan-cache hit ratio and totals, flight-recorder count) and
   /// renders the registry as Prometheus text exposition.
@@ -169,9 +178,16 @@ class Service {
   };
   ResolvedProgram resolve_program(const OptimizeRequest& o);
 
+  /// timeseries_ channel indices (fixed at construction).
+  enum TimeseriesChannel { kTsRequests = 0, kTsErrors, kTsLatency, kTsQueueDepth };
+
   ServiceOptions options_;
   exec::PlanCache* cache_;
   metrics::Registry registry_;
+  /// Windowed request-rate / error / latency / queue-depth series (one row;
+  /// thread-safe — workers and the admission path write concurrently).
+  tseries::WallSeries timeseries_{
+      1, {"requests", "errors", "latency", "queue_depth"}};
   const Clock::time_point started_at_ = Clock::now();
   std::atomic<long long> next_request_{0};
   std::unique_ptr<FlightRecorder> flight_;  ///< null when flight_capacity == 0

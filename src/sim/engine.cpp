@@ -7,6 +7,7 @@
 #include "src/support/check.h"
 #include "src/support/diag.h"
 #include "src/support/metrics.h"
+#include "src/tseries/tseries.h"
 
 namespace zc::sim {
 
@@ -94,6 +95,10 @@ Engine::Engine(const zir::Program& program, const comm::CommPlan& plan, RunConfi
       }
     }
   }
+  if (cfg_.timeline != nullptr) {
+    ZC_ASSERT(cfg_.timeline->procs() >= mesh_.procs());
+    transport_.set_timeline(cfg_.timeline);
+  }
   ZC_PROF_SPAN("sim/alloc");
   const int procs = mesh_.procs();
   clock_.assign(procs, 0.0);
@@ -168,6 +173,11 @@ void Engine::allreduce_clocks(double extra_per_stage) {
   if (cfg_.recorder != nullptr) {
     for (std::size_t p = 0; p < clock_.size(); ++p) {
       cfg_.recorder->record_barrier(static_cast<int>(p), clock_[p], t);
+    }
+  }
+  if (cfg_.timeline != nullptr) {
+    for (std::size_t p = 0; p < clock_.size(); ++p) {
+      cfg_.timeline->add_barrier(static_cast<int>(p), clock_[p], t);
     }
   }
   std::fill(clock_.begin(), clock_.end(), t);
@@ -474,6 +484,7 @@ void Engine::exec_array_assign(const zir::Stmt& stmt) {
     if (cfg_.recorder != nullptr) {
       cfg_.recorder->record_compute(proc, local.count(), t0, clock_[proc]);
     }
+    if (cfg_.timeline != nullptr) cfg_.timeline->add_compute(proc, t0, clock_[proc]);
   }
 }
 
@@ -515,6 +526,7 @@ void Engine::exec_scalar_assign(const zir::Stmt& stmt) {
       if (cfg_.recorder != nullptr) {
         cfg_.recorder->record_compute(proc, local.count(), t0, clock_[proc]);
       }
+      if (cfg_.timeline != nullptr) cfg_.timeline->add_compute(proc, t0, clock_[proc]);
     }
   }
 

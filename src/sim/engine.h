@@ -37,6 +37,14 @@ struct RunConfig {
   /// recorder, when given, must cover at least `procs` processors. Tracing
   /// never changes timing or numerics (golden-checked).
   trace::Recorder* recorder = nullptr;
+  /// Optional windowed time-series sink (see src/tseries). nullptr — the
+  /// default — means no per-event accumulation at all, the same
+  /// zero-overhead-off contract as the recorder. When given, it must cover
+  /// at least `procs` rows; memory stays O(procs x windows) no matter how
+  /// many events the run produces, and the windowed sums reconcile with
+  /// trace::Stats / RunResult exactly. Never changes timing or numerics
+  /// (golden-checked, like tracing).
+  tseries::SimSeries* timeline = nullptr;
 };
 
 /// Per-processor communication counters.

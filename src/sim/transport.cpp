@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/support/check.h"
+#include "src/tseries/tseries.h"
 
 namespace zc::sim {
 
@@ -24,8 +25,10 @@ Transport::Channel& Transport::channel(int64_t chan, int src, int dst) {
 
 void Transport::trace_send(Channel& ch, int64_t chan, int src, int dst, int64_t bytes,
                            double t_posted, double t_on_wire, double t_arrived) {
-  const int64_t id = recorder_->record_message(chan, transfer_, src, dst, bytes, t_posted,
-                                               t_on_wire, t_arrived);
+  const int64_t id = recorder_ != nullptr
+                         ? recorder_->record_message(chan, transfer_, src, dst, bytes,
+                                                     t_posted, t_on_wire, t_arrived)
+                         : -1;
   ch.wire_records.push_back({id, transfer_, t_on_wire, t_arrived});
 }
 
@@ -60,6 +63,7 @@ void Transport::dr(int64_t chan, int src, int dst, int64_t bytes, double& t_dst)
     recorder_->record_call(dst, IronmanCall::kDR, prim, chan, transfer_, src, dst, bytes,
                            begin, begin, t_dst);
   }
+  if (timeline_ != nullptr) timeline_->add_call(dst, begin, begin, t_dst);
 }
 
 void Transport::sr(int64_t chan, int src, int dst, int64_t bytes, double& t_src) {
@@ -112,8 +116,9 @@ void Transport::sr(int64_t chan, int src, int dst, int64_t bytes, double& t_src)
   if (recorder_ != nullptr) {
     recorder_->record_call(src, IronmanCall::kSR, prim, chan, transfer_, src, dst, bytes,
                            begin, unblocked, t_src);
-    trace_send(ch, chan, src, dst, bytes, begin, on_wire, arrival);
   }
+  if (timeline_ != nullptr) timeline_->add_call(src, begin, unblocked, t_src);
+  if (observed()) trace_send(ch, chan, src, dst, bytes, begin, on_wire, arrival);
 }
 
 void Transport::dn(int64_t chan, int src, int dst, int64_t bytes, double& t_dst) {
@@ -142,16 +147,24 @@ void Transport::dn(int64_t chan, int src, int dst, int64_t bytes, double& t_dst)
   if (recorder_ != nullptr) {
     recorder_->record_call(dst, IronmanCall::kDN, prim, chan, transfer_, src, dst, bytes,
                            begin, unblocked, t_dst);
+  }
+  if (timeline_ != nullptr) timeline_->add_call(dst, begin, unblocked, t_dst);
+  if (observed()) {
     // The wire-record FIFO twins `arrivals`; it can be short only if the
-    // recorder was attached after traffic was already in flight. The
+    // observer was attached after traffic was already in flight. The
     // transfer id comes from the wire record (stamped at send time), not
     // from transfer_: the consuming DN may belong to a different group's
     // call slot only in hand-driven tests, never in engine runs.
     if (!ch.wire_records.empty()) {
       const WireRecord wr = ch.wire_records.front();
       ch.wire_records.pop_front();
-      recorder_->record_consumed(wr.id, wr.transfer, t_dst, unblocked - begin,
-                                 wr.arrived - wr.on_wire);
+      if (recorder_ != nullptr) {
+        recorder_->record_consumed(wr.id, wr.transfer, t_dst, unblocked - begin,
+                                   wr.arrived - wr.on_wire);
+      }
+      if (timeline_ != nullptr) {
+        timeline_->add_wire(dst, wr.on_wire, wr.arrived, unblocked - begin);
+      }
     }
   }
 }
@@ -173,6 +186,7 @@ void Transport::sv(int64_t chan, int src, int dst, int64_t bytes, double& t_src)
         recorder_->record_call(src, IronmanCall::kSV, prim, chan, transfer_, src, dst, bytes,
                                begin, unblocked, t_src);
       }
+      if (timeline_ != nullptr) timeline_->add_call(src, begin, unblocked, t_src);
       return;
     }
     default:
@@ -194,6 +208,11 @@ void Transport::global_synch(std::vector<double>& clocks) const {
   if (recorder_ != nullptr) {
     for (std::size_t p = 0; p < clocks.size(); ++p) {
       recorder_->record_barrier(static_cast<int>(p), clocks[p], t);
+    }
+  }
+  if (timeline_ != nullptr) {
+    for (std::size_t p = 0; p < clocks.size(); ++p) {
+      timeline_->add_barrier(static_cast<int>(p), clocks[p], t);
     }
   }
   std::fill(clocks.begin(), clocks.end(), t);

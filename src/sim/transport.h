@@ -30,6 +30,10 @@
 #include "src/machine/model.h"
 #include "src/trace/recorder.h"
 
+namespace zc::tseries {
+class SimSeries;
+}  // namespace zc::tseries
+
 namespace zc::sim {
 
 class Transport {
@@ -44,6 +48,14 @@ class Transport {
   /// is recorded while attached.
   void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
   [[nodiscard]] trace::Recorder* recorder() const { return recorder_; }
+
+  /// Attaches a windowed time-series sink (nullptr = off, the default; no
+  /// per-call work happens then — the same zero-overhead-off contract as
+  /// the recorder). Every call span, consumed message's wire interval, and
+  /// barrier participation is accumulated while attached; like tracing,
+  /// the timeline never changes timing or numerics.
+  void set_timeline(tseries::SimSeries* timeline) { timeline_ = timeline; }
+  [[nodiscard]] tseries::SimSeries* timeline() const { return timeline_; }
 
   /// Sets the plan transfer id stamped into subsequently recorded calls and
   /// message lifecycles (the engine sets it per CommGroup before issuing the
@@ -86,7 +98,8 @@ class Transport {
   [[nodiscard]] std::size_t in_flight() const;
 
  private:
-  /// Per-message trace state paralleling `arrivals` (recorder attached only).
+  /// Per-message trace state paralleling `arrivals` (maintained while a
+  /// recorder or timeline is attached).
   struct WireRecord {
     int64_t id = -1;        ///< Recorder message handle (-1 = record dropped)
     int64_t transfer = -1;  ///< transfer id at send time (survives the cap)
@@ -98,20 +111,28 @@ class Transport {
     std::deque<double> readiness;       ///< DR flags awaiting the source
     std::deque<double> arrivals;        ///< message arrival times for DN
     std::deque<double> send_completes;  ///< for SV = msgwait bindings
-    std::deque<WireRecord> wire_records;  ///< FIFO twin of `arrivals` when tracing
+    std::deque<WireRecord> wire_records;  ///< FIFO twin of `arrivals` when observed
   };
 
   Channel& channel(int64_t chan, int src, int dst);
 
-  /// Records one sent message (SR side) with the recorder attached.
+  /// Records one sent message (SR side) with a recorder or timeline
+  /// attached (the wire-record FIFO feeds both; the recorder handle is -1
+  /// when only the timeline is watching).
   void trace_send(Channel& ch, int64_t chan, int src, int dst, int64_t bytes,
                   double t_posted, double t_on_wire, double t_arrived);
+
+  /// True when any observer needs per-message / per-call work.
+  [[nodiscard]] bool observed() const {
+    return recorder_ != nullptr || timeline_ != nullptr;
+  }
 
   const machine::MachineModel machine_;
   const ironman::CommLibrary library_;
   const bool sv_waits_;
   std::map<std::tuple<int64_t, int, int>, Channel> channels_;
   trace::Recorder* recorder_ = nullptr;
+  tseries::SimSeries* timeline_ = nullptr;
   int64_t transfer_ = -1;  ///< stamped into trace records (see set_transfer)
 };
 

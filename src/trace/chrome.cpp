@@ -15,6 +15,7 @@ namespace {
 constexpr int kProcessorsPid = 1;
 constexpr int kWirePid = 2;
 constexpr int kHostPid = 3;
+constexpr int kTimelinePid = 4;
 
 std::string json_escape(const std::string& text) {
   std::string out;
@@ -72,8 +73,13 @@ std::string to_chrome_json(const Recorder& recorder) {
 }
 
 std::string to_chrome_json(const Recorder* rec, const prof::Profiler* host) {
-  if (rec == nullptr && host == nullptr) {
-    throw Error("to_chrome_json needs a recorder or a host profiler");
+  return to_chrome_json(rec, host, nullptr);
+}
+
+std::string to_chrome_json(const Recorder* rec, const prof::Profiler* host,
+                           const tseries::SimSeries* timeline) {
+  if (rec == nullptr && host == nullptr && timeline == nullptr) {
+    throw Error("to_chrome_json needs a recorder, a host profiler, or a timeline");
   }
   std::ostringstream os;
   os << std::setprecision(15);
@@ -103,6 +109,9 @@ std::string to_chrome_json(const Recorder* rec, const prof::Profiler* host) {
     for (int t = 0; t < host->thread_count(); ++t) {
       emit_metadata(os, first, kHostPid, t, "thread_name", "host thread " + std::to_string(t));
     }
+  }
+  if (timeline != nullptr) {
+    emit_metadata(os, first, kTimelinePid, 0, "process_name", "timeline");
   }
 
   // Processor tracks: calls (with the wait part split out), compute spans,
@@ -179,6 +188,34 @@ std::string to_chrome_json(const Recorder* rec, const prof::Profiler* host) {
     }
   }
 
+  // Timeline counter tracks: one "C" series per channel; the value at each
+  // window start is the channel's seconds (summed over processors) divided
+  // by the window width — average processors in that activity. A trailing
+  // zero at the series end closes the last step.
+  if (timeline != nullptr) {
+    const double width = timeline->window_width();
+    const int used = timeline->used_windows();
+    for (int c = 0; c < tseries::SimSeries::kChannelCount; ++c) {
+      const auto channel = static_cast<tseries::SimSeries::Channel>(c);
+      const char* name = tseries::SimSeries::channel_name(c);
+      for (int w = 0; w < used; ++w) {
+        double seconds = 0.0;
+        for (int proc = 0; proc < timeline->procs(); ++proc) {
+          seconds += timeline->value(proc, channel, w);
+        }
+        if (!first) os << ",\n";
+        first = false;
+        os << R"({"ph":"C","pid":)" << kTimelinePid << R"(,"tid":0,"name":")" << name
+           << R"(","ts":)" << static_cast<double>(w) * width * 1e6 << R"(,"args":{")" << name
+           << R"(":)" << seconds / width << "}}";
+      }
+      if (!first) os << ",\n";
+      os << R"({"ph":"C","pid":)" << kTimelinePid << R"(,"tid":0,"name":")" << name
+         << R"(","ts":)" << static_cast<double>(used) * width * 1e6 << R"(,"args":{")" << name
+         << R"(":0}})";
+    }
+  }
+
   os << "\n],\"displayTimeUnit\":\"ms\"";
   const long long dropped_events = rec != nullptr ? rec->dropped_events() : 0;
   const long long dropped_messages = rec != nullptr ? rec->dropped_messages() : 0;
@@ -198,9 +235,14 @@ void write_chrome_trace(const Recorder& recorder, const std::string& path) {
 
 void write_chrome_trace(const Recorder* recorder, const prof::Profiler* host,
                         const std::string& path) {
+  write_chrome_trace(recorder, host, nullptr, path);
+}
+
+void write_chrome_trace(const Recorder* recorder, const prof::Profiler* host,
+                        const tseries::SimSeries* timeline, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw Error("cannot open trace output file: " + path);
-  out << to_chrome_json(recorder, host);
+  out << to_chrome_json(recorder, host, timeline);
   if (!out) throw Error("failed writing trace output file: " + path);
 }
 

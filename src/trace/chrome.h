@@ -11,16 +11,22 @@
 //                       host thread, carrying the toolchain's own span
 //                       timeline — so the simulated run and the host-side
 //                       cost of producing it open in one viewer.
-// Timestamps are the simulator's virtual seconds (pids 1–2) or the host's
-// wall-clock seconds since profiler construction (pid 3), both rendered in
-// microseconds (the trace-event format's unit); all spans are complete
-// ("X") events so the file stays valid even for truncated traces.
+//   pid 4 "timeline"    (optional) one counter ("C") track per
+//                       tseries::SimSeries channel: the channel's
+//                       all-processor seconds per window divided by the
+//                       window width — the average number of processors in
+//                       that activity, the run's utilization curve.
+// Timestamps are the simulator's virtual seconds (pids 1–2, 4) or the
+// host's wall-clock seconds since profiler construction (pid 3), both
+// rendered in microseconds (the trace-event format's unit); all spans are
+// complete ("X") events so the file stays valid even for truncated traces.
 #pragma once
 
 #include <string>
 
 #include "src/prof/prof.h"
 #include "src/trace/recorder.h"
+#include "src/tseries/tseries.h"
 
 namespace zc::trace {
 
@@ -32,6 +38,11 @@ namespace zc::trace {
 /// one-argument overload). At least one must be non-null.
 [[nodiscard]] std::string to_chrome_json(const Recorder* recorder, const prof::Profiler* host);
 
+/// As above plus an optional windowed timeline (pid 4 counter tracks). Any
+/// subset of the sources may be null; at least one must be non-null.
+[[nodiscard]] std::string to_chrome_json(const Recorder* recorder, const prof::Profiler* host,
+                                         const tseries::SimSeries* timeline);
+
 /// Writes to_chrome_json(recorder) to `path`; throws zc::Error on I/O
 /// failure.
 void write_chrome_trace(const Recorder& recorder, const std::string& path);
@@ -40,5 +51,10 @@ void write_chrome_trace(const Recorder& recorder, const std::string& path);
 /// zc::Error on I/O failure or when both sources are null.
 void write_chrome_trace(const Recorder* recorder, const prof::Profiler* host,
                         const std::string& path);
+
+/// Writes the combined (simulated + host + timeline) document to `path`;
+/// throws zc::Error on I/O failure or when all sources are null.
+void write_chrome_trace(const Recorder* recorder, const prof::Profiler* host,
+                        const tseries::SimSeries* timeline, const std::string& path);
 
 }  // namespace zc::trace

@@ -133,6 +133,44 @@ TEST(ThreadPool, ReusableAcrossEpochs) {
   }
 }
 
+TEST(ThreadPool, CountersAccountForEveryTaskAndPublishToTheRegistry) {
+  metrics::Registry reg;
+  const metrics::ScopedRegistry scoped(reg);
+  for (const int jobs : {1, 3}) {
+    ThreadPool pool(jobs);
+    pool.run(40, [](std::size_t) {});
+    pool.run(40, [](std::size_t) {});
+    const PoolCounters c = pool.counters();
+    if (jobs == 1) {
+      // The inline serial path has no scheduler, hence no scheduler counters.
+      EXPECT_EQ(c.own_pops + c.steals, 0);
+    } else {
+      // own vs. stolen is scheduling-dependent; the sum is not.
+      EXPECT_EQ(c.own_pops + c.steals, 2 * 40) << "jobs=" << jobs;
+    }
+  }
+  EXPECT_EQ(reg.counter("exec.pool.own_pops") + reg.counter("exec.pool.steals"),
+            2 * 40);
+}
+
+TEST(ThreadPool, ContextIdsCoverTheTasksDuringARun) {
+  ThreadPool pool(2);
+  std::atomic<int> on_context{0};
+  std::atomic<int> off_pool{0};
+  pool.run(64, [&](std::size_t) {
+    const int ctx = ThreadPool::current_context();
+    if (ctx >= 0 && ctx < 2) on_context.fetch_add(1);
+  });
+  EXPECT_EQ(on_context.load(), 64);
+  // Off the pool (and on the jobs==1 inline path) there is no context.
+  EXPECT_EQ(ThreadPool::current_context(), -1);
+  ThreadPool inline_pool(1);
+  inline_pool.run(4, [&](std::size_t) {
+    if (ThreadPool::current_context() == -1) off_pool.fetch_add(1);
+  });
+  EXPECT_EQ(off_pool.load(), 4);
+}
+
 TEST(PlanCache, MissThenHit) {
   const zir::Program program = parser::parse_program(kProgram);
   const comm::OptOptions opts = comm::OptOptions::for_level(comm::OptLevel::kPL);

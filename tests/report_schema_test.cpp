@@ -47,7 +47,7 @@ TEST(ReportSchemaTest, RoundTripValidatesRequiredKeys) {
   expect_string(doc, "schema");
   EXPECT_EQ(doc.at("schema").string, "zcomm-run-report");
   expect_number(doc, "schema_version");
-  EXPECT_EQ(doc.at("schema_version").number, 3.0);
+  EXPECT_EQ(doc.at("schema_version").number, 4.0);
   expect_string(doc, "benchmark");
   EXPECT_EQ(doc.at("benchmark").string, "tomcatv");
   expect_string(doc, "experiment");

@@ -192,7 +192,7 @@ TEST(Service, AnswersPingStatsAndStreamsAnOptimizeRun) {
   EXPECT_GT(plan_line.at("static_count").number, 0);
   const json::Value report_line = json::parse(lines[2]);
   EXPECT_EQ(report_line.at("kind").string, "report");
-  EXPECT_EQ(static_cast<int>(report_line.at("report").at("schema_version").number), 3);
+  EXPECT_EQ(static_cast<int>(report_line.at("report").at("schema_version").number), 4);
   EXPECT_EQ(report_line.at("report").at("procs").number, 4);
   EXPECT_FALSE(report_line.at("report").has("metrics"))
       << "serve reports must not embed volatile registry snapshots";
@@ -794,6 +794,12 @@ TEST(Server, HttpPlaneServesMetricsHealthAndFlight) {
   EXPECT_NE(flight.find(R"("kind":"flight")"), std::string::npos);
   EXPECT_NE(flight.find(R"("label":"jacobi/pl/p4")"), std::string::npos);
 
+  const std::string timeseries = http_get(server.http_port(), "/timeseries");
+  EXPECT_NE(timeseries.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(timeseries.find("application/json"), std::string::npos);
+  EXPECT_NE(timeseries.find(R"("kind":"zc-wall-timeline")"), std::string::npos);
+  EXPECT_NE(timeseries.find(R"("requests")"), std::string::npos);
+
   EXPECT_NE(http_get(server.http_port(), "/nope").find("HTTP/1.0 404"),
             std::string::npos);
 
@@ -848,6 +854,68 @@ TEST(Server, HealthzReports503WhileTheDrainRuns) {
   EXPECT_NE(client.read_line().find(R"("kind":"report")"), std::string::npos);
   EXPECT_NE(client.read_line().find(R"("kind":"done")"), std::string::npos);
   runner.join();
+}
+
+TEST(Service, TimeseriesTracksRequestsErrorsAndLatency) {
+  exec::PlanCache cache;
+  ServiceOptions sopts;
+  sopts.jobs = 1;
+  sopts.plan_cache = &cache;
+  Service service(sopts);
+
+  Collector bad;
+  service.handle_line("t", "not json", bad.emit());
+  ASSERT_TRUE(bad.wait_for(R"("code":"bad_request")"));
+  Collector work;
+  service.handle_line("t", kOptimizeJacobi, work.emit());
+  ASSERT_TRUE(work.wait_for(R"("kind":"done")"));
+
+  const json::Value doc = service.timeseries_json();
+  EXPECT_EQ(doc.at("kind").string, "zc-wall-timeline");
+  EXPECT_GT(doc.at("uptime_seconds").number, 0.0);
+  const json::Value& channels = doc.at("channels");
+  const auto channel_sum = [&channels](const char* name) {
+    double total = 0.0;
+    for (const json::Value& row : channels.at(name).array) {
+      for (const json::Value& v : row.array) total += v.number;
+    }
+    return total;
+  };
+  // One executed optimize; the parse failure lands in errors only (pings
+  // and parse rejects never reach the execution path that counts requests).
+  EXPECT_EQ(channel_sum("requests"), 1.0);
+  EXPECT_EQ(channel_sum("errors"), 1.0);
+  // The admission-time depth sample includes the job itself: an empty
+  // queue admits at depth 1.
+  EXPECT_EQ(channel_sum("queue_depth"), 1.0);
+  EXPECT_GT(channel_sum("latency"), 0.0);
+}
+
+TEST(Service, PlanCacheHitRateIsExposedOnBothStatSurfaces) {
+  exec::PlanCache cache;
+  ServiceOptions sopts;
+  sopts.jobs = 1;
+  sopts.plan_cache = &cache;
+  Service service(sopts);
+
+  // Same request twice: one miss, then one hit -> rate 0.5 on both the
+  // JSON stats block and the Prometheus exposition.
+  for (int i = 0; i < 2; ++i) {
+    Collector work;
+    service.handle_line("t", kOptimizeJacobi, work.emit());
+    ASSERT_TRUE(work.wait_for(R"("kind":"done")"));
+  }
+  Collector s;
+  service.handle_line("t", R"({"v":1,"cmd":"stats","id":"s"})", s.emit());
+  ASSERT_TRUE(s.wait_for(R"("kind":"stats")"));
+  const json::Value stats = json::parse(s.snapshot().at(0));
+  EXPECT_EQ(stats.at("plan_cache").at("hits").number, 1.0);
+  EXPECT_EQ(stats.at("plan_cache").at("misses").number, 1.0);
+  EXPECT_DOUBLE_EQ(stats.at("plan_cache").at("hit_rate").number, 0.5);
+
+  const std::string prom = service.metrics_prometheus();
+  EXPECT_NE(prom.find("serve_plan_cache_hit_ratio 0.5"), std::string::npos);
+  EXPECT_NE(prom.find("serve_plan_cache_entries 1"), std::string::npos);
 }
 
 }  // namespace
