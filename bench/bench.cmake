@@ -7,7 +7,7 @@ add_library(zc_bench STATIC
 )
 target_link_libraries(zc_bench PUBLIC
   zc_exec zc_driver zc_programs zc_sim zc_runtime zc_comm zc_parser zc_zir
-  zc_machine zc_ironman zc_support)
+  zc_machine zc_ironman zc_archive zc_support)
 
 function(zc_bench_binary name)
   add_executable(${name} bench/${name}.cpp)

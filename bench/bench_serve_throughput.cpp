@@ -378,7 +378,7 @@ int main(int argc, char** argv) {
     obs["overhead_pct"] = json::Value::make_num(overhead_pct);
     obs["within_5pct"] = json::Value::make_bool(obs_ok);
     doc["observability_overhead"] = std::move(obs);
-    io::write_text_file(*options.bench_json_path, doc.dump() + "\n");
+    bench::write_bench_json(doc, options);
     std::cout << "(wrote " << *options.bench_json_path << ")\n";
   }
   return accept && obs_ok && failures == 0 ? 0 : 1;

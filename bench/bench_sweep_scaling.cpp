@@ -153,7 +153,7 @@ int main(int argc, char** argv) {
     doc["plan_cache_misses"] = json::Value::make_int(parallel_cs.misses);
     doc["plan_cache_hit_rate"] = json::Value::make_num(parallel_cs.hit_rate());
     doc["bit_identical"] = json::Value::make_bool(mismatches == 0);
-    io::write_text_file(*options.bench_json_path, doc.dump() + "\n");
+    bench::write_bench_json(doc, options);
     std::cout << "(wrote " << *options.bench_json_path << ")\n";
   }
   return mismatches == 0 ? 0 : 1;

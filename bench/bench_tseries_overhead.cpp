@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
     doc["overhead_pct"] = json::Value::make_num(overhead_pct);
     doc["within_5pct"] = json::Value::make_bool(within);
     doc["bit_identical"] = json::Value::make_bool(identical);
-    io::write_text_file(*options.bench_json_path, doc.dump() + "\n");
+    bench::write_bench_json(doc, options);
     std::cout << "(wrote " << *options.bench_json_path << ")\n";
   }
   return identical && within ? 0 : 1;

@@ -6,9 +6,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
+#include "src/archive/archive.h"
+#include "src/archive/envelope.h"
 #include "src/exec/sweep.h"
 #include "src/parser/parser.h"
 #include "src/support/io.h"
@@ -46,14 +49,13 @@ struct PerfSample {
 };
 
 struct PerfFile {
-  std::string bench_name;
-  std::string path;
+  Options options;  ///< a copy of the parsed flags (paths + envelope stamps)
   std::vector<PerfSample> results;
 
   void flush() const {
     json::Value doc = json::Value::make_object();
     doc["schema"] = json::Value::make_str("zcomm-bench-perf");
-    doc["bench"] = json::Value::make_str(bench_name);
+    doc["bench"] = json::Value::make_str(options.bench_name);
     json::Value arr = json::Value::make_array();
     for (const PerfSample& s : results) {
       json::Value r = json::Value::make_object();
@@ -69,11 +71,11 @@ struct PerfFile {
       arr.push_back(std::move(r));
     }
     doc["results"] = std::move(arr);
-    io::write_text_file(path, doc.dump() + "\n");
+    write_bench_json(doc, options);
   }
 
   ~PerfFile() {
-    if (path.empty() || results.empty()) return;
+    if (!options.bench_json_path.has_value() || results.empty()) return;
     try {
       flush();
     } catch (const std::exception& e) {
@@ -126,18 +128,41 @@ Options parse_options(int argc, char** argv) {
       o.bench_json_path = arg.substr(13);
     } else if (arg == "--no-bench-json") {
       o.bench_json_path = std::nullopt;
+    } else if (str::starts_with(arg, "--archive=")) {
+      o.archive_path = arg.substr(10);
+    } else if (str::starts_with(arg, "--now=")) {
+      o.now_unix = std::atoll(arg.c_str() + 6);
+      if (o.now_unix <= 0) {
+        std::cerr << "bad --now value (seconds since the epoch)\n";
+        std::exit(2);
+      }
+    } else if (str::starts_with(arg, "--git-sha=")) {
+      o.git_sha = arg.substr(10);
     } else if (arg == "--benchmark_format" || str::starts_with(arg, "--benchmark")) {
       // Ignore google-benchmark flags when shared runners see them.
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--paper] [--procs=N] [--jobs=N] [--csv=PATH]"
-                   " [--bench-json=PATH] [--no-bench-json]\n";
+                   " [--bench-json=PATH] [--no-bench-json] [--archive=PATH]"
+                   " [--now=EPOCH] [--git-sha=SHA]\n";
       std::exit(2);
     }
   }
-  perf_file().bench_name = o.bench_name;
-  perf_file().path = o.bench_json_path.value_or("");
+  perf_file().options = o;
   return o;
+}
+
+void write_bench_json(const json::Value& payload, const Options& options) {
+  if (!options.bench_json_path.has_value()) return;
+  const long long now =
+      options.now_unix != 0 ? options.now_unix : static_cast<long long>(std::time(nullptr));
+  const archive::Envelope envelope = archive::wrap(payload, now, options.git_sha);
+  // The BENCH file is written first and identically whether or not the
+  // archive append happens — archiving must never change the bench output.
+  io::write_text_file(*options.bench_json_path, envelope.to_json().dump() + "\n");
+  if (options.archive_path.has_value()) {
+    archive::Archive(*options.archive_path).append(envelope);
+  }
 }
 
 std::map<std::string, long long> scale_for(const programs::BenchmarkInfo& info,
@@ -211,7 +236,7 @@ std::vector<Row> run_experiments(const programs::BenchmarkInfo& info,
       if (!r.ok) throw Error(items[i].label + ": " + r.error);
       const driver::Metrics& m = r.metrics;
 
-      if (!perf_file().path.empty()) {
+      if (perf_file().options.bench_json_path.has_value()) {
         // Optimizer-time distribution: plan_communication is microseconds
         // per call, so a short repeat gives stable percentiles — sampled
         // serially here, deliberately outside the scheduler and the plan

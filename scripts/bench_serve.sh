@@ -14,13 +14,23 @@
 # the acceptance verdict: warm throughput >= 3x cold in plan-only mode at
 # every jobs level, observability overhead (info logging + flight recorder)
 # <= 5% on the warm plan-mode path, and zero failed requests.
+# Every run is also gated against and appended to the perf-history archive
+# (${ARCHIVE:-perf_archive.jsonl}): the like-for-like verdict against this
+# host class's history is printed but never changes the exit status.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
+ARCHIVE="${ARCHIVE:-perf_archive.jsonl}"
 
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j --target bench_serve_throughput
+cmake --build "$BUILD_DIR" -j --target bench_serve_throughput zcomm_bench
 
 "$BUILD_DIR"/bench/bench_serve_throughput \
   --bench-json=BENCH_serve_throughput.json "$@"
+
+echo "--- perf archive ($ARCHIVE) ---"
+"$BUILD_DIR"/examples/zcomm_bench check --archive="$ARCHIVE" \
+  BENCH_serve_throughput.json || true
+"$BUILD_DIR"/examples/zcomm_bench record --archive="$ARCHIVE" \
+  BENCH_serve_throughput.json

@@ -14,13 +14,25 @@
 # single-core container the threaded run cannot beat serial and the harness
 # says so instead of inventing a number. Exit status is the bit-identity
 # verdict, never the speedup.
+#
+# Every run is also gated against and appended to the perf-history archive
+# (${ARCHIVE:-perf_archive.jsonl}): the like-for-like verdict against this
+# host class's history is printed but never changes the exit status —
+# zcomm_bench check is the enforcing gate when you want one.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
+ARCHIVE="${ARCHIVE:-perf_archive.jsonl}"
 
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j --target bench_sweep_scaling
+cmake --build "$BUILD_DIR" -j --target bench_sweep_scaling zcomm_bench
 
 "$BUILD_DIR"/bench/bench_sweep_scaling \
   --bench-json=BENCH_sweep_scaling.json "$@"
+
+echo "--- perf archive ($ARCHIVE) ---"
+"$BUILD_DIR"/examples/zcomm_bench check --archive="$ARCHIVE" \
+  BENCH_sweep_scaling.json || true
+"$BUILD_DIR"/examples/zcomm_bench record --archive="$ARCHIVE" \
+  BENCH_sweep_scaling.json

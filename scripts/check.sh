@@ -31,6 +31,36 @@ ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j
   | grep -q 'totals (s):' \
   || { echo "check: FAILED — timeline heatmap missing its totals line"; exit 1; }
 
+# Perf-archive round trip: record deterministic run reports into a scratch
+# archive, require the regression gate to pass on a like-for-like sample
+# and to fail on an injected 2x slowdown, then render the dashboard and
+# require it to be genuinely self-contained (inline SVG, zero external
+# fetches). scripts/bench_*.sh append to the real
+# ${ARCHIVE:-perf_archive.jsonl}; this probes the machinery on a temp file.
+ARC_DIR="$(mktemp -d)"
+ARC="$ARC_DIR/archive.jsonl"
+"$BUILD_DIR"/examples/comm_explorer --bench figure1 --experiment pl --procs 4 \
+  --report "$ARC_DIR/r.json" >/dev/null
+"$BUILD_DIR"/examples/zcomm_bench record --archive="$ARC" --now=1700000000 \
+  "$ARC_DIR/r.json" "$ARC_DIR/r.json" >/dev/null
+"$BUILD_DIR"/examples/zcomm_bench trend --archive="$ARC" \
+  | grep -q 'execution_time_seconds' \
+  || { echo "check: FAILED — archive trend missing its series"; exit 1; }
+"$BUILD_DIR"/examples/zcomm_bench check --archive="$ARC" "$ARC_DIR/r.json" >/dev/null \
+  || { echo "check: FAILED — archive gate rejected a like-for-like sample"; exit 1; }
+if "$BUILD_DIR"/examples/zcomm_bench check --archive="$ARC" --scale=2 \
+    "$ARC_DIR/r.json" >/dev/null; then
+  echo "check: FAILED — archive gate missed an injected 2x slowdown"; exit 1
+fi
+"$BUILD_DIR"/examples/zcomm_bench dashboard --archive="$ARC" \
+  --out="$ARC_DIR/dash.html" >/dev/null
+grep -q '<svg' "$ARC_DIR/dash.html" \
+  || { echo "check: FAILED — dashboard missing its inline sparklines"; exit 1; }
+if grep -Eq '(src|href)="https?://' "$ARC_DIR/dash.html"; then
+  echo "check: FAILED — dashboard is not self-contained"; exit 1
+fi
+rm -rf "$ARC_DIR"
+
 # Observability smoke: launch the daemon with the HTTP plane on an
 # ephemeral port, scrape /metrics live, inject a slow request through the
 # debug-sleep seam, and require the flight recorder to have captured it
@@ -69,4 +99,4 @@ http_get "$OBS_PORT" /timeseries | grep -q 'zc-wall-timeline' \
   || { echo "check: FAILED — /timeseries missing the live series"; exit 1; }
 kill -TERM "$OBS_PID"
 wait "$OBS_PID" || { echo "check: FAILED — daemon drain exited non-zero"; exit 1; }
-echo "check: smoke tier + --jobs 2 sweep + timeline + observability probe OK"
+echo "check: smoke tier + --jobs 2 sweep + timeline + perf archive + observability probe OK"

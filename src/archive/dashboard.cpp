@@ -1,0 +1,278 @@
+#include "src/archive/dashboard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "src/support/str.h"
+
+namespace zc::archive {
+
+namespace {
+
+using json::Value;
+
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// </script> inside an embedded JSON block would terminate it early.
+std::string script_safe(const std::string& json_text) {
+  std::string out = json_text;
+  std::size_t pos = 0;
+  while ((pos = out.find("</", pos)) != std::string::npos) {
+    out.replace(pos, 2, "<\\/");
+    pos += 3;
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  if (v == 0.0) return "0";
+  const double a = std::fabs(v);
+  if (a >= 1e6 || a < 1e-3) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+    return buf;
+  }
+  return str::format_f(v, a >= 100 ? 1 : 4);
+}
+
+/// Inline-SVG sparkline: polyline over the series with the noise band as a
+/// translucent rect. Width scales with point count so dense history stays
+/// readable.
+std::string svg_sparkline(const std::vector<double>& values, const TrendStats& t) {
+  const int n = static_cast<int>(values.size());
+  const double w = std::max(60, n * 8);
+  const double h = 26.0;
+  double lo = *std::min_element(values.begin(), values.end());
+  double hi = *std::max_element(values.begin(), values.end());
+  lo = std::min(lo, t.band_low);
+  hi = std::max(hi, t.band_high);
+  if (hi <= lo) {
+    hi = lo + (lo == 0.0 ? 1.0 : std::fabs(lo) * 0.01);
+  }
+  const auto x_at = [&](int i) {
+    return n == 1 ? w / 2 : 2.0 + (w - 4.0) * i / (n - 1);
+  };
+  const auto y_at = [&](double v) { return h - 3.0 - (h - 6.0) * (v - lo) / (hi - lo); };
+
+  std::string svg = "<svg class=\"spark\" width=\"" + fmt(w) + "\" height=\"" + fmt(h) +
+                    "\" viewBox=\"0 0 " + fmt(w) + " " + fmt(h) + "\">";
+  const double band_y = y_at(t.band_high);
+  const double band_h = std::max(0.5, y_at(t.band_low) - band_y);
+  svg += "<rect class=\"band\" x=\"0\" y=\"" + fmt(band_y) + "\" width=\"" + fmt(w) +
+         "\" height=\"" + fmt(band_h) + "\"/>";
+  std::string points;
+  for (int i = 0; i < n; ++i) {
+    if (!points.empty()) points += " ";
+    points += fmt(x_at(i)) + "," + fmt(y_at(values[i]));
+  }
+  svg += "<polyline class=\"line\" points=\"" + points + "\"/>";
+  svg += "<circle class=\"last\" cx=\"" + fmt(x_at(n - 1)) + "\" cy=\"" +
+         fmt(y_at(values.back())) + "\" r=\"2.2\"/>";
+  svg += "</svg>";
+  return svg;
+}
+
+const char* verdict_css(Verdict v) {
+  switch (v) {
+    case Verdict::kRegression: return "bad";
+    case Verdict::kImprovement: return "good";
+    case Verdict::kOk: return "ok";
+    default: return "na";
+  }
+}
+
+/// The per-processor heatmap of a run report's "timeline" block: one table
+/// per channel of interest, cell opacity proportional to the window value.
+std::string timeline_heatmap(const Value& timeline) {
+  if (!timeline.has("channels")) return "";
+  std::string out;
+  for (const char* channel : {"cpu", "wait", "wire_exposed"}) {
+    if (!timeline.at("channels").has(channel)) continue;
+    const Value& per_proc = timeline.at("channels").at(channel);
+    double peak = 0.0;
+    for (const Value& row : per_proc.array) {
+      for (const Value& cell : row.array) peak = std::max(peak, cell.number);
+    }
+    out += "<h4>timeline · " + std::string(channel) + "</h4><table class=\"heat\">";
+    int p = 0;
+    for (const Value& row : per_proc.array) {
+      out += "<tr><th>p" + std::to_string(p++) + "</th>";
+      for (const Value& cell : row.array) {
+        const double a = peak > 0.0 ? cell.number / peak : 0.0;
+        out += "<td style=\"background:rgba(31,111,235," + str::format_f(a, 3) +
+               ")\" title=\"" + fmt(cell.number) + "s\"></td>";
+      }
+      out += "</tr>";
+    }
+    out += "</table>";
+  }
+  return out;
+}
+
+/// The host profile's span forest as nested <details> — the flamegraph
+/// data, browsable without any script.
+void span_tree(const Value& spans, std::string& out, int depth) {
+  for (const Value& s : spans.array) {
+    const std::string name = html_escape(s.at("name").string);
+    const std::string total = fmt(s.at("total_seconds").number);
+    const bool leaf = !s.has("children") || s.at("children").array.empty();
+    if (leaf) {
+      out += "<div class=\"span\" style=\"margin-left:" + std::to_string(depth) +
+             "em\">" + name + " <span class=\"t\">" + total + "s</span></div>";
+    } else {
+      out += "<details" + std::string(depth < 2 ? " open" : "") +
+             " style=\"margin-left:" + std::to_string(depth) + "em\"><summary>" + name +
+             " <span class=\"t\">" + total + "s</span></summary>";
+      span_tree(s.at("children"), out, depth + 1);
+      out += "</details>";
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_dashboard(const std::vector<Envelope>& records,
+                             const DashboardOptions& opts) {
+  std::string html =
+      "<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+      "<meta name=\"viewport\" content=\"width=device-width,initial-scale=1\">\n"
+      "<title>" + html_escape(opts.title) + "</title>\n<style>\n"
+      ":root{color-scheme:light dark}\n"
+      "body{font:14px/1.45 system-ui,sans-serif;margin:2em auto;max-width:72em;"
+      "padding:0 1em;color:#1f2328;background:#fff}\n"
+      "@media(prefers-color-scheme:dark){body{color:#e6edf3;background:#0d1117}}\n"
+      "h1{font-size:1.4em} h2{font-size:1.1em;border-bottom:1px solid #8884;"
+      "padding-bottom:.2em;margin-top:2em}\n"
+      "table{border-collapse:collapse;width:100%} td,th{padding:.25em .6em;"
+      "text-align:left;border-bottom:1px solid #8883;font-variant-numeric:tabular-nums}\n"
+      ".spark .line{fill:none;stroke:#1f6feb;stroke-width:1.5}\n"
+      ".spark .band{fill:#1f6feb22}.spark .last{fill:#1f6feb}\n"
+      ".badge{border-radius:1em;padding:.05em .6em;font-size:.85em}\n"
+      ".badge.ok{background:#2da44e33}.badge.good{background:#1f6feb33}\n"
+      ".badge.bad{background:#cf222e44}.badge.na{background:#8883}\n"
+      ".meta{color:#888;font-size:.9em}\n"
+      "table.heat td{width:8px;height:14px;padding:0;border:0}\n"
+      "table.heat th{font-size:.75em;padding:0 .4em;border:0}\n"
+      ".span,.t{font-family:ui-monospace,monospace;font-size:.9em}.t{color:#888}\n"
+      "</style>\n</head>\n<body>\n";
+  html += "<h1>" + html_escape(opts.title) + "</h1>\n";
+
+  std::set<std::string> classes;
+  std::set<std::string> benches;
+  for (const Envelope& e : records) {
+    classes.insert(e.host_class());
+    benches.insert(e.bench.empty() ? "(unnamed)" : e.bench);
+  }
+  html += "<p class=\"meta\">" + std::to_string(records.size()) + " records · " +
+          std::to_string(benches.size()) + " benches · host classes: ";
+  bool first = true;
+  for (const std::string& c : classes) {
+    if (!first) html += ", ";
+    html += "<code>" + html_escape(c) + "</code>";
+    first = false;
+  }
+  html += "</p>\n";
+
+  // --- per-bench trend tables -------------------------------------------
+  const std::map<SeriesKey, Series> series = build_series(records);
+  std::string current_bench;
+  bool table_open = false;
+  for (const auto& [key, s] : series) {
+    if (key.bench != current_bench) {
+      if (table_open) html += "</table>\n";
+      current_bench = key.bench;
+      html += "<h2>" + html_escape(current_bench.empty() ? "(unnamed)" : current_bench) +
+              "</h2>\n<table><tr><th>metric</th><th>host class</th><th>trend</th>"
+              "<th>n</th><th>median</th><th>band</th><th>latest</th><th>Δ</th>"
+              "<th>verdict</th></tr>\n";
+      table_open = true;
+    }
+    std::vector<double> values;
+    values.reserve(s.points.size());
+    for (const SeriesPoint& p : s.points) values.push_back(p.value);
+    if (static_cast<int>(values.size()) > opts.max_points) {
+      values.erase(values.begin(),
+                   values.end() - opts.max_points);
+    }
+    const TrendStats t = trend_stats(values, opts.band_sigmas, opts.rel_floor);
+    const double latest = values.back();
+    Verdict v = Verdict::kOk;
+    if (values.size() < 2 || s.direction == Direction::kNeutral) {
+      v = Verdict::kNoBaseline;
+    } else if (latest > t.band_high || latest < t.band_low) {
+      const bool worse = (latest > t.band_high) == (s.direction == Direction::kLowerIsBetter);
+      v = worse ? Verdict::kRegression : Verdict::kImprovement;
+    }
+    const double delta = t.median != 0.0 ? (latest - t.median) / std::fabs(t.median) : 0.0;
+    html += "<tr><td><code>" + html_escape(key.metric) + "</code></td><td><code>" +
+            html_escape(key.host_class) + "</code></td><td>" + svg_sparkline(values, t) +
+            "</td><td>" + std::to_string(t.n) + "</td><td>" + fmt(t.median) + "</td><td>" +
+            fmt(t.band_low) + " … " + fmt(t.band_high) + "</td><td>" + fmt(latest) +
+            "</td><td>" + (delta >= 0 ? "+" : "") + str::format_f(delta * 100.0, 1) +
+            "%</td><td><span class=\"badge " + verdict_css(v) + "\">" +
+            to_string(v == Verdict::kNoBaseline ? Verdict::kOk : v) + "</span></td></tr>\n";
+  }
+  if (table_open) html += "</table>\n";
+
+  // --- the most recent record -------------------------------------------
+  const Envelope* latest = nullptr;
+  for (const Envelope& e : records) {
+    if (latest == nullptr || e.unix_time >= latest->unix_time) latest = &e;
+  }
+  if (latest != nullptr) {
+    html += "<h2>latest record</h2>\n<p class=\"meta\">" +
+            html_escape(latest->bench.empty() ? latest->kind : latest->bench) + " · " +
+            html_escape(latest->kind) + " · " + html_escape(latest->recorded_at_utc()) +
+            " · host <code>" + html_escape(latest->host_class()) + "</code>";
+    if (!latest->build.compiler.empty()) {
+      html += " · " + html_escape(latest->build.compiler);
+    }
+    if (!latest->git_sha.empty()) {
+      html += " · <code>" + html_escape(latest->git_sha.substr(0, 12)) + "</code>";
+    }
+    html += "</p>\n";
+    if (latest->payload.is_object() && latest->payload.has("timeline")) {
+      html += timeline_heatmap(latest->payload.at("timeline"));
+      html += "<script type=\"application/json\" id=\"zc-timeline-data\">" +
+              script_safe(latest->payload.at("timeline").dump(0)) + "</script>\n";
+    }
+    if (latest->payload.is_object() && latest->payload.has("host_profile")) {
+      const Value& hp = latest->payload.at("host_profile");
+      html += "<h4>host profile (flamegraph data)</h4>";
+      if (hp.has("spans")) {
+        std::string tree;
+        span_tree(hp.at("spans"), tree, 0);
+        html += tree;
+      }
+      html += "<script type=\"application/json\" id=\"zc-flamegraph-data\">" +
+              script_safe(hp.dump(0)) + "</script>\n";
+    }
+    html += "<details><summary class=\"meta\">raw record JSON</summary><script "
+            "type=\"application/json\" id=\"zc-latest-record\">" +
+            script_safe(latest->to_json().dump(0)) + "</script><pre>" +
+            html_escape(latest->to_json().dump(2)) + "</pre></details>\n";
+  } else {
+    html += "<p class=\"meta\">the archive is empty — record a sample with "
+            "<code>zcomm_bench record</code></p>\n";
+  }
+
+  html += "</body>\n</html>\n";
+  return html;
+}
+
+}  // namespace zc::archive

@@ -1,0 +1,164 @@
+#include "src/archive/trend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace zc::archive {
+
+std::map<SeriesKey, Series> build_series(const std::vector<Envelope>& records,
+                                         const std::string& metric_filter) {
+  std::map<SeriesKey, Series> out;
+  for (const Envelope& e : records) {
+    for (const Measurement& m : extract_metrics(e)) {
+      if (!metric_filter.empty() && m.metric.find(metric_filter) == std::string::npos) {
+        continue;
+      }
+      const SeriesKey key{e.bench, m.metric, e.host_class()};
+      Series& s = out[key];
+      if (s.points.empty()) {
+        s.key = key;
+        s.direction = m.direction;
+      }
+      s.points.push_back({e.unix_time, m.value});
+    }
+  }
+  return out;
+}
+
+double median_of(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2] : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+TrendStats trend_stats(const std::vector<double>& values, double band_sigmas,
+                       double rel_floor) {
+  TrendStats t;
+  t.n = static_cast<int>(values.size());
+  if (values.empty()) return t;
+  t.median = median_of(values);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (const double v : values) deviations.push_back(std::fabs(v - t.median));
+  t.mad = median_of(std::move(deviations));
+  // 1.4826 rescales MAD to a normal sigma; the relative floor keeps
+  // deterministic series (MAD == 0) from gating at zero width.
+  const double half_band =
+      std::max(band_sigmas * 1.4826 * t.mad, rel_floor * std::fabs(t.median));
+  t.band_low = t.median - half_band;
+  t.band_high = t.median + half_band;
+  return t;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* const kGlyphs[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it;
+  const double span = *hi_it - lo;
+  if (span <= 0.0) return std::string(values.size(), '.');
+  std::string out;
+  for (const double v : values) {
+    const int level =
+        std::clamp(static_cast<int>((v - lo) / span * 7.999), 0, 7);
+    out += kGlyphs[level];
+  }
+  return out;
+}
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kImprovement: return "improvement";
+    case Verdict::kRegression: return "REGRESSION";
+    case Verdict::kNoBaseline: return "no-baseline";
+    case Verdict::kRefusedHostClass: return "refused-host-class";
+  }
+  return "?";
+}
+
+double MetricVerdict::delta_fraction() const {
+  if (baseline.n == 0 || baseline.median == 0.0) return 0.0;
+  return (value - baseline.median) / std::fabs(baseline.median);
+}
+
+int CheckResult::exit_code() const {
+  if (regressions > 0) return 1;
+  if (compared > 0) return 0;
+  if (refused > 0) return 3;
+  if (no_baseline > 0 || metrics.empty()) return 4;
+  return 0;
+}
+
+Verdict CheckResult::overall() const {
+  if (regressions > 0) return Verdict::kRegression;
+  if (compared > 0) return improvements > 0 ? Verdict::kImprovement : Verdict::kOk;
+  if (refused > 0) return Verdict::kRefusedHostClass;
+  return Verdict::kNoBaseline;
+}
+
+CheckResult check_sample(const std::vector<Envelope>& history, const Envelope& fresh,
+                         const CheckOptions& opts) {
+  CheckResult r;
+  r.bench = fresh.bench;
+  r.host_class = fresh.host_class();
+
+  // Same-bench history, split like-for-like vs everything else.
+  std::vector<Envelope> comparable;
+  std::set<std::string> classes;
+  for (const Envelope& e : history) {
+    if (e.bench != fresh.bench) continue;
+    classes.insert(e.host_class());
+    if (e.host_class() == r.host_class) comparable.push_back(e);
+  }
+  r.archive_classes.assign(classes.begin(), classes.end());
+  const std::map<SeriesKey, Series> series = build_series(comparable, opts.metric_filter);
+
+  for (const Measurement& m : extract_metrics(fresh)) {
+    if (!opts.metric_filter.empty() &&
+        m.metric.find(opts.metric_filter) == std::string::npos) {
+      continue;
+    }
+    MetricVerdict v;
+    v.metric = m.metric;
+    v.direction = m.direction;
+    v.value = m.value;
+    if (opts.inject_scale != 1.0) {
+      v.value = m.direction == Direction::kHigherIsBetter ? m.value / opts.inject_scale
+                                                          : m.value * opts.inject_scale;
+    }
+    const auto it = series.find(SeriesKey{fresh.bench, m.metric, r.host_class});
+    if (it == series.end()) {
+      // No like-for-like history for this metric: a refusal when other
+      // host classes have it, otherwise simply no baseline yet.
+      const bool elsewhere = classes.size() > (classes.count(r.host_class) != 0 ? 1u : 0u);
+      v.verdict = elsewhere ? Verdict::kRefusedHostClass : Verdict::kNoBaseline;
+      elsewhere ? ++r.refused : ++r.no_baseline;
+      r.metrics.push_back(std::move(v));
+      continue;
+    }
+    std::vector<double> values;
+    values.reserve(it->second.points.size());
+    for (const SeriesPoint& p : it->second.points) values.push_back(p.value);
+    v.baseline = trend_stats(values, opts.band_sigmas, opts.rel_floor);
+    ++r.compared;
+    const bool above = v.value > v.baseline.band_high;
+    const bool below = v.value < v.baseline.band_low;
+    if (!above && !below) {
+      v.verdict = Verdict::kOk;
+    } else if ((above && m.direction == Direction::kLowerIsBetter) ||
+               (below && m.direction == Direction::kHigherIsBetter)) {
+      v.verdict = Verdict::kRegression;
+      ++r.regressions;
+    } else {
+      v.verdict = Verdict::kImprovement;
+      ++r.improvements;
+    }
+    r.metrics.push_back(std::move(v));
+  }
+  return r;
+}
+
+}  // namespace zc::archive

@@ -1,0 +1,129 @@
+// Trend statistics and noise-aware regression verdicts over the archive.
+//
+// Every series is keyed (bench, metric, host_class) — the host class is
+// part of the identity, never averaged across. The baseline for a series
+// is the median of its history; the noise band is a MAD estimate
+// (median absolute deviation scaled to sigma by 1.4826) widened by a
+// relative floor so deterministic series (simulated times, counts) still
+// tolerate configured drift instead of failing on any ULP.
+//
+// The regression gate (`check_sample`) is report_diff's per-pair verdict
+// generalized over history, with one rule report_diff could not enforce:
+// a fresh sample is only ever compared against history from the *same*
+// host class. When the archive holds history for the bench but none of it
+// is like-for-like, the check refuses (kRefusedHostClass) instead of
+// quietly comparing a 1-core container against an 8-core workstation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/archive/archive.h"
+
+namespace zc::archive {
+
+struct SeriesKey {
+  std::string bench;
+  std::string metric;
+  std::string host_class;
+
+  bool operator<(const SeriesKey& o) const {
+    if (bench != o.bench) return bench < o.bench;
+    if (metric != o.metric) return metric < o.metric;
+    return host_class < o.host_class;
+  }
+};
+
+struct SeriesPoint {
+  long long unix_time = 0;
+  double value = 0.0;
+};
+
+struct Series {
+  SeriesKey key;
+  Direction direction = Direction::kNeutral;
+  std::vector<SeriesPoint> points;  ///< archive append order
+};
+
+/// Groups every measurement in `records` into per-key series (file order
+/// preserved within each). `metric_filter` is a substring filter ("" = all).
+std::map<SeriesKey, Series> build_series(const std::vector<Envelope>& records,
+                                         const std::string& metric_filter = "");
+
+/// Robust location/spread for one series.
+struct TrendStats {
+  int n = 0;
+  double median = 0.0;
+  double mad = 0.0;        ///< raw median absolute deviation
+  double band_low = 0.0;   ///< median - half_band
+  double band_high = 0.0;  ///< median + half_band
+};
+
+/// half_band = max(band_sigmas * 1.4826 * MAD, rel_floor * |median|).
+TrendStats trend_stats(const std::vector<double>& values, double band_sigmas = 3.0,
+                       double rel_floor = 0.10);
+
+double median_of(std::vector<double> values);
+
+/// Unicode sparkline of the series values (one glyph per point, value
+/// range normalized; '.' glyphs for a flat series).
+std::string sparkline(const std::vector<double>& values);
+
+enum class Verdict {
+  kOk,
+  kImprovement,       ///< beyond the band in the better direction
+  kRegression,        ///< beyond the band in the worse direction
+  kNoBaseline,        ///< no history at all for this (bench, metric)
+  kRefusedHostClass,  ///< history exists, but only under other host classes
+};
+
+const char* to_string(Verdict v);
+
+/// One gated metric of a fresh sample.
+struct MetricVerdict {
+  std::string metric;
+  Direction direction = Direction::kNeutral;
+  double value = 0.0;       ///< the fresh sample (after any injected scale)
+  TrendStats baseline;      ///< stats over same-class history
+  Verdict verdict = Verdict::kNoBaseline;
+
+  /// Signed relative delta vs the baseline median (0 when no baseline).
+  [[nodiscard]] double delta_fraction() const;
+};
+
+struct CheckOptions {
+  double band_sigmas = 3.0;
+  double rel_floor = 0.10;   ///< minimum half-band as a fraction of |median|
+  std::string metric_filter; ///< substring ("" = every gateable metric)
+  /// Deterministic regression injection for tests/CI: every lower-is-better
+  /// metric of the fresh sample is multiplied by this, every
+  /// higher-is-better metric divided. 1.0 = measure what was given.
+  double inject_scale = 1.0;
+};
+
+struct CheckResult {
+  std::string bench;
+  std::string host_class;                 ///< the fresh sample's class
+  std::vector<MetricVerdict> metrics;
+  std::vector<std::string> archive_classes;  ///< classes seen for this bench
+  int compared = 0;
+  int regressions = 0;
+  int improvements = 0;
+  int refused = 0;
+  int no_baseline = 0;
+
+  /// The process exit code contract: 0 ok, 1 regression, 3 refused
+  /// (nothing was comparable across host classes), 4 archive empty for
+  /// this bench entirely.
+  [[nodiscard]] int exit_code() const;
+  [[nodiscard]] Verdict overall() const;
+};
+
+/// Gates `fresh` against same-host-class history in `history` (the fresh
+/// sample itself may already be among the records; the median is robust to
+/// that). History from other classes is never compared.
+CheckResult check_sample(const std::vector<Envelope>& history, const Envelope& fresh,
+                         const CheckOptions& opts = {});
+
+}  // namespace zc::archive

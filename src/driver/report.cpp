@@ -8,6 +8,7 @@
 #include "src/analysis/critpath.h"
 #include "src/prof/procstat.h"
 #include "src/support/diag.h"
+#include "src/support/fingerprint.h"
 #include "src/support/metrics.h"
 #include "src/trace/stats.h"
 
@@ -50,7 +51,7 @@ Value build_report(const Metrics& metrics, const Experiment& experiment, int pro
                    const report::PassLog* log, const ReportOptions& ropts) {
   Value doc = Value::make_object();
   doc["schema"] = Value::make_str("zcomm-run-report");
-  doc["schema_version"] = Value::make_int(4);
+  doc["schema_version"] = Value::make_int(5);
   doc["benchmark"] = Value::make_str(ropts.benchmark);
   doc["experiment"] = Value::make_str(experiment.name);
   doc["library"] = Value::make_str(ironman::to_string(experiment.library));
@@ -63,6 +64,15 @@ Value build_report(const Metrics& metrics, const Experiment& experiment, int pro
   doc["total_messages"] = Value::make_int(metrics.run.total_messages);
   doc["total_bytes"] = Value::make_int(metrics.run.total_bytes);
   doc["reduction_count"] = Value::make_int(metrics.run.reduction_count);
+
+  if (ropts.host_fingerprint) {
+    // Who measured this: the host class the perf archive compares
+    // like-for-like, plus the toolchain. Deterministic per machine/build —
+    // no timestamps, so response streams and goldens stay bit-stable.
+    Value host = fingerprint::current_host().to_json();
+    host["build"] = fingerprint::current_build().to_json();
+    doc["host"] = std::move(host);
+  }
 
   if (log != nullptr) doc["passes"] = log->to_json(ropts.max_decisions_per_pass);
   if (metrics.trace_stats.has_value()) doc["trace"] = trace_json(*metrics.trace_stats);
@@ -176,7 +186,7 @@ json::Value diff_run_reports(const json::Value& before, const json::Value& after
   // as a regression or a structural error.
   Value blocks = Value::make_array();
   for (const char* name : {"passes", "trace", "blame", "critical_path", "metrics",
-                           "host_profile", "timeline"}) {
+                           "host_profile", "timeline", "host"}) {
     const bool in_before = before.has(name);
     const bool in_after = after.has(name);
     if (!in_before && !in_after) continue;

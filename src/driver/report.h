@@ -9,13 +9,18 @@
 //
 // Schema (validated by tests/report_schema_test.cpp):
 //   schema               "zcomm-run-report"
-//   schema_version       4
+//   schema_version       5
 //   benchmark            caller's label (defaults to the program name)
 //   program, experiment, library, procs
 //   options              {remove_redundant, combine, pipeline, heuristic,
 //                         inter_block}
 //   static_count, dynamic_count, execution_time_seconds
 //   total_messages, total_bytes, reduction_count
+//   host                 present unless disabled: the host fingerprint
+//                        (class, cores, cpu_model, page_size, sanitize) and
+//                        a nested build fingerprint — the identity the perf
+//                        archive (src/archive) gates like-for-like; no
+//                        timestamps, so reports stay deterministic
 //   passes               PassLog::to_json() (summary + per-pass decisions)
 //   trace                present iff the run was traced
 //   blame                present iff traced: per-transfer attribution
@@ -33,9 +38,10 @@
 //
 // Version history: v1 had everything above except blame / critical_path;
 // v2 added those; v3 added the optional host_profile block; v4 added the
-// optional timeline block (reports built without the corresponding
-// producer are byte-identical to the prior version apart from the
-// version number).
+// optional timeline block; v5 added the optional host fingerprint block
+// (reports built without the corresponding producer are byte-identical to
+// the prior version apart from the version number, and diffs tolerate
+// one-sided presence of every optional block).
 #pragma once
 
 #include <vector>
@@ -56,6 +62,7 @@ struct ReportOptions {
   int max_decisions_per_pass = 2000; ///< per-pass cap in the document
   bool attribution = true;           ///< include "blame"/"critical_path" when traced
   int max_attribution_rows = 200;    ///< row cap in those blocks (-1 = all)
+  bool host_fingerprint = true;      ///< include the "host" identity block
   /// When set, the report gains a "host_profile" block with this profiler's
   /// aggregated span tree (snapshotted at build time) and the process's peak
   /// RSS. Null (the default) leaves the report bit-identical to unprofiled.

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "src/analysis/blame.h"
 #include "src/comm/plan.h"
+#include "src/support/fingerprint.h"
 #include "src/driver/driver.h"
 #include "src/driver/report.h"
 #include "src/exec/pool.h"
@@ -626,7 +628,14 @@ std::string Service::metrics_prometheus() {
   if (flight_ != nullptr) {
     registry_.gauge("serve.flight.recorded", static_cast<double>(flight_->recorded()));
   }
-  return registry_.to_prometheus();
+  // The standard build-info convention: identity as labels on a constant
+  // gauge, plus the process start time — appended outside the registry so
+  // neither ever leaks into per-request metric snapshots.
+  std::string out = registry_.to_prometheus();
+  out += fingerprint::prometheus_build_info();
+  out += "# TYPE zcomm_start_time_seconds gauge\nzcomm_start_time_seconds " +
+         std::to_string(started_unix_) + "\n";
+  return out;
 }
 
 double Service::uptime_seconds() const { return seconds_since(started_at_); }

@@ -27,6 +27,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <ctime>
 #include <deque>
 #include <functional>
 #include <map>
@@ -189,6 +190,9 @@ class Service {
   tseries::WallSeries timeseries_{
       1, {"requests", "errors", "latency", "queue_depth"}};
   const Clock::time_point started_at_ = Clock::now();
+  /// Wall-clock start for zcomm_start_time_seconds (uptime math stays on
+  /// the steady clock above).
+  const long long started_unix_ = static_cast<long long>(std::time(nullptr));
   std::atomic<long long> next_request_{0};
   std::unique_ptr<FlightRecorder> flight_;  ///< null when flight_capacity == 0
 

@@ -328,7 +328,7 @@ TEST(ProfTest, ReportHostProfileBlock) {
     ZC_PROF_SPAN("report-root");
     with = profiled_report(&p);
   }
-  EXPECT_EQ(with.at("schema_version").number, 4.0);
+  EXPECT_EQ(with.at("schema_version").number, 5.0);
   ASSERT_TRUE(with.has("host_profile"));
   const json::Value& hp = with.at("host_profile");
   EXPECT_GT(hp.at("wall_seconds").number, 0.0);

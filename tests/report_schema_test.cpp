@@ -47,7 +47,7 @@ TEST(ReportSchemaTest, RoundTripValidatesRequiredKeys) {
   expect_string(doc, "schema");
   EXPECT_EQ(doc.at("schema").string, "zcomm-run-report");
   expect_number(doc, "schema_version");
-  EXPECT_EQ(doc.at("schema_version").number, 4.0);
+  EXPECT_EQ(doc.at("schema_version").number, 5.0);
   expect_string(doc, "benchmark");
   EXPECT_EQ(doc.at("benchmark").string, "tomcatv");
   expect_string(doc, "experiment");
@@ -75,6 +75,42 @@ TEST(ReportSchemaTest, RoundTripValidatesRequiredKeys) {
   EXPECT_GT(doc.at("static_count").number, 0.0);
   EXPECT_GE(doc.at("dynamic_count").number, doc.at("static_count").number);
   EXPECT_GT(doc.at("execution_time_seconds").number, 0.0);
+}
+
+TEST(ReportSchemaTest, HostFingerprintBlockIsDeterministicAndOptional) {
+  const json::Value doc = json::parse(generate_report(/*traced=*/false).dump());
+  ASSERT_TRUE(doc.has("host"));
+  const json::Value& host = doc.at("host");
+  ASSERT_TRUE(host.is_object());
+  expect_string(host, "class");
+  EXPECT_FALSE(host.at("class").string.empty());
+  expect_number(host, "cores");
+  EXPECT_GT(host.at("cores").number, 0.0);
+  expect_string(host, "cpu_model");
+  expect_number(host, "page_size");
+  ASSERT_TRUE(host.has("build"));
+  const json::Value& build = host.at("build");
+  expect_string(build, "compiler");
+  EXPECT_FALSE(build.at("compiler").string.empty());
+  expect_string(build, "compiler_version");
+  // No timestamps anywhere in the block: the same binary must emit the
+  // same host block byte-for-byte, keeping reports and response streams
+  // deterministic.
+  const json::Value again = json::parse(generate_report(/*traced=*/false).dump());
+  EXPECT_EQ(host.dump(), again.at("host").dump());
+
+  // The block is skippable for byte-stable golden comparisons.
+  const programs::BenchmarkInfo& info = programs::benchmark("tomcatv");
+  const zir::Program program = parser::parse_program(info.source);
+  const auto exp = driver::find_experiment("pl");
+  ASSERT_TRUE(exp.has_value());
+  driver::ReportOptions ropts;
+  ropts.host_fingerprint = false;
+  sim::RunConfig cfg;
+  cfg.procs = 4;
+  cfg.config_overrides = info.test_configs;
+  const json::Value bare = driver::run_report(program, *exp, std::move(cfg), ropts);
+  EXPECT_FALSE(bare.has("host"));
 }
 
 TEST(ReportSchemaTest, PassProvenanceIsPresentAndNonEmpty) {

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -192,7 +193,7 @@ TEST(Service, AnswersPingStatsAndStreamsAnOptimizeRun) {
   EXPECT_GT(plan_line.at("static_count").number, 0);
   const json::Value report_line = json::parse(lines[2]);
   EXPECT_EQ(report_line.at("kind").string, "report");
-  EXPECT_EQ(static_cast<int>(report_line.at("report").at("schema_version").number), 4);
+  EXPECT_EQ(static_cast<int>(report_line.at("report").at("schema_version").number), 5);
   EXPECT_EQ(report_line.at("report").at("procs").number, 4);
   EXPECT_FALSE(report_line.at("report").has("metrics"))
       << "serve reports must not embed volatile registry snapshots";
@@ -617,6 +618,20 @@ TEST(Service, PrometheusExpositionReflectsServedRequests) {
   EXPECT_NE(text.find("serve_queue_depth 0"), std::string::npos);
   EXPECT_NE(text.find("serve_draining 0"), std::string::npos);
   EXPECT_NE(text.find("serve_flight_recorded 1"), std::string::npos);
+  // Identity metrics: the build-info gauge (constant 1, identity in the
+  // labels) and the daemon's wall-clock start time.
+  EXPECT_NE(text.find("# TYPE zcomm_build_info gauge"), std::string::npos);
+  EXPECT_NE(text.find("zcomm_build_info{version=\""), std::string::npos);
+  EXPECT_NE(text.find(",compiler=\""), std::string::npos);
+  EXPECT_NE(text.find(",build_type=\""), std::string::npos);
+  EXPECT_NE(text.find(",sanitizer=\""), std::string::npos);
+  EXPECT_NE(text.find("\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE zcomm_start_time_seconds gauge"), std::string::npos);
+  const auto start_pos = text.find("\nzcomm_start_time_seconds ");
+  ASSERT_NE(start_pos, std::string::npos);
+  const long long started =
+      std::atoll(text.c_str() + start_pos + std::string("\nzcomm_start_time_seconds ").size());
+  EXPECT_GT(started, 1600000000LL) << "start time must be a plausible epoch second";
 }
 
 // ------------------------------------------------------------------ server
