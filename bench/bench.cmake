@@ -82,14 +82,42 @@ set_tests_properties(bench_tseries_overhead_smoke PROPERTIES
   PASS_REGULAR_EXPRESSION
     "determinism: results bit-identical with the sink attached.*acceptance: timeline sink overhead within 5%")
 
+zc_bench_binary(bench_engine_scaling)
+
+# Smoke-run the engine-scaling harness on a tiny mesh: asserts the
+# event-driven core and the lockstep reference produce bit-identical result
+# checksums on every (benchmark, procs) cell. The speedup numbers are
+# hardware-dependent and never gated here — the committed
+# BENCH_engine_scaling.json carries the full 64..4096 ladder.
+add_test(NAME bench_engine_scaling_smoke
+  COMMAND bench_engine_scaling --procs=4
+          --bench-json=${CMAKE_BINARY_DIR}/bench/BENCH_engine_scaling_smoke.json)
+set_tests_properties(bench_engine_scaling_smoke PROPERTIES
+  LABELS "smoke;tsan"
+  PASS_REGULAR_EXPRESSION
+    "determinism: event and lockstep checksums bit-identical on every cell")
+
 zc_bench_binary(bench_abl_hybrid)
 zc_bench_binary(bench_abl_interblock)
 zc_bench_binary(bench_paragon_suite)
 
 add_executable(bench_micro_passes bench/bench_micro_passes.cpp)
-target_link_libraries(bench_micro_passes PRIVATE zc_bench benchmark::benchmark)
+target_link_libraries(bench_micro_passes PRIVATE zc_bench zc_analysis benchmark::benchmark)
 set_target_properties(bench_micro_passes PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Smoke-run the phase-split section (micros skipped via a non-matching
+# filter, tiny mesh): asserts the two engine cores agree bit-identically on
+# the phase-split workload. The sim_phase_speedup value is
+# hardware-dependent and never gated here — the committed
+# BENCH_micro_passes.json carries the 4096-processor evidence and
+# `zcomm_bench check` trend-gates it.
+add_test(NAME bench_micro_passes_smoke
+  COMMAND bench_micro_passes --benchmark_filter=ThisMatchesNothing --procs=4
+          --bench-json=${CMAKE_BINARY_DIR}/bench/BENCH_micro_passes_smoke.json)
+set_tests_properties(bench_micro_passes_smoke PROPERTIES
+  LABELS "smoke;tsan"
+  PASS_REGULAR_EXPRESSION "determinism: phase-split engine checksums bit-identical")
 
 add_executable(bench_trace_overhead bench/bench_trace_overhead.cpp)
 target_link_libraries(bench_trace_overhead PRIVATE zc_bench benchmark::benchmark)

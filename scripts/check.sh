@@ -31,6 +31,34 @@ ctest --test-dir "$BUILD_DIR" -L smoke --output-on-failure -j
   | grep -q 'totals (s):' \
   || { echo "check: FAILED — timeline heatmap missing its totals line"; exit 1; }
 
+# Scale probe: one table benchmark on a 1024-processor partition under the
+# event-driven engine core, diffed against the 64-processor run. The
+# partition-invariant counts (static, dynamic, reductions) must be
+# identical, the message count must scale up with the mesh, and the
+# converged residual must hold (the partition only changes the FP
+# summation association, never the result): "counts scale, checksums
+# hold". The bitwise event-vs-lockstep contract is the engine_event_test
+# suite's job; this probes the report surface end to end at scale.
+run_scale() {
+  "$BUILD_DIR"/examples/zplc --builtin tomcatv --level=pl --procs="$1" \
+    --set n=40 --set iters=4
+}
+python3 - "$(run_scale 64)" "$(run_scale 1024)" <<'PY' \
+  || { echo "check: FAILED — 1024-processor scale probe"; exit 1; }
+import re, sys
+r64, r1k = sys.argv[1], sys.argv[2]
+def count(t, k): return int(re.search(k + r":\s+([0-9]+)", t).group(1))
+def messages(t): return int(re.search(r"messages/bytes:\s+([0-9]+)", t).group(1))
+def resid(t): return float(re.search(r"resid\s+=\s+([-0-9.e+]+)", t).group(1))
+assert count(r1k, "static count") == count(r64, "static count"), "static count drifted"
+assert count(r1k, "dynamic count") == count(r64, "dynamic count"), "dynamic count drifted"
+assert count(r1k, "reductions") == count(r64, "reductions"), "reduction count drifted"
+assert messages(r1k) > messages(r64), "messages did not scale with the mesh"
+a, b = resid(r64), resid(r1k)
+assert abs(a - b) <= 1e-6 * max(1.0, abs(a)), f"residual moved: {a} vs {b}"
+print(f"scale probe: counts scale ({messages(r64)} -> {messages(r1k)} messages), residual holds")
+PY
+
 # Perf-archive round trip: record deterministic run reports into a scratch
 # archive, require the regression gate to pass on a like-for-like sample
 # and to fail on an injected 2x slowdown, then render the dashboard and
@@ -99,4 +127,4 @@ http_get "$OBS_PORT" /timeseries | grep -q 'zc-wall-timeline' \
   || { echo "check: FAILED — /timeseries missing the live series"; exit 1; }
 kill -TERM "$OBS_PID"
 wait "$OBS_PID" || { echo "check: FAILED — daemon drain exited non-zero"; exit 1; }
-echo "check: smoke tier + --jobs 2 sweep + timeline + perf archive + observability probe OK"
+echo "check: smoke tier + --jobs 2 sweep + timeline + 1024-proc scale + perf archive + observability probe OK"

@@ -104,6 +104,12 @@ bool ThreadPool::run_one(int self) {
   tl_stolen = stolen;
   std::exception_ptr error;
   try {
+    // Task spans nest under this worker's "pool/worker/N" span, so a
+    // --profile tree attributes scheduler overhead per worker: the worker
+    // node's SELF time is exactly the epoch's scheduling cost on that
+    // context (queue locks, pop/steal scans, completion bookkeeping), and
+    // the own/stolen split shows where each worker's task time came from.
+    const prof::Span task_span(stolen ? "pool/task/stolen" : "pool/task");
     (*fn_)(task);
   } catch (...) {
     error = std::current_exception();

@@ -1,5 +1,6 @@
 #include "src/machine/model.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace zc::machine {
@@ -135,6 +136,11 @@ bool library_available(MachineKind kind, ironman::CommLibrary library) {
       return kind == MachineKind::kT3D;
   }
   return false;
+}
+
+int barrier_stages(int participants) {
+  return std::max(
+      1, static_cast<int>(std::ceil(std::log2(static_cast<double>(participants)))));
 }
 
 std::string to_string(MachineKind kind) {

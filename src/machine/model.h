@@ -88,6 +88,13 @@ MachineModel t3d_model();
 /// True if `library` exists on `kind` (NX on Paragon; PVM/SHMEM on T3D).
 bool library_available(MachineKind kind, ironman::CommLibrary library);
 
+/// Stages of a log-tree barrier / combine over `participants` processors:
+/// max(1, ceil(log2(participants))). Centralized so the engine's allreduce
+/// and the transport's global synch use bit-identical arithmetic (both
+/// previously inlined this expression; large-P correctness depends on the
+/// two agreeing exactly).
+int barrier_stages(int participants);
+
 std::string to_string(MachineKind kind);
 
 }  // namespace zc::machine

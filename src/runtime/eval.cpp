@@ -27,40 +27,11 @@ double reduce_combine(zir::ReduceOp op, double a, double b) {
 }
 
 double Evaluator::apply_bin_scalar(zir::BinOp op, double a, double b) const {
-  using zir::BinOp;
-  switch (op) {
-    case BinOp::kAdd: return a + b;
-    case BinOp::kSub: return a - b;
-    case BinOp::kMul: return a * b;
-    case BinOp::kDiv: return a / b;
-    case BinOp::kMin: return std::min(a, b);
-    case BinOp::kMax: return std::max(a, b);
-    case BinOp::kPow: return std::pow(a, b);
-    case BinOp::kLt: return a < b ? 1.0 : 0.0;
-    case BinOp::kLe: return a <= b ? 1.0 : 0.0;
-    case BinOp::kGt: return a > b ? 1.0 : 0.0;
-    case BinOp::kGe: return a >= b ? 1.0 : 0.0;
-    case BinOp::kEq: return a == b ? 1.0 : 0.0;
-    case BinOp::kNe: return a != b ? 1.0 : 0.0;
-    case BinOp::kAnd: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
-    case BinOp::kOr: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
-  }
-  return 0.0;
+  return apply_bin(op, a, b);
 }
 
 double Evaluator::apply_un_scalar(zir::UnOp op, double a) const {
-  using zir::UnOp;
-  switch (op) {
-    case UnOp::kNeg: return -a;
-    case UnOp::kNot: return a == 0.0 ? 1.0 : 0.0;
-    case UnOp::kAbs: return std::fabs(a);
-    case UnOp::kSqrt: return std::sqrt(a);
-    case UnOp::kExp: return std::exp(a);
-    case UnOp::kLog: return std::log(a);
-    case UnOp::kSin: return std::sin(a);
-    case UnOp::kCos: return std::cos(a);
-  }
-  return 0.0;
+  return apply_un(op, a);
 }
 
 Evaluator::Value Evaluator::eval(const EvalContext& ctx, zir::ExprId id) const {
@@ -178,22 +149,9 @@ void Evaluator::eval_vector(const EvalContext& ctx, zir::ExprId id,
   }
 }
 
-namespace {
-void collect_reduce_nodes(const zir::Program& p, zir::ExprId id, std::vector<zir::ExprId>& out) {
-  const zir::Expr& e = p.expr(id);
-  if (e.kind == zir::Expr::Kind::kReduce) {
-    out.push_back(id);
-    return;  // nested reductions are rejected by validation
-  }
-  if (e.lhs.valid()) collect_reduce_nodes(p, e.lhs, out);
-  if (e.rhs.valid()) collect_reduce_nodes(p, e.rhs, out);
-}
-}  // namespace
-
 void Evaluator::eval_reduce_partials(const EvalContext& ctx, zir::ExprId id,
                                      std::vector<double>& partials) const {
-  std::vector<zir::ExprId> nodes;
-  collect_reduce_nodes(p_, id, nodes);
+  const std::vector<zir::ExprId> nodes = zir::collect_reduce_exprs(p_, id);
   partials.clear();
   std::vector<double> buf;
   for (zir::ExprId node : nodes) {
@@ -208,8 +166,7 @@ void Evaluator::eval_reduce_partials(const EvalContext& ctx, zir::ExprId id,
 }
 
 std::vector<zir::ReduceOp> Evaluator::reduce_ops(zir::ExprId id) const {
-  std::vector<zir::ExprId> nodes;
-  collect_reduce_nodes(p_, id, nodes);
+  const std::vector<zir::ExprId> nodes = zir::collect_reduce_exprs(p_, id);
   std::vector<zir::ReduceOp> ops;
   ops.reserve(nodes.size());
   for (zir::ExprId node : nodes) ops.push_back(p_.expr(node).reduce_op);

@@ -7,6 +7,7 @@
 // (local partial here, cross-processor combine in the engine).
 #pragma once
 
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -33,6 +34,46 @@ struct EvalContext {
 double reduce_identity(zir::ReduceOp op);
 /// Combines two partial values.
 double reduce_combine(zir::ReduceOp op, double a, double b);
+
+/// Scalar semantics of the value operators. Inline and shared between the
+/// tree-walking Evaluator and the compiled expression programs (src/sim/
+/// bytecode) so both paths perform bit-identical arithmetic.
+inline double apply_bin(zir::BinOp op, double a, double b) {
+  using zir::BinOp;
+  switch (op) {
+    case BinOp::kAdd: return a + b;
+    case BinOp::kSub: return a - b;
+    case BinOp::kMul: return a * b;
+    case BinOp::kDiv: return a / b;
+    case BinOp::kMin: return std::min(a, b);
+    case BinOp::kMax: return std::max(a, b);
+    case BinOp::kPow: return std::pow(a, b);
+    case BinOp::kLt: return a < b ? 1.0 : 0.0;
+    case BinOp::kLe: return a <= b ? 1.0 : 0.0;
+    case BinOp::kGt: return a > b ? 1.0 : 0.0;
+    case BinOp::kGe: return a >= b ? 1.0 : 0.0;
+    case BinOp::kEq: return a == b ? 1.0 : 0.0;
+    case BinOp::kNe: return a != b ? 1.0 : 0.0;
+    case BinOp::kAnd: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+    case BinOp::kOr: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  }
+  return 0.0;
+}
+
+inline double apply_un(zir::UnOp op, double a) {
+  using zir::UnOp;
+  switch (op) {
+    case UnOp::kNeg: return -a;
+    case UnOp::kNot: return a == 0.0 ? 1.0 : 0.0;
+    case UnOp::kAbs: return std::fabs(a);
+    case UnOp::kSqrt: return std::sqrt(a);
+    case UnOp::kExp: return std::exp(a);
+    case UnOp::kLog: return std::log(a);
+    case UnOp::kSin: return std::sin(a);
+    case UnOp::kCos: return std::cos(a);
+  }
+  return 0.0;
+}
 
 class Evaluator {
  public:

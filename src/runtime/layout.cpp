@@ -186,16 +186,22 @@ Box BlockDist::owned(int proc) const {
 std::vector<int> BlockDist::owners(const Box& b) const {
   std::vector<int> result;
   if (b.empty()) return result;
+  // Binary search over the monotonic cut array (replacing the former linear
+  // scan, which dominated geometry building at 4096 processors). The window
+  // may include empty blocks on over-decomposed meshes; the per-processor
+  // intersection test below filters those exactly as the scan did.
   auto part_range = [&](int dim, int parts, long long lo, long long hi, int& first, int& last) {
-    first = parts;
-    last = -1;
-    for (int k = 0; k < parts; ++k) {
-      const long long plo = cuts_[dim][k];
-      const long long phi = cuts_[dim][k + 1] - 1;
-      if (plo > phi) continue;  // empty block on over-decomposed meshes
-      if (phi < lo || plo > hi) continue;
-      first = std::min(first, k);
-      last = std::max(last, k);
+    const std::vector<long long>& cuts = cuts_[dim];
+    // first: the least k with cuts[k+1] - 1 >= lo, i.e. cuts[k+1] > lo.
+    first = static_cast<int>(
+        std::upper_bound(cuts.begin() + 1, cuts.end(), lo) - (cuts.begin() + 1));
+    // last: the greatest k with cuts[k] <= hi.
+    last = static_cast<int>(std::upper_bound(cuts.begin(), cuts.end() - 1, hi) -
+                            cuts.begin()) -
+           1;
+    if (first >= parts || last < 0) {
+      first = parts;
+      last = -1;
     }
   };
   int r0 = 0;

@@ -1,9 +1,9 @@
 #include "src/sim/engine.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "src/prof/prof.h"
+#include "src/sim/bytecode.h"
 #include "src/support/check.h"
 #include "src/support/diag.h"
 #include "src/support/metrics.h"
@@ -165,8 +165,7 @@ double Engine::stmt_cost(const zir::Stmt& stmt, long long elems) const {
 }
 
 void Engine::allreduce_clocks(double extra_per_stage) {
-  const int stages =
-      std::max(1, static_cast<int>(std::ceil(std::log2(static_cast<double>(mesh_.procs())))));
+  const int stages = machine::barrier_stages(mesh_.procs());
   double t = 0.0;
   for (double c : clock_) t = std::max(t, c);
   t += stages * (extra_per_stage + cfg_.machine.wire_latency);
@@ -188,9 +187,20 @@ RunResult Engine::run() {
   ZC_ASSERT(!ran_);
   ran_ = true;
 
+  if (cfg_.engine == EngineKind::kLockstep) {
+    run_lockstep();
+  } else {
+    run_event();
+  }
+  return finish();
+}
+
+void Engine::run_lockstep() {
   exec_body(p_.proc(p_.entry()).body);
   ZC_ASSERT(outstanding_.empty());
+}
 
+RunResult Engine::finish() {
   RunResult r;
   r.mesh = mesh_;
   r.center_proc = mesh_.center_rank();

@@ -1,12 +1,31 @@
-// The lockstep SPMD execution engine: runs a compiled (program + comm plan)
-// on a simulated multicomputer, producing real numerical results, virtual
+// The SPMD execution engine: runs a compiled (program + comm plan) on a
+// simulated multicomputer, producing real numerical results, virtual
 // execution time, and the paper's static/dynamic communication counts.
 //
 // Mini-ZPL has no processor-divergent control flow (loop bounds and branch
 // conditions are replicated scalars), so the engine holds P processor
-// states and executes each statement / IRONMAN call for every processor
-// before moving on. This is exact for this language class, single-threaded,
-// and deterministic — the substitution for the paper's 64-node T3D runs.
+// states and executes every statement / IRONMAN call for the processors it
+// concerns before moving on. This is exact for this language class,
+// single-threaded, and deterministic — the substitution for the paper's
+// 64-node T3D runs.
+//
+// Two cores share this contract (RunConfig::engine selects one):
+//
+//   kEvent (default)  compiles the program + plan to flat bytecode
+//                     (src/sim/bytecode.h) and drives per-processor virtual
+//                     clocks through a deferred-bump log, so statements that
+//                     advance every clock uniformly cost O(1) and idle
+//                     processors cost nothing until observed. This is what
+//                     makes 4096+ simulated processors practical.
+//   kLockstep         the original tree-walking interpreter: every
+//                     statement executes for every processor in turn. Kept
+//                     as the executable specification the event core is
+//                     golden-tested against (tests/engine_event_test.cpp);
+//                     prefer kEvent everywhere else.
+//
+// Both cores produce bit-identical results: RunResult scalars/checksums,
+// communication counts, trace::Stats, and windowed timelines all match
+// exactly. DESIGN.md §15 explains why.
 #pragma once
 
 #include <map>
@@ -26,10 +45,25 @@
 
 namespace zc::sim {
 
+struct CompiledAssign;
+struct CompiledReduce;
+struct CompiledGroup;
+struct CommGeometry;
+struct EventState;
+
+/// Which execution core runs the program (see the header comment).
+enum class EngineKind {
+  kEvent,     ///< compiled bytecode + event-driven virtual clocks (default)
+  kLockstep,  ///< tree-walking reference interpreter
+};
+
 struct RunConfig {
   machine::MachineModel machine = machine::t3d_model();
   ironman::CommLibrary library = ironman::CommLibrary::kPVM;
   int procs = 64;
+  /// Execution core. Both produce bit-identical results; kEvent is the
+  /// fast one, kLockstep the reference it is golden-tested against.
+  EngineKind engine = EngineKind::kEvent;
   /// Override config constants by name (e.g. problem size / iterations).
   std::map<std::string, long long> config_overrides;
   /// Optional trace recorder (see src/trace). nullptr — the default — means
@@ -83,7 +117,7 @@ struct RunResult {
 class Engine {
  public:
   Engine(const zir::Program& program, const comm::CommPlan& plan, RunConfig config);
-  ~Engine();  // out of line: GroupExec is incomplete here
+  ~Engine();  // out of line: GroupExec / EventState are incomplete here
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -93,6 +127,11 @@ class Engine {
  private:
   struct GroupExec;  // one in-progress execution of a CommGroup
 
+  /// Shared result assembly + metrics publication (both cores).
+  RunResult finish();
+
+  // --- lockstep core (engine.cpp) ----------------------------------------
+  void run_lockstep();
   void exec_body(const std::vector<zir::StmtId>& body);
   void exec_block(const comm::BlockPlan& block);
   void exec_comm_position(const comm::BlockPlan& block, int pos);
@@ -115,6 +154,29 @@ class Engine {
   [[nodiscard]] rt::EvalContext context_for(int proc) const;
   [[nodiscard]] double stmt_cost(const zir::Stmt& stmt, long long elems) const;
   void allreduce_clocks(double extra_per_stage);
+
+  // --- event-driven core (engine_event.cpp) ------------------------------
+  void run_event();
+  void ev_exec_assign(CompiledAssign& ca);
+  void ev_exec_reduce(CompiledReduce& cr);
+  void ev_comm_dr(CompiledGroup& cg);
+  void ev_comm_sr(CompiledGroup& cg);
+  void ev_comm_dn(CompiledGroup& cg);
+  void ev_comm_sv(CompiledGroup& cg);
+  /// Resolves (building / caching) the group's message geometry for the
+  /// current loop bindings and marks it outstanding.
+  CommGeometry& ev_resolve_geometry(CompiledGroup& cg);
+  void ev_build_geometry(const CompiledGroup& cg, const std::vector<rt::Box>& member_boxes,
+                         CommGeometry& geom);
+  /// Appends a uniform all-processor clock bump to the deferred log.
+  void ev_bump(double amount);
+  /// Replays a processor's pending deferred bumps so clock_[proc] is current.
+  void ev_touch(int proc);
+  void ev_materialize_all();
+  void ev_compact_bumps();
+  void ev_advance_pristine();
+  /// Resets the bump log after a barrier left every clock equal to `t`.
+  void ev_barrier_reset(double t);
 
   const zir::Program& p_;
   const comm::CommPlan& plan_;
@@ -153,6 +215,10 @@ class Engine {
     int arrays_touched = 0;
   };
   mutable std::map<int32_t, StmtCost> stmt_cost_cache_;
+
+  /// Event-core state (compiled program + clock bump log); null until
+  /// run_event compiles, and in lockstep runs.
+  std::unique_ptr<EventState> ev_;
 
   bool ran_ = false;
 };

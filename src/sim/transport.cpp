@@ -23,6 +23,10 @@ Transport::Channel& Transport::channel(int64_t chan, int src, int dst) {
   return channels_[{chan, src, dst}];
 }
 
+Transport::ChannelHandle Transport::channel_handle(int64_t chan, int src, int dst) {
+  return ChannelHandle(&channel(chan, src, dst));
+}
+
 void Transport::trace_send(Channel& ch, int64_t chan, int src, int dst, int64_t bytes,
                            double t_posted, double t_on_wire, double t_arrived) {
   const int64_t id = recorder_ != nullptr
@@ -38,6 +42,11 @@ double Transport::wire_time(int64_t bytes) const {
 }
 
 void Transport::dr(int64_t chan, int src, int dst, int64_t bytes, double& t_dst) {
+  dr(channel_handle(chan, src, dst), chan, src, dst, bytes, t_dst);
+}
+
+void Transport::dr(ChannelHandle h, int64_t chan, int src, int dst, int64_t bytes,
+                   double& t_dst) {
   const Primitive prim = ironman::binding(library_, IronmanCall::kDR);
   const double begin = t_dst;
   switch (prim) {
@@ -53,7 +62,7 @@ void Transport::dr(int64_t chan, int src, int dst, int64_t bytes, double& t_dst)
       // Destination announces buffer readiness to its source; the flag
       // crosses the wire and gates the source's shmem_put.
       t_dst += machine_.primitive_cpu_cost(prim, bytes);
-      channel(chan, src, dst).readiness.push_back(t_dst + machine_.wire_latency);
+      static_cast<Channel*>(h.ch_)->readiness.push_back(t_dst + machine_.wire_latency);
       break;
     }
     default:
@@ -67,8 +76,13 @@ void Transport::dr(int64_t chan, int src, int dst, int64_t bytes, double& t_dst)
 }
 
 void Transport::sr(int64_t chan, int src, int dst, int64_t bytes, double& t_src) {
+  sr(channel_handle(chan, src, dst), chan, src, dst, bytes, t_src);
+}
+
+void Transport::sr(ChannelHandle h, int64_t chan, int src, int dst, int64_t bytes,
+                   double& t_src) {
   const Primitive prim = ironman::binding(library_, IronmanCall::kSR);
-  Channel& ch = channel(chan, src, dst);
+  Channel& ch = *static_cast<Channel*>(h.ch_);
   const double begin = t_src;
   double unblocked = begin;  // when the call stopped waiting (gated sends)
   double on_wire = 0.0;      // when the first byte leaves the source
@@ -122,8 +136,13 @@ void Transport::sr(int64_t chan, int src, int dst, int64_t bytes, double& t_src)
 }
 
 void Transport::dn(int64_t chan, int src, int dst, int64_t bytes, double& t_dst) {
+  dn(channel_handle(chan, src, dst), chan, src, dst, bytes, t_dst);
+}
+
+void Transport::dn(ChannelHandle h, int64_t chan, int src, int dst, int64_t bytes,
+                   double& t_dst) {
   const Primitive prim = ironman::binding(library_, IronmanCall::kDN);
-  Channel& ch = channel(chan, src, dst);
+  Channel& ch = *static_cast<Channel*>(h.ch_);
   ZC_ASSERT(!ch.arrivals.empty());
   const double arrival = ch.arrivals.front();
   ch.arrivals.pop_front();
@@ -170,12 +189,17 @@ void Transport::dn(int64_t chan, int src, int dst, int64_t bytes, double& t_dst)
 }
 
 void Transport::sv(int64_t chan, int src, int dst, int64_t bytes, double& t_src) {
+  sv(channel_handle(chan, src, dst), chan, src, dst, bytes, t_src);
+}
+
+void Transport::sv(ChannelHandle h, int64_t chan, int src, int dst, int64_t bytes,
+                   double& t_src) {
   const Primitive prim = ironman::binding(library_, IronmanCall::kSV);
   switch (prim) {
     case Primitive::kNoOp:
       return;
     case Primitive::kMsgwaitSend: {
-      Channel& ch = channel(chan, src, dst);
+      Channel& ch = *static_cast<Channel*>(h.ch_);
       ZC_ASSERT(!ch.send_completes.empty());
       const double complete = ch.send_completes.front();
       ch.send_completes.pop_front();
@@ -202,8 +226,7 @@ void Transport::global_synch(std::vector<double>& clocks) const {
   ZC_ASSERT(!clocks.empty());
   double t = clocks[0];
   for (double c : clocks) t = std::max(t, c);
-  const int stages = std::max(
-      1, static_cast<int>(std::ceil(std::log2(static_cast<double>(clocks.size())))));
+  const int stages = machine::barrier_stages(static_cast<int>(clocks.size()));
   t += machine_.synch_post.overhead + stages * machine_.synch_stage;
   if (recorder_ != nullptr) {
     for (std::size_t p = 0; p < clocks.size(); ++p) {

@@ -67,11 +67,34 @@ class Transport {
   /// The four IRONMAN calls for one message of `bytes` on the channel
   /// `(chan, src, dst)`. `t_dst` / `t_src` are the endpoint clocks,
   /// advanced in place. Calls for one message must be issued in DR, SR,
-  /// DN, SV order (the engine's lockstep execution guarantees this).
+  /// DN, SV order (the engine's statement-ordered execution guarantees
+  /// this).
   void dr(int64_t chan, int src, int dst, int64_t bytes, double& t_dst);
   void sr(int64_t chan, int src, int dst, int64_t bytes, double& t_src);
   void dn(int64_t chan, int src, int dst, int64_t bytes, double& t_dst);
   void sv(int64_t chan, int src, int dst, int64_t bytes, double& t_src);
+
+  /// A pre-resolved channel: stable for the life of the Transport (channel
+  /// state lives in std::map nodes), so hot callers — the engine's cached
+  /// message geometries — skip the map lookup on every call. Handle calls
+  /// are bit-identical to the map-keyed forms above.
+  class ChannelHandle {
+   public:
+    ChannelHandle() = default;
+
+   private:
+    friend class Transport;
+    explicit ChannelHandle(void* ch) : ch_(ch) {}
+    void* ch_ = nullptr;
+  };
+  [[nodiscard]] ChannelHandle channel_handle(int64_t chan, int src, int dst);
+
+  /// Handle forms of the four calls; `chan` is still passed for trace
+  /// records, which key on the channel id.
+  void dr(ChannelHandle h, int64_t chan, int src, int dst, int64_t bytes, double& t_dst);
+  void sr(ChannelHandle h, int64_t chan, int src, int dst, int64_t bytes, double& t_src);
+  void dn(ChannelHandle h, int64_t chan, int src, int dst, int64_t bytes, double& t_dst);
+  void sv(ChannelHandle h, int64_t chan, int src, int dst, int64_t bytes, double& t_src);
 
   /// True when the DR binding synchronizes globally: the SHMEM prototype's
   /// heavyweight synch is modeled as a barrier over all processors (the

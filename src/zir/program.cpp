@@ -334,6 +334,26 @@ std::vector<ArrayId> collect_arrays_read(const Program& program, ExprId id) {
   return out;
 }
 
+std::vector<ExprId> collect_reduce_exprs(const Program& program, ExprId id) {
+  std::vector<ExprId> out;
+  // Iterative first-occurrence DFS (lhs before rhs), matching the runtime
+  // evaluator's reduce-value consumption order. Nested reductions are
+  // rejected by validation, so recursion stops at a Reduce node.
+  std::vector<ExprId> stack{id};
+  while (!stack.empty()) {
+    const ExprId at = stack.back();
+    stack.pop_back();
+    const Expr& e = program.expr(at);
+    if (e.kind == Expr::Kind::kReduce) {
+      out.push_back(at);
+      continue;
+    }
+    if (e.rhs.valid()) stack.push_back(e.rhs);
+    if (e.lhs.valid()) stack.push_back(e.lhs);
+  }
+  return out;
+}
+
 int count_flops(const Program& program, ExprId id) {
   const Expr& e = program.expr(id);
   int n = 0;

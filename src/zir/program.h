@@ -257,6 +257,12 @@ std::vector<ShiftRef> collect_shift_refs(const Program& program, ExprId id);
 /// Collects distinct arrays read (shifted or not) by the expression.
 std::vector<ArrayId> collect_arrays_read(const Program& program, ExprId id);
 
+/// Collects the Reduce nodes of a scalar-valued expression in
+/// first-occurrence DFS order — the order in which the evaluator consumes
+/// globally-combined reduce values, and in which the engine's compiled
+/// reduce programs produce partials.
+std::vector<ExprId> collect_reduce_exprs(const Program& program, ExprId id);
+
 /// Counts arithmetic operation nodes (the per-element flop estimate used by
 /// the simulator's compute cost model).
 int count_flops(const Program& program, ExprId id);
