@@ -25,11 +25,19 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 ARCHIVE="${ARCHIVE:-perf_archive.jsonl}"
 
+# Stamp every envelope with the revision that produced it, so archived
+# samples stay attributable; +dirty marks uncommitted tracked edits.
+GIT_SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || true)"
+if [ -n "$GIT_SHA" ] && ! git diff-index --quiet HEAD -- 2>/dev/null; then
+  GIT_SHA="${GIT_SHA}+dirty"
+fi
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j --target bench_sweep_scaling zcomm_bench
 
 "$BUILD_DIR"/bench/bench_sweep_scaling \
-  --bench-json=BENCH_sweep_scaling.json "$@"
+  --bench-json=BENCH_sweep_scaling.json \
+  ${GIT_SHA:+--git-sha="$GIT_SHA"} "$@"
 
 echo "--- perf archive ($ARCHIVE) ---"
 "$BUILD_DIR"/examples/zcomm_bench check --archive="$ARCHIVE" \
